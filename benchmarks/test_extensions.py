@@ -1,0 +1,80 @@
+"""Benches for the extensions beyond the paper's headline experiments.
+
+* sync-vs-async steady state — quantifies the throughput-vs-staleness
+  trade-off the paper uses to motivate synchronous training (§I–II);
+* checkpoint-strategy sweep — none / boundary / sqrt(n) on BERT-48,
+  extending the paper's single re-computation policy.
+"""
+
+import pytest
+
+from repro.baselines import gpipe_plan
+from repro.experiments import write_result
+from repro.experiments.common import cluster, profile
+from repro.experiments.reporting import format_table
+from repro.runtime import execute_plan, simulate_iterations
+
+
+def test_sync_vs_async_steady_state(once):
+    def run():
+        prof = profile("bert48")
+        clu = cluster("B", 4)
+        plan = gpipe_plan(prof, clu, 32, num_stages=4, micro_batch_size=2)
+        rows = []
+        for sync in (True, False):
+            r = simulate_iterations(
+                prof, clu, plan, num_iterations=5, warmup_policy="PB", sync=sync
+            )
+            rows.append(
+                (
+                    "synchronous (DAPPLE)" if sync else "asynchronous (PipeDream-style)",
+                    r.first_iteration_time,
+                    r.steady_iteration_time,
+                    r.steady_throughput,
+                )
+            )
+        return rows
+
+    rows = once(run)
+    write_result(
+        "ext_sync_vs_async",
+        format_table(
+            ["regime", "first iter", "steady iter", "steady samples/s"],
+            [[n, f"{f*1e3:.1f}ms", f"{s*1e3:.1f}ms", f"{t:.2f}"] for n, f, s, t in rows],
+            title="Extension: iteration overlap — sync vs async pipelines",
+        ),
+    )
+    sync_row, async_row = rows
+    # Async overlaps iterations -> higher steady throughput; sync cannot.
+    assert async_row[3] > sync_row[3]
+    assert sync_row[2] == pytest.approx(sync_row[1], rel=0.02)
+
+
+def test_checkpoint_strategy_sweep(once):
+    def run():
+        prof = profile("bert48")
+        clu = cluster("B", 2)
+        plan = gpipe_plan(prof, clu, 32, num_stages=2, micro_batch_size=2)
+        rows = []
+        for strategy in ("none", "boundary", "sqrt"):
+            res = execute_plan(prof, clu, plan, recompute=strategy, warmup_policy="PB")
+            rows.append((strategy, res.throughput, res.average_peak_memory()))
+        return rows
+
+    rows = once(run)
+    write_result(
+        "ext_checkpoint_strategies",
+        format_table(
+            ["strategy", "throughput", "avg peak memory"],
+            [[s, f"{t:.2f}/s", f"{m/2**30:.2f} GiB"] for s, t, m in rows],
+            title="Extension: activation checkpointing strategies (BERT-48, M=16)",
+        ),
+    )
+    by = {s: (t, m) for s, t, m in rows}
+    # none is fastest and biggest; both recompute strategies cut memory and
+    # pay roughly one extra forward (~25-35 % slower with B=2F).
+    assert by["none"][0] > by["boundary"][0]
+    assert by["none"][0] > by["sqrt"][0]
+    assert by["boundary"][1] < by["none"][1]
+    assert by["sqrt"][1] < by["none"][1]
+    assert by["boundary"][0] == pytest.approx(by["sqrt"][0], rel=0.05)

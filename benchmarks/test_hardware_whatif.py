@@ -1,0 +1,58 @@
+"""What-if ablation: faster accelerators shift plans toward communication.
+
+Replaying Table V's Config-A planning with an A100-class accelerator
+(~3x the sustained FLOP/s, 40 GB memory) shrinks compute times while
+communication stays fixed — effective ACR triples, so pipeline plans lose
+ground relative to DP exactly as the paper's efficiency model (§II-A)
+predicts.  A quantitative sanity check that the planner responds to the
+compute/communication balance, not to model identity.
+"""
+
+from repro.cluster.configs import config_a
+from repro.cluster.device import GPUSpec
+from repro.core import Planner, profile_model
+from repro.experiments import write_result
+from repro.experiments.reporting import format_table
+from repro.models import PAPER_FIGURES, get_model
+
+#: A100-class spec: ~3x V100 sustained fp32-equivalent training throughput.
+A100 = GPUSpec(name="A100", memory_bytes=40 * 2**30, flops=27e12)
+
+
+def test_faster_gpus_shift_balance(once):
+    def run():
+        rows = []
+        for name in ("gnmt16", "bert48"):
+            model = get_model(name)
+            gbs = PAPER_FIGURES[name].global_batch_size
+            out = {}
+            for spec in (None, A100):
+                clu = config_a(2) if spec is None else config_a(2, gpu_spec=spec)
+                prof = profile_model(model, spec) if spec else profile_model(model)
+                res = Planner(prof, clu, gbs).search()
+                sim_label = spec.name if spec else "V100"
+                out[sim_label] = (res.plan.notation, res.estimate.latency,
+                                  res.estimate.acr)
+            rows.append((name, out))
+        return rows
+
+    rows = once(run)
+    table_rows = []
+    for name, out in rows:
+        for gpu, (plan, lat, acr) in out.items():
+            table_rows.append([name, gpu, plan, f"{lat*1e3:.0f}ms", f"{acr:.3f}"])
+    write_result(
+        "ext_hardware_whatif",
+        format_table(
+            ["model", "GPU", "plan", "latency", "ACR"],
+            table_rows,
+            title="What-if: V100 vs A100-class accelerators on Config-A",
+        ),
+    )
+    for name, out in rows:
+        v100_plan, v100_lat, v100_acr = out["V100"]
+        a100_plan, a100_lat, a100_acr = out["A100"]
+        # Faster compute: lower latency, higher effective comm ratio.
+        assert a100_lat < v100_lat
+        if v100_acr > 0 and a100_acr > 0:
+            assert a100_acr > v100_acr

@@ -1,0 +1,14 @@
+"""Table I: activation-vs-gradient traffic volume."""
+
+from repro.experiments import table1, write_result
+
+
+def test_table1_traffic(once):
+    rows = once(table1.run)
+    write_result("table1_traffic", table1.format_results(rows))
+    for r in rows:
+        # The paper's central asymmetry: gradients dwarf boundary
+        # activations by orders of magnitude for every benchmark.
+        assert r.gradient_bytes > 20 * r.activation_bytes
+        if r.paper_gradient_bytes:
+            assert abs(r.gradient_bytes - r.paper_gradient_bytes) / r.paper_gradient_bytes < 0.2

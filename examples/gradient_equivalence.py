@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Convergence preservation: pipelined training == full-batch training.
+
+The paper argues (§VI-A) that DAPPLE's optimizations "give equivalent
+gradients for training when keeping global batch size fixed and thus
+convergence is safely preserved".  This example makes the claim concrete:
+
+1. train a classifier on synthetic data with plain single-device SGD;
+2. train an identical copy with a DAPPLE pipeline — 3 stages, one of them
+   2-way replicated with micro-batch slicing, 4 micro-batches per step,
+   early-backward scheduling, gradient accumulation + AllReduce;
+3. show the two runs produce numerically identical parameters step by step.
+
+Run:  python examples/gradient_equivalence.py
+"""
+
+import numpy as np
+
+from repro.training import (
+    SGD,
+    Linear,
+    PipelineTrainer,
+    Sequential,
+    Tanh,
+    sequential_step_gradients,
+    softmax_cross_entropy,
+)
+
+
+def make_model(seed: int) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(16, 64, rng), Tanh(),
+        Linear(64, 64, rng), Tanh(),
+        Linear(64, 4, rng),
+    )
+
+
+def make_dataset(n=256, seed=42):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 16))
+    # Nonlinear 4-class labels.
+    scores = np.stack(
+        [x[:, :4].sum(1), np.sin(x[:, 4:8]).sum(1), (x[:, 8:12] ** 2).sum(1), x[:, 12:].sum(1)],
+        axis=1,
+    )
+    return x, scores.argmax(1)
+
+
+def loss_fn(pred, labels, normalizer):
+    return softmax_cross_entropy(pred, labels, normalizer=normalizer)
+
+
+def main() -> None:
+    x, y = make_dataset()
+    seq_model, pipe_model = make_model(7), make_model(7)
+    seq_opt = SGD(seq_model.parameters(), lr=0.1, momentum=0.9)
+    pipe_opt = SGD(pipe_model.parameters(), lr=0.1, momentum=0.9)
+
+    # 3 stages (splits after module 1 and 3), stage 1 replicated 2-way.
+    trainer = PipelineTrainer(
+        pipe_model, split_points=[1, 3], num_micro_batches=4, replicas=[1, 2, 1]
+    )
+    print(f"pipeline: {trainer.num_stages} stages, replicas {trainer.replicas}, "
+          f"M={trainer.num_micro_batches}")
+    print(f"{'step':>4s} {'seq loss':>10s} {'pipe loss':>10s} {'max |Δparam|':>14s}")
+
+    for step in range(20):
+        seq_loss, grads = sequential_step_gradients(seq_model, x, y, loss_fn)
+        seq_opt.step(grads)
+        pipe_loss = trainer.train_step(x, y, loss_fn, pipe_opt)
+        max_delta = max(
+            float(np.abs(ps.data - pp.data).max())
+            for ps, pp in zip(seq_model.parameters(), pipe_model.parameters())
+        )
+        if step % 4 == 0 or step == 19:
+            print(f"{step:>4d} {seq_loss:>10.6f} {pipe_loss:>10.6f} {max_delta:>14.2e}")
+
+    assert max_delta < 1e-8, "pipelined training diverged from sequential!"
+    print("\npipelined parameters identical to sequential training "
+          f"(max deviation {max_delta:.2e}) — convergence is preserved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The full DAPPLE workflow on real code: measure → plan → verify.
+
+1. build a real numpy MLP and *measure* its per-layer forward/backward
+   times, activation sizes and parameter counts on this machine — exactly
+   what the paper's profiler does on GPUs (Fig. 1);
+2. feed the measured profile to the DAPPLE planner to pick a pipeline
+   split for a 4-device cluster;
+3. execute the planned split numerically with the gradient-equivalent
+   pipeline trainer and confirm the loss matches single-device training.
+
+Run:  python examples/measured_profile_to_plan.py
+"""
+
+import numpy as np
+
+from repro.cluster import config_b
+from repro.core import Planner, PlannerConfig, profile_model
+from repro.training import (
+    Adam,
+    Linear,
+    PipelineTrainer,
+    Sequential,
+    Tanh,
+    Tensor,
+    mse_loss,
+    sequential_step_gradients,
+)
+from repro.training.empirical_profiler import profile_sequential
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    model = Sequential(
+        Linear(64, 512, rng), Tanh(),
+        Linear(512, 512, rng), Tanh(),
+        Linear(512, 512, rng), Tanh(),
+        Linear(512, 8, rng),
+    )
+    sample = rng.standard_normal((64, 64))
+
+    # 1. Measure.
+    graph = profile_sequential(model, sample, name="measured-mlp")
+    print("measured per-layer profile:")
+    for spec in graph.layers:
+        print(f"  {spec.name:12s} {spec.flops_fwd/1e6:9.2f} MFLOP/sample  "
+              f"{spec.params:>8d} params  {spec.activation_out_bytes:>7.0f} B act")
+
+    # 2. Plan a forced pipeline over 4 simulated devices.
+    cluster = config_b(4)
+    prof = profile_model(graph)
+    result = Planner(prof, cluster, 256, PlannerConfig(min_stages=2)).search()
+    plan = result.plan
+    print(f"\nplanned pipeline: {plan.notation} (module split "
+          f"{plan.split_notation}), estimated {result.estimate.latency*1e3:.2f} ms")
+
+    # 3. Execute the planned split numerically and verify equivalence.
+    x = rng.standard_normal((256, 64))
+    y = rng.standard_normal((256, 8))
+
+    def loss_fn(pred, target, normalizer):
+        return mse_loss(pred, Tensor(np.asarray(target)), normalizer=normalizer)
+
+    trainer = PipelineTrainer(
+        model,
+        split_points=plan.split_positions,
+        num_micro_batches=min(plan.num_micro_batches, 8),
+        replicas=[s.replicas for s in plan.stages],
+    )
+    ref_loss, ref_grads = sequential_step_gradients(model, x, y, loss_fn)
+    loss, grads = trainer.step_gradients(x, y, loss_fn)
+    err = max(float(np.abs(a - b).max()) for a, b in zip(grads, ref_grads))
+    print(f"pipelined loss {loss:.6f} vs sequential {ref_loss:.6f} "
+          f"(max grad deviation {err:.2e})")
+    assert err < 1e-9
+    print("the planner's split trains with exactly the gradients of "
+          "single-device full-batch training.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Early backward scheduling: GPipe vs DAPPLE memory behaviour (paper Fig. 3).
+
+Builds a 4-stage pipeline over XLNet-36 on four single-V100 servers, runs
+the same plan under the GPipe schedule and the DAPPLE early-backward
+schedule (plus re-computation variants), and renders Gantt charts and
+memory curves side by side.
+
+Run:  python examples/memory_schedules.py
+"""
+
+from repro.baselines import gpipe_plan
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.models import xlnet36
+from repro.runtime import execute_plan
+from repro.runtime.memory import OutOfMemoryError
+from repro.viz import render_gantt, render_memory_curve
+
+
+def main() -> None:
+    model = xlnet36()
+    prof = profile_model(model)
+    cluster = config_b(4)
+    plan = gpipe_plan(prof, cluster, global_batch_size=16, num_stages=4,
+                      micro_batch_size=1)
+    print(f"plan: {plan.notation}, layers {plan.split_notation}, "
+          f"M={plan.num_micro_batches} micro-batches of "
+          f"{plan.micro_batch_size:.0f} sample(s)\n")
+
+    runs = {}
+    for label, schedule, rc in [
+        ("GPipe", "gpipe", False),
+        ("GPipe+RC", "gpipe", True),
+        ("DAPPLE", "dapple", False),
+        ("DAPPLE+RC", "dapple", True),
+    ]:
+        try:
+            runs[label] = execute_plan(prof, cluster, plan, schedule=schedule,
+                                       recompute=rc, warmup_policy="PB")
+        except OutOfMemoryError as e:
+            print(f"{label:10s}: OOM ({e})")
+
+    print(f"{'schedule':10s} {'iteration':>12s} {'throughput':>12s} {'peak mem':>10s}")
+    for label, res in runs.items():
+        peak = max(res.peak_memory_per_device().values())
+        print(f"{label:10s} {res.iteration_time*1e3:>10.1f}ms "
+              f"{res.throughput:>10.2f}/s {peak/2**30:>8.2f}GiB")
+
+    for label in ("GPipe", "DAPPLE"):
+        if label in runs:
+            print(f"\n{label} schedule:")
+            print(render_gantt(runs[label].trace, width=100))
+            print(render_memory_curve(runs[label].memory, "gpu:0",
+                                      label=f"{label} GPU0", height=8))
+
+
+if __name__ == "__main__":
+    main()

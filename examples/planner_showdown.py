@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Planner showdown: DAPPLE vs PipeDream under synchronous training.
+
+Reproduces the paper's §VI-F methodology interactively: both planners get
+the same profile and cluster; both output strategies run on the DAPPLE
+runtime simulator; the synchronous pipeline latency decides the winner.
+
+Run:  python examples/planner_showdown.py [model] [gbs]
+"""
+
+import sys
+
+from repro.baselines import pipedream_plan
+from repro.cluster import config_a
+from repro.core import Planner, profile_model
+from repro.models import get_model
+from repro.runtime import execute_plan
+from repro.runtime.dataparallel import single_device_time
+from repro.runtime.memory import OutOfMemoryError
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "bert-large"
+    gbs = int(sys.argv[2]) if len(sys.argv) > 2 else 128
+    model = get_model(name)
+    prof = profile_model(model)
+    cluster = config_a(2)
+    t_single = single_device_time(prof, gbs)
+    print(f"{model!r} on {cluster!r}, GBS={gbs}\n")
+
+    dap = Planner(prof, cluster, gbs).search()
+    print(f"DAPPLE plan    : {dap.plan.notation} (layers {dap.plan.split_notation})")
+    print(f"  searched {dap.plans_evaluated} candidate plans "
+          f"({dap.infeasible_plans} memory-infeasible)")
+
+    pd = pipedream_plan(prof, cluster, gbs)
+    print(f"PipeDream plan : {pd.plan.notation} "
+          f"(stage bounds {pd.stage_layer_bounds})")
+    print(f"  optimized async bottleneck: {pd.bottleneck_time*1e3:.2f} ms\n")
+
+    results = {}
+    for label, plan in [("DAPPLE", dap.plan), ("PipeDream", pd.plan)]:
+        try:
+            res = execute_plan(prof, cluster, plan, warmup_policy="PB")
+            results[label] = res
+            print(f"{label:10s}: iteration {res.iteration_time*1e3:8.1f} ms, "
+                  f"speedup {t_single/res.iteration_time:5.1f}x vs 1 GPU")
+        except OutOfMemoryError as e:
+            print(f"{label:10s}: OOM under synchronous execution ({e})")
+
+    if len(results) == 2:
+        adv = results["PipeDream"].iteration_time / results["DAPPLE"].iteration_time
+        print(f"\nDAPPLE's strategy is {adv:.2f}x faster under synchronous "
+              "training — PipeDream's asynchronous objective ignores "
+              "warm-up/drain bubbles and the end-of-batch AllReduce (§VI-F).")
+
+
+if __name__ == "__main__":
+    main()

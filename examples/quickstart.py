@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: plan and simulate hybrid-parallel training in three lines.
+
+Plans BERT-48 on a 2x8-V100 cluster (the paper's Config-A), executes one
+training iteration on the discrete-event simulator, and reports the chosen
+strategy, throughput, memory, and a Gantt chart of the pipeline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import plan_and_run
+from repro.viz import render_gantt
+
+
+def main() -> None:
+    result = plan_and_run("bert48", hardware="A", global_batch_size=64)
+
+    plan = result.plan
+    ex = result.execution
+    print(f"model        : {result.model.name} ({result.model.total_params/1e6:.0f}M params)")
+    print(f"cluster      : {result.cluster!r}")
+    print(f"chosen plan  : {plan.notation} (layers {plan.split_notation}, "
+          f"M={plan.num_micro_batches} micro-batches)")
+    for i, stage in enumerate(plan.stages):
+        devs = ",".join(str(d.global_id) for d in stage.devices)
+        print(f"  stage {i}: layers [{stage.layer_lo}, {stage.layer_hi}) "
+              f"on GPUs [{devs}]")
+    print(f"iteration    : {ex.iteration_time*1e3:.1f} ms "
+          f"({ex.throughput:.1f} samples/s)")
+    peak = max(ex.peak_memory_per_device().values())
+    print(f"peak memory  : {peak/2**30:.2f} GiB (16 GiB devices)")
+    print(f"planner ACR  : {result.planning.estimate.acr:.3f}")
+    print()
+    print("pipeline schedule (first 2 devices per stage):")
+    keys = [s.devices[0].resource_key for s in plan.stages]
+    print(render_gantt(ex.trace, width=100, resources=keys))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Weak scaling: how big a BERT fits a DAPPLE pipeline? (paper Table VIII)
+
+Grows BERT's encoder depth until the pipeline no longer fits 16 GB V100s
+(with boundary re-computation), for pipelines of 1/2/4/8 GPUs, then
+simulates the largest model and reports per-device memory and utilization.
+
+Run:  python examples/scale_to_billions.py
+"""
+
+from repro.baselines import gpipe_plan
+from repro.core import profile_model
+from repro.experiments.table8 import max_depth
+from repro.experiments.common import cluster
+from repro.models import bert_layers
+from repro.runtime import execute_plan
+from repro.runtime.analysis import analyze
+
+
+def main() -> None:
+    print(f"{'pipeline':>9s} {'max BERT-L':>10s} {'params':>8s} {'16B/param':>10s}")
+    depths = {}
+    for p in (1, 2, 4, 8):
+        layers = max_depth(p)
+        depths[p] = layers
+        model = bert_layers(layers)
+        print(f"{p:>9d} {layers:>10d} {model.total_params/1e9:>7.2f}B "
+              f"{model.total_params*16/2**30:>9.1f}G")
+
+    # Simulate the largest configuration slightly below the ceiling.
+    p = 8
+    layers = int(depths[p] * 0.88)
+    model = bert_layers(layers)
+    prof = profile_model(model)
+    clu = cluster("A", 8)
+    plan = gpipe_plan(prof, clu, 2 * 8 * p, num_stages=p, micro_batch_size=2)
+    res = execute_plan(prof, clu, plan, recompute="boundary")
+    print(f"\nsimulating BERT-{layers} ({model.total_params/1e9:.2f}B params) "
+          f"on an 8-GPU pipeline with re-computation:")
+    print(analyze(res).summary())
+    peaks = res.peak_memory_per_device()
+    print("per-device peak memory: " + ", ".join(
+        f"{k.split(':')[1]}:{v/2**30:.1f}G" for k, v in sorted(peaks.items())
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Comparison baselines: PipeDream's planner and GPipe's partitioner."""
+
+from repro.baselines.gpipe_partition import balanced_partition, gpipe_plan
+from repro.baselines.pipedream import (
+    HierarchicalPipeDreamPlanner,
+    PipeDreamPlanner,
+    pipedream_plan,
+    pipedream_plan_hierarchical,
+)
+
+__all__ = [
+    "balanced_partition",
+    "gpipe_plan",
+    "HierarchicalPipeDreamPlanner",
+    "PipeDreamPlanner",
+    "pipedream_plan",
+    "pipedream_plan_hierarchical",
+]

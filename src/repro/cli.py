@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``models``
+    List the benchmark zoo with calibration figures.
+``plan``
+    Run the DAPPLE planner for a model/config/GBS; optionally save the plan
+    as JSON.
+``run``
+    Simulate one training iteration (optionally from a saved plan), with
+    Gantt chart, memory report, and Chrome-trace export.
+``compare``
+    DAPPLE vs PipeDream vs GPipe vs DP on one model/config.
+``experiment``
+    Regenerate one (or all) of the paper's tables/figures into ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import config_by_name
+from repro.core import Planner, PlannerConfig, profile_model
+from repro.core.serialization import load_plan, save_plan
+from repro.models import PAPER_FIGURES, get_model, model_names
+from repro.runtime import execute_plan
+from repro.runtime.memory import OutOfMemoryError
+
+EXPERIMENTS = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    "fig3", "fig4", "fig7", "fig8", "fig12", "fig14", "convergence", "bandwidth_sweep",
+]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--model", default="bert48", help=f"one of {model_names()}")
+    p.add_argument("--config", default="A", choices=["A", "B", "C"],
+                   help="hardware config (paper Table III)")
+    p.add_argument("--devices", type=int, default=16, help="total GPUs")
+    p.add_argument("--gbs", type=int, default=None, help="global batch size")
+
+
+def _setup(args):
+    model = get_model(args.model)
+    cluster = config_by_name(args.config, args.devices)
+    gbs = args.gbs
+    if gbs is None:
+        key = args.model.strip().lower()
+        gbs = PAPER_FIGURES[key].global_batch_size if key in PAPER_FIGURES else 64
+    return model, cluster, gbs, profile_model(model)
+
+
+def cmd_models(_args) -> int:
+    """``repro models``: print the benchmark zoo with calibration figures."""
+    from repro.experiments.reporting import format_table
+
+    rows = []
+    for name in model_names():
+        g = get_model(name)
+        ref = PAPER_FIGURES.get(name)
+        rows.append([
+            name, g.name, g.num_layers, f"{g.total_params / 1e6:.0f}M",
+            g.profile_batch, g.optimizer,
+            f"{ref.global_batch_size}" if ref else "-",
+        ])
+    print(format_table(
+        ["name", "model", "layers", "params", "profile batch", "optimizer", "paper GBS"],
+        rows, title="Benchmark model zoo",
+    ))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """``repro plan``: search for the best hybrid plan and describe it."""
+    model, cluster, gbs, prof = _setup(args)
+    cfg = PlannerConfig(
+        beam_width=args.beam,
+        max_stages=args.max_stages,
+        min_stages=2 if args.pipeline_only else 1,
+    )
+    result = Planner(prof, cluster, gbs, cfg).search()
+    plan = result.plan
+    est = result.estimate
+    print(f"model   : {model.name} ({model.total_params / 1e6:.0f}M params)")
+    print(f"cluster : {cluster!r}")
+    print(f"plan    : {plan.notation} (layers {plan.split_notation}, "
+          f"M={plan.num_micro_batches})")
+    for i, stage in enumerate(plan.stages):
+        devs = ",".join(str(d.global_id) for d in stage.devices)
+        print(f"  stage {i}: layers [{stage.layer_lo},{stage.layer_hi}) on [{devs}]")
+    print(f"latency : {est.latency * 1e3:.1f} ms estimated "
+          f"(Tw={est.warmup * 1e3:.1f} Ts={est.steady * 1e3:.1f} "
+          f"Te={est.ending * 1e3:.1f}, pivot stage {est.pivot})")
+    print(f"ACR     : {est.acr:.3f}")
+    print(f"searched: {result.plans_evaluated} plans "
+          f"({result.infeasible_plans} memory-infeasible)")
+    if args.save:
+        path = save_plan(plan, args.save)
+        print(f"saved   : {path}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``repro run``: simulate one training iteration of a (saved) plan."""
+    model, cluster, gbs, prof = _setup(args)
+    if args.plan:
+        plan = load_plan(args.plan, model, cluster)
+    else:
+        plan = Planner(prof, cluster, gbs).search().plan
+    try:
+        res = execute_plan(
+            prof, cluster, plan,
+            schedule=args.schedule,
+            warmup_policy=args.warmup,
+            recompute=args.recompute,
+        )
+    except OutOfMemoryError as e:
+        print(f"OOM: {e}", file=sys.stderr)
+        return 1
+    print(f"plan       : {plan.notation} (layers {plan.split_notation}, "
+          f"M={plan.num_micro_batches}, schedule={args.schedule}/{args.warmup}, "
+          f"recompute={args.recompute})")
+    print(f"iteration  : {res.iteration_time * 1e3:.1f} ms "
+          f"({res.throughput:.1f} samples/s)")
+    peaks = res.peak_memory_per_device()
+    print(f"peak memory: max {max(peaks.values()) / 2**30:.2f} GiB, "
+          f"avg {sum(peaks.values()) / len(peaks) / 2**30:.2f} GiB")
+    if args.gantt:
+        from repro.viz import render_gantt
+
+        keys = [s.devices[0].resource_key for s in plan.stages]
+        print(render_gantt(res.trace, width=100, resources=keys))
+    if args.trace:
+        from repro.sim.chrome_trace import export_chrome_trace
+
+        path = export_chrome_trace(res.trace, args.trace)
+        print(f"chrome trace: {path} (open in chrome://tracing)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: DAPPLE vs PipeDream vs GPipe vs DP on one model."""
+    from repro.baselines import gpipe_plan
+    from repro.baselines import pipedream_plan_hierarchical as pipedream_plan
+    from repro.experiments.reporting import format_table
+    from repro.runtime.dataparallel import dp_iteration_time, single_device_time
+
+    model, cluster, gbs, prof = _setup(args)
+    t_single = single_device_time(prof, gbs)
+    rows = []
+
+    dap = Planner(prof, cluster, gbs).search()
+    candidates = [("DAPPLE", dap.plan)]
+    try:
+        pd = pipedream_plan(prof, cluster, gbs)
+        candidates.append(("PipeDream plan", pd.plan))
+    except RuntimeError:
+        pass
+    try:
+        gp = gpipe_plan(prof, cluster, gbs)
+        candidates.append(("GPipe straight", gp))
+    except ValueError:
+        pass
+    for label, plan in candidates:
+        sched = "gpipe" if label.startswith("GPipe") else "dapple"
+        try:
+            res = execute_plan(prof, cluster, plan, schedule=sched, warmup_policy="PB")
+            rows.append([label, plan.notation, f"{res.iteration_time * 1e3:.1f}ms",
+                         f"{t_single / res.iteration_time:.1f}x",
+                         f"{res.max_peak_memory() / 2**30:.1f}GiB"])
+        except OutOfMemoryError:
+            rows.append([label, plan.notation, "OOM", "-", "-"])
+    for overlap, label in ((False, "DP no overlap"), (True, "DP + overlap")):
+        dp = dp_iteration_time(prof, cluster, cluster.devices, gbs, overlap=overlap)
+        rows.append([label, "DP", f"{dp.iteration_time * 1e3:.1f}ms",
+                     f"{t_single / dp.iteration_time:.1f}x", "-"])
+    print(format_table(
+        ["system", "plan", "iteration", "speedup", "peak mem"], rows,
+        title=f"{model.name} on config {args.config}, GBS={gbs}",
+    ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """``repro experiment``: regenerate paper tables/figures into results/."""
+    import importlib
+
+    from repro.experiments.reporting import write_result
+
+    names = EXPERIMENTS if args.name == "all" else [args.name]
+    for name in names:
+        mod = importlib.import_module(f"repro.experiments.{name}")
+        print(f"running {name} ...", flush=True)
+        result = mod.run()
+        write_result(name, mod.format_results(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAPPLE reproduction: hybrid pipeline/data-parallel planning "
+        "and simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the benchmark model zoo")
+
+    p = sub.add_parser("plan", help="search for the best hybrid plan")
+    _add_common(p)
+    p.add_argument("--beam", type=int, default=48, help="beam width (0 = exhaustive)")
+    p.add_argument("--max-stages", type=int, default=None)
+    p.add_argument("--pipeline-only", action="store_true", help="exclude pure DP")
+    p.add_argument("--save", metavar="FILE", help="write the plan as JSON")
+
+    p = sub.add_parser("run", help="simulate one training iteration")
+    _add_common(p)
+    p.add_argument("--plan", metavar="FILE", help="load a saved plan instead of searching")
+    p.add_argument("--schedule", default="dapple", choices=["dapple", "gpipe"])
+    p.add_argument("--warmup", default="PA", choices=["PA", "PB"])
+    p.add_argument("--recompute", default="none", choices=["none", "boundary", "sqrt"])
+    p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p.add_argument("--trace", metavar="FILE", help="export a Chrome trace JSON")
+
+    p = sub.add_parser("compare", help="DAPPLE vs PipeDream vs GPipe vs DP")
+    _add_common(p)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=EXPERIMENTS + ["all"])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "plan" and args.beam == 0:
+        args.beam = None
+    handlers = {
+        "models": cmd_models,
+        "plan": cmd_plan,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""The three hardware configurations of the paper's Table III.
+
+| Config | GPUs/server (Ns) | intra-server      | inter-server |
+|--------|------------------|-------------------|--------------|
+| A      | 8× V100          | NVLink            | 25 Gbps      |
+| B      | 1× V100          | n/a               | 25 Gbps      |
+| C      | 1× V100          | n/a               | 10 Gbps      |
+
+Bandwidths are *effective payload* rates: Ethernet link-layer efficiency is
+taken as 90 % of line rate (TCP/NCCL overheads), NVLink as the paper's quoted
+"up to 130 GB/s" aggregate per GPU.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import GPUSpec, V100
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Cluster, LinkSpec
+
+GBPS = 1e9 / 8  # 1 Gbps in bytes/second
+
+#: 25 Gbps Ethernet at 90 % payload efficiency.  Per-message latency models
+#: the TF-1.12 grpc send/recv path the paper's runtime uses (~300 µs per
+#: cross-worker tensor), not raw wire latency.
+ETHERNET_25G = LinkSpec("25GbE", bandwidth=25 * GBPS * 0.9, latency=300e-6)
+
+#: 10 Gbps Ethernet at 90 % payload efficiency.
+ETHERNET_10G = LinkSpec("10GbE", bandwidth=10 * GBPS * 0.9, latency=300e-6)
+
+#: NVLink: 130 GB/s effective aggregate per GPU, ~5 µs launch latency.
+NVLINK = LinkSpec("NVLink", bandwidth=130e9, latency=5e-6)
+
+#: Placeholder for single-GPU servers with no intra-server peer link.
+NO_INTRA = LinkSpec("none", bandwidth=130e9, latency=5e-6)
+
+
+def _build(
+    num_machines: int,
+    gpus_per_machine: int,
+    intra: LinkSpec,
+    inter: LinkSpec,
+    name: str,
+    gpu_spec: GPUSpec,
+) -> Cluster:
+    machines = [
+        Machine(
+            machine_id=i,
+            num_gpus=gpus_per_machine,
+            intra_bw=intra.bandwidth,
+            intra_lat=intra.latency,
+            gpu_spec=gpu_spec,
+        )
+        for i in range(num_machines)
+    ]
+    return Cluster(machines, inter=inter, name=name)
+
+
+def config_a(num_machines: int = 2, gpu_spec: GPUSpec = V100) -> Cluster:
+    """Hierarchical: ``num_machines`` servers × 8 V100 + NVLink, 25 GbE."""
+    return _build(num_machines, 8, NVLINK, ETHERNET_25G, f"A({num_machines}x8)", gpu_spec)
+
+
+def config_b(num_machines: int = 16, gpu_spec: GPUSpec = V100) -> Cluster:
+    """Flat: ``num_machines`` servers × 1 V100, 25 GbE."""
+    return _build(num_machines, 1, NO_INTRA, ETHERNET_25G, f"B({num_machines}x1)", gpu_spec)
+
+
+def config_c(num_machines: int = 16, gpu_spec: GPUSpec = V100) -> Cluster:
+    """Flat: ``num_machines`` servers × 1 V100, 10 GbE."""
+    return _build(num_machines, 1, NO_INTRA, ETHERNET_10G, f"C({num_machines}x1)", gpu_spec)
+
+
+def config_by_name(name: str, num_devices: int = 16, gpu_spec: GPUSpec = V100) -> Cluster:
+    """Build config ``"A"``/``"B"``/``"C"`` sized to ``num_devices`` GPUs."""
+    key = name.strip().upper()
+    if key == "A":
+        if num_devices % 8 != 0:
+            raise ValueError(f"config A requires a multiple of 8 GPUs, got {num_devices}")
+        return config_a(num_devices // 8, gpu_spec)
+    if key == "B":
+        return config_b(num_devices, gpu_spec)
+    if key == "C":
+        return config_c(num_devices, gpu_spec)
+    raise ValueError(f"unknown hardware config {name!r} (expected A, B or C)")

@@ -1,0 +1,68 @@
+"""GPU device model.
+
+A :class:`GPUSpec` captures the *effective* (sustained) characteristics that
+drive the analytical profiler: fp32 throughput for compute-time estimates and
+memory capacity for feasibility checks.  A :class:`Device` is one physical
+GPU instance placed inside a machine, addressable globally and locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024**3
+TFLOPS = 1e12
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Sustained performance envelope of one accelerator.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"V100"``.
+    memory_bytes:
+        Usable device memory.
+    flops:
+        Sustained fp32 throughput in FLOP/s used to convert layer FLOPs to
+        time.  We use 9.0 TFLOP/s for the V100 (≈60 % of the 15.7 TFLOP/s
+        peak), a standard sustained-efficiency assumption for mixed
+        GEMM/elementwise training workloads.
+    """
+
+    name: str
+    memory_bytes: int
+    flops: float
+
+    def compute_time(self, flop_count: float) -> float:
+        """Seconds to execute ``flop_count`` floating-point operations."""
+        if flop_count < 0:
+            raise ValueError(f"negative flop count {flop_count}")
+        return flop_count / self.flops
+
+
+#: The accelerator used throughout the paper's evaluation (16 GB V100).
+V100 = GPUSpec(name="V100", memory_bytes=16 * GB, flops=9.0 * TFLOPS)
+
+
+@dataclass(frozen=True)
+class Device:
+    """One physical GPU inside a cluster.
+
+    ``global_id`` is unique across the cluster; ``machine_id``/``local_id``
+    locate it.  The resource key binds the device to the simulator.
+    """
+
+    global_id: int
+    machine_id: int
+    local_id: int
+    spec: GPUSpec = V100
+
+    @property
+    def resource_key(self) -> str:
+        """Simulator resource key for this device's compute stream."""
+        return f"gpu:{self.global_id}"
+
+    def __repr__(self) -> str:  # compact for traces / planner dumps
+        return f"G{self.global_id}"

@@ -1,0 +1,57 @@
+"""Machine (server) model: a set of GPUs plus intra-server interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.device import Device, GPUSpec, V100
+
+
+@dataclass
+class Machine:
+    """A server holding ``num_gpus`` devices joined by an intra-server link.
+
+    ``intra_bw``/``intra_lat`` describe GPU-to-GPU transfers inside the
+    machine (NVLink on Config A); they are effectively infinite-bandwidth
+    compared to Ethernet but still modeled to keep all cost formulas uniform.
+    """
+
+    machine_id: int
+    num_gpus: int
+    intra_bw: float
+    intra_lat: float
+    gpu_spec: GPUSpec = V100
+    devices: list[Device] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError(f"machine needs >=1 GPU, got {self.num_gpus}")
+        # global ids are assigned by the Cluster; initialize locally so a
+        # standalone Machine is still usable in unit tests.
+        self.devices = [
+            Device(global_id=-1, machine_id=self.machine_id, local_id=i, spec=self.gpu_spec)
+            for i in range(self.num_gpus)
+        ]
+
+    def assign_global_ids(self, start: int) -> int:
+        """Renumber devices with consecutive global ids from ``start``."""
+        self.devices = [
+            Device(
+                global_id=start + i,
+                machine_id=self.machine_id,
+                local_id=i,
+                spec=self.gpu_spec,
+            )
+            for i in range(self.num_gpus)
+        ]
+        return start + self.num_gpus
+
+    @property
+    def nic_send_key(self) -> str:
+        """Resource key serializing this machine's outbound Ethernet traffic."""
+        return f"nic-out:{self.machine_id}"
+
+    @property
+    def nic_recv_key(self) -> str:
+        """Resource key serializing this machine's inbound Ethernet traffic."""
+        return f"nic-in:{self.machine_id}"

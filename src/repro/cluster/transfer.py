@@ -1,0 +1,101 @@
+"""Point-to-point transfer and split/concat cost models.
+
+Cross-stage activation communication in DAPPLE goes through explicit
+split/concat nodes when adjacent stages have different replication degrees
+(paper Fig. 9).  We model the split/concat itself as a small device-side
+copy: its cost is the tensor size divided by device memory copy bandwidth,
+plus a fixed kernel-launch overhead.  The paper observes this overhead is
+smaller than the round-robin "tail effect" alternative (Fig. 8), which the
+Fig. 8 benchmark reproduces.
+
+The group-to-group :func:`transfer_time` estimate accounts for the fact
+that all flows leaving (or entering) one machine share that machine's NIC:
+inter-machine time is driven by per-machine aggregate volumes, not by
+per-GPU flows.  Intra-machine flows ride dedicated NVLink lanes in
+parallel.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.cluster.device import Device
+from repro.cluster.topology import Cluster
+
+#: Device-memory copy bandwidth used for split/concat (V100 HBM2 ~750 GB/s
+#: effective for strided copies).
+COPY_BANDWIDTH = 750e9
+
+#: Fixed kernel-launch overhead per split/concat op.
+COPY_LAUNCH_OVERHEAD = 10e-6
+
+
+def split_concat_overhead(nbytes: float, fan: int) -> float:
+    """Cost of splitting (or concatenating) an ``nbytes`` tensor ``fan`` ways.
+
+    Zero when no reshaping is needed (``fan <= 1``).
+    """
+    if fan <= 1 or nbytes <= 0:
+        return 0.0
+    return COPY_LAUNCH_OVERHEAD + nbytes / COPY_BANDWIDTH
+
+
+def transfer_time(
+    cluster: Cluster,
+    nbytes: float,
+    senders: Sequence[Device],
+    receivers: Sequence[Device],
+) -> float:
+    """Time to move an ``nbytes`` activation between two replica groups.
+
+    The micro-batch is sliced evenly across senders and across receivers
+    (paper §V-B2), producing one flow of
+    ``nbytes / (len(senders)·len(receivers))`` per (sender, receiver) pair.
+    Elapsed time is the maximum over:
+
+    * each machine's aggregate inbound/outbound Ethernet volume over the
+      inter-server bandwidth (flows sharing a NIC serialize), and
+    * each intra-machine pairwise flow over NVLink (dedicated lanes).
+
+    Split/concat reshaping overhead is added when fan-in/out is needed.
+    This is the *analytical* estimate the planner uses; the runtime
+    simulator models the same flows as explicit ops with NIC contention.
+    """
+    senders = list(senders)
+    receivers = list(receivers)
+    if not senders or not receivers:
+        raise ValueError("transfer needs at least one sender and one receiver")
+    if nbytes <= 0:
+        return 0.0
+    if {d.global_id for d in senders} == {d.global_id for d in receivers}:
+        return 0.0
+
+    flow = nbytes / (len(senders) * len(receivers))
+    out_bytes: dict[int, float] = defaultdict(float)
+    in_bytes: dict[int, float] = defaultdict(float)
+    intra_max = 0.0
+    any_inter = False
+    for s in senders:
+        for r in receivers:
+            if s.global_id == r.global_id:
+                continue
+            if cluster.same_machine(s, r):
+                m = cluster.machines[s.machine_id]
+                intra_max = max(intra_max, m.intra_lat + flow / m.intra_bw)
+            else:
+                out_bytes[s.machine_id] += flow
+                in_bytes[r.machine_id] += flow
+                any_inter = True
+
+    inter_max = 0.0
+    if any_inter:
+        worst_volume = max(
+            max(out_bytes.values(), default=0.0), max(in_bytes.values(), default=0.0)
+        )
+        inter_max = cluster.inter.latency + worst_volume / cluster.inter.bandwidth
+
+    reshaping = split_concat_overhead(
+        nbytes / len(senders), len(receivers)
+    ) + split_concat_overhead(nbytes / len(receivers), len(senders))
+    return max(intra_max, inter_max) + reshaping

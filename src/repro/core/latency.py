@@ -1,0 +1,250 @@
+"""Analytical pipeline-latency model (paper §IV-A, equations 1–3).
+
+For synchronous training the optimization metric is *pipeline latency* — the
+execution time of one global batch:
+
+``L = Tw + Ts + Te``
+
+* ``Tw`` (warm-up): forward time of one micro-batch through stages 0..Q;
+* ``Ts`` (steady): ``(M−1)·(F_Q + B_Q)`` on the *pivot stage* Q, the stage
+  with the fewest bubbles (eq. 3);
+* ``Te`` (ending): the final backward drain plus per-stage gradient
+  AllReduce, ``max_s (AR_s ± Σ B_a)`` (eq. 1).
+
+Inter-stage activation communication is modeled as an *extra pipeline stage*
+interleaved between computation stages (paper: "we incorporate comm as a
+special pipeline stage"), with ``AR = 0`` and F/B equal to the
+forward/backward transfer times.
+
+The model is an approximation — it ignores interior bubbles — and the paper
+reports it "works practically very well"; our integration tests check it
+against the discrete-event simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.collectives import allreduce_time
+from repro.cluster.topology import Cluster
+from repro.cluster.transfer import transfer_time
+from repro.core.plan import ParallelPlan
+from repro.core.profiler import ModelProfile
+
+
+@dataclass
+class StageCosts:
+    """Per-extended-stage costs of a plan.
+
+    Extended stages interleave computation and communication:
+    ``comp0, comm0, comp1, comm1, …, comp(S-1)``.  ``is_comm[k]`` marks the
+    communication stages; ``comp_index[k]`` maps an extended index back to
+    the plan's stage list (or ``None`` for comm stages).
+    """
+
+    fwd: list[float]
+    bwd: list[float]
+    allreduce: list[float]
+    is_comm: list[bool]
+    comp_index: list[int | None]
+
+    @property
+    def num_extended(self) -> int:
+        return len(self.fwd)
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Evaluation of one plan under the analytical model."""
+
+    latency: float
+    warmup: float
+    steady: float
+    ending: float
+    pivot: int  # extended-stage index Q
+    acr: float
+    costs: StageCosts
+
+    @property
+    def throughput(self) -> float:
+        """Samples/second implied by the latency (set by the caller's GBS)."""
+        return self._gbs / self.latency if self.latency > 0 else float("inf")
+
+    _gbs: int = 0
+
+
+def find_pivot(costs: StageCosts, num_micro_batches: int) -> int:
+    """Choose the pivot stage Q (paper eq. 3).
+
+    Start from the last extended stage and walk backwards; move the pivot to
+    stage ``s`` whenever ``s``'s bubble-free steady phase
+    ``T_st^s = (M−1)(F_s+B_s)`` exceeds the current pivot's steady phase plus
+    the forward+backward costs of the stages in between (those costs bound
+    how much of ``s``'s work can hide inside the current pivot's schedule).
+    """
+    m1 = max(num_micro_batches - 1, 0)
+    n = costs.num_extended
+    q = n - 1
+
+    def t_st(s: int) -> float:
+        return m1 * (costs.fwd[s] + costs.bwd[s])
+
+    for s in range(n - 2, -1, -1):
+        between = sum(costs.fwd[a] + costs.bwd[a] for a in range(s + 1, q))
+        if t_st(s) > t_st(q) + between:
+            q = s
+    return q
+
+
+def stage_costs(profile: ModelProfile, cluster: Cluster, plan: ParallelPlan) -> StageCosts:
+    """Compute F/B/AR for every extended stage of ``plan``."""
+    fwd: list[float] = []
+    bwd: list[float] = []
+    ar: list[float] = []
+    is_comm: list[bool] = []
+    comp_index: list[int | None] = []
+    mbs = plan.micro_batch_size
+
+    for i, stage in enumerate(plan.stages):
+        b = plan.device_batch(i)
+        fwd.append(profile.fwd_time(stage.layer_lo, stage.layer_hi, b))
+        bwd.append(profile.bwd_time(stage.layer_lo, stage.layer_hi, b))
+        ar.append(
+            allreduce_time(
+                profile.param_bytes(stage.layer_lo, stage.layer_hi),
+                cluster,
+                stage.devices,
+            )
+            if stage.replicas > 1
+            else 0.0
+        )
+        is_comm.append(False)
+        comp_index.append(i)
+
+        if i + 1 < len(plan.stages):
+            nxt = plan.stages[i + 1]
+            nbytes = profile.boundary_bytes(stage.layer_hi, mbs)
+            t = transfer_time(cluster, nbytes, stage.devices, nxt.devices)
+            t_back = transfer_time(cluster, nbytes, nxt.devices, stage.devices)
+            fwd.append(t)
+            bwd.append(t_back)
+            ar.append(0.0)
+            is_comm.append(True)
+            comp_index.append(None)
+
+    return StageCosts(fwd=fwd, bwd=bwd, allreduce=ar, is_comm=is_comm, comp_index=comp_index)
+
+
+def compute_acr(profile: ModelProfile, cluster: Cluster, plan: ParallelPlan) -> float:
+    """Activation-communication ratio (paper Table V).
+
+    Cross-stage round-trip communication time over average stage compute
+    time, both taken at the model's profiling micro-batch — a descriptive
+    figure of how communication-sensitive the plan's split is.
+    """
+    if plan.num_stages < 2:
+        return 0.0
+    pb = plan.model.profile_batch
+    comm = 0.0
+    for i in range(plan.num_stages - 1):
+        nbytes = profile.boundary_bytes(plan.stages[i].layer_hi, pb)
+        comm += transfer_time(cluster, nbytes, plan.stages[i].devices, plan.stages[i + 1].devices)
+        comm += transfer_time(cluster, nbytes, plan.stages[i + 1].devices, plan.stages[i].devices)
+    comm /= plan.num_stages - 1
+    comp = sum(
+        profile.fwd_time(s.layer_lo, s.layer_hi, pb) + profile.bwd_time(s.layer_lo, s.layer_hi, pb)
+        for s in plan.stages
+    ) / plan.num_stages
+    return comm / comp if comp > 0 else 0.0
+
+
+def evaluate_plan(
+    profile: ModelProfile,
+    cluster: Cluster,
+    plan: ParallelPlan,
+    dp_overlap: bool = True,
+) -> PlanEstimate:
+    """Estimate pipeline latency ``L`` of ``plan`` (paper eq. 1–2).
+
+    Single-stage (pure data-parallel) plans are evaluated with
+    backward/AllReduce overlap when ``dp_overlap`` is set, because that is
+    how the DAPPLE runtime (and every practical DP implementation) executes
+    them — without this the planner would never choose DP for compute-dense
+    models like ResNet-50, contradicting Table V.
+    """
+    costs = stage_costs(profile, cluster, plan)
+    m = plan.num_micro_batches
+    q = find_pivot(costs, m)
+
+    warmup = sum(costs.fwd[: q + 1])
+    steady = (m - 1) * (costs.fwd[q] + costs.bwd[q])
+
+    if plan.meta.get("interleaved"):
+        # A device hosting several virtual stages serializes their work, so
+        # the steady heartbeat is the busiest *device*, not the busiest
+        # stage: sum F+B over each device's stages.
+        per_device: dict[int, float] = {}
+        for k, stage in enumerate(plan.stages):
+            ext = costs.comp_index.index(k)
+            for d in stage.devices:
+                per_device[d.global_id] = (
+                    per_device.get(d.global_id, 0.0)
+                    + costs.fwd[ext]
+                    + costs.bwd[ext]
+                )
+        steady = max(steady, (m - 1) * max(per_device.values()))
+
+    if plan.num_stages == 1 and dp_overlap and plan.stages[0].replicas > 1:
+        from repro.runtime.dataparallel import overlapped_allreduce_exposure
+
+        stage = plan.stages[0]
+        exposed = overlapped_allreduce_exposure(
+            profile, cluster, stage.devices, plan.device_batch(0)
+        )
+        ending = costs.bwd[0] + exposed
+        latency = warmup + steady + ending
+        return PlanEstimate(
+            latency=latency,
+            warmup=warmup,
+            steady=steady,
+            ending=ending,
+            pivot=q,
+            acr=0.0,
+            costs=costs,
+            _gbs=plan.global_batch_size,
+        )
+
+    ending = 0.0
+    for s in range(costs.num_extended):
+        if s <= q:
+            term = costs.allreduce[s] + sum(costs.bwd[a] for a in range(s, q + 1))
+        else:
+            term = costs.allreduce[s] - sum(costs.bwd[a] for a in range(q, s))
+        ending = max(ending, term)
+
+    latency = warmup + steady + ending
+    est = PlanEstimate(
+        latency=latency,
+        warmup=warmup,
+        steady=steady,
+        ending=ending,
+        pivot=q,
+        acr=compute_acr(profile, cluster, plan),
+        costs=costs,
+        _gbs=plan.global_batch_size,
+    )
+    return est
+
+
+class PipelineCostModel:
+    """Convenience façade bundling a profile and a cluster."""
+
+    def __init__(self, profile: ModelProfile, cluster: Cluster):
+        self.profile = profile
+        self.cluster = cluster
+
+    def evaluate(self, plan: ParallelPlan) -> PlanEstimate:
+        return evaluate_plan(self.profile, self.cluster, plan)
+
+    def latency(self, plan: ParallelPlan) -> float:
+        return self.evaluate(plan).latency

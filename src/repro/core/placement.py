@@ -1,0 +1,156 @@
+"""Topology-aware device assignment policies (paper §IV-B, Fig. 5).
+
+Instead of enumerating every subset of GPUs, DAPPLE composes three
+allocation policies over a per-machine occupancy state:
+
+* **Fresh First** — take GPUs from unused machines, keeping a stage inside
+  one server to exploit NVLink for its intra-stage AllReduce;
+* **Append First** — take GPUs from partially-used machines, minimizing
+  fragmentation;
+* **Scatter First** — spread GPUs evenly across machines, for stages whose
+  activations dwarf their weights.
+
+This cuts the placement search space below ``O(2^S)`` while retaining the
+placements that matter (paper: "a strict superset of PipeDream's
+hierarchical recursive partitioning").
+
+The occupancy state is a tuple ``used[machine_id] -> count``; policies are
+pure functions returning per-machine allocation counts, so the planner can
+memoize on (layers-planned, occupancy) states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cluster.device import Device
+from repro.cluster.topology import Cluster
+
+#: An allocation: GPUs taken from each machine, aligned with machine ids.
+Allocation = tuple[int, ...]
+
+PlacementPolicy = Callable[[Cluster, tuple[int, ...], int], Allocation | None]
+
+
+def _capacity(cluster: Cluster, used: tuple[int, ...]) -> list[int]:
+    return [m.num_gpus - u for m, u in zip(cluster.machines, used)]
+
+
+def fresh_first(cluster: Cluster, used: tuple[int, ...], want: int) -> Allocation | None:
+    """Allocate from entirely-unused machines first, filling each in turn."""
+    free = _capacity(cluster, used)
+    alloc = [0] * len(free)
+    remaining = want
+    # Pass 1: fresh machines.
+    for i, u in enumerate(used):
+        if remaining == 0:
+            break
+        if u == 0 and free[i] > 0:
+            take = min(free[i], remaining)
+            alloc[i] = take
+            remaining -= take
+    # Pass 2: fall back to partially-used machines.
+    for i in range(len(free)):
+        if remaining == 0:
+            break
+        avail = free[i] - alloc[i]
+        if avail > 0:
+            take = min(avail, remaining)
+            alloc[i] += take
+            remaining -= take
+    return tuple(alloc) if remaining == 0 else None
+
+
+def append_first(cluster: Cluster, used: tuple[int, ...], want: int) -> Allocation | None:
+    """Allocate from partially-occupied machines first (anti-fragmentation)."""
+    free = _capacity(cluster, used)
+    alloc = [0] * len(free)
+    remaining = want
+    for i, u in enumerate(used):
+        if remaining == 0:
+            break
+        if 0 < u and free[i] > 0:
+            take = min(free[i], remaining)
+            alloc[i] = take
+            remaining -= take
+    for i in range(len(free)):
+        if remaining == 0:
+            break
+        avail = free[i] - alloc[i]
+        if avail > 0:
+            take = min(avail, remaining)
+            alloc[i] += take
+            remaining -= take
+    return tuple(alloc) if remaining == 0 else None
+
+
+def scatter_first(cluster: Cluster, used: tuple[int, ...], want: int) -> Allocation | None:
+    """Spread the allocation as evenly as possible over all machines."""
+    free = _capacity(cluster, used)
+    alloc = [0] * len(free)
+    remaining = want
+    # Round-robin one GPU at a time over machines with remaining capacity.
+    while remaining > 0:
+        progressed = False
+        for i in range(len(free)):
+            if remaining == 0:
+                break
+            if free[i] - alloc[i] > 0:
+                alloc[i] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            return None
+    return tuple(alloc)
+
+
+POLICIES: dict[str, PlacementPolicy] = {
+    "fresh_first": fresh_first,
+    "append_first": append_first,
+    "scatter_first": scatter_first,
+}
+
+
+@dataclass(frozen=True)
+class PlacedGroup:
+    """A concrete device group produced by applying an allocation."""
+
+    devices: tuple[Device, ...]
+    new_used: tuple[int, ...]
+    policy: str
+
+
+def allocate(
+    cluster: Cluster,
+    used: tuple[int, ...],
+    want: int,
+    policies: Sequence[str] = ("fresh_first", "append_first", "scatter_first"),
+) -> list[PlacedGroup]:
+    """Apply each policy; materialize devices; dedupe identical allocations.
+
+    Devices within a machine are interchangeable, so an allocation is fully
+    described by its per-machine counts; we take the lowest-local-id free
+    devices of each machine deterministically.
+    """
+    if want < 1:
+        raise ValueError(f"must allocate at least one GPU, got {want}")
+    if sum(_capacity(cluster, used)) < want:
+        return []
+    seen: set[Allocation] = set()
+    out: list[PlacedGroup] = []
+    for name in policies:
+        alloc = POLICIES[name](cluster, used, want)
+        if alloc is None or alloc in seen:
+            continue
+        seen.add(alloc)
+        devices: list[Device] = []
+        new_used = list(used)
+        for mid, count in enumerate(alloc):
+            if count == 0:
+                continue
+            machine = cluster.machines[mid]
+            devices.extend(machine.devices[used[mid] : used[mid] + count])
+            new_used[mid] += count
+        out.append(PlacedGroup(devices=tuple(devices), new_used=tuple(new_used), policy=name))
+    return out

@@ -1,0 +1,226 @@
+"""Parallelization plan data structures.
+
+A :class:`ParallelPlan` is the planner's output and the runtime's input: an
+ordered list of :class:`Stage` objects, each covering a contiguous layer
+range and replicated over a device set, plus the micro-batching decision
+(``num_micro_batches`` of ``micro_batch_size`` samples each).
+
+Notation follows the paper's Table V:
+
+* ``"DP"`` — one stage replicated on every device (pure data parallelism);
+* ``"straight"`` — one device per stage, no replication;
+* ``"P:Q"`` — e.g. ``8:8``, a two-stage pipeline with P- and Q-way
+  replicated stages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.device import Device
+from repro.models.graph import LayerGraph
+
+
+class PlanKind(enum.Enum):
+    """Coarse classification of a plan (paper Table V vocabulary)."""
+
+    DATA_PARALLEL = "DP"
+    STRAIGHT = "straight"
+    PIPELINE = "pipeline"  # general hybrid
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: layers [layer_lo, layer_hi) on ``devices``."""
+
+    layer_lo: int
+    layer_hi: int
+    devices: tuple[Device, ...]
+
+    def __post_init__(self) -> None:
+        if self.layer_lo >= self.layer_hi:
+            raise ValueError(f"empty stage layer range [{self.layer_lo}, {self.layer_hi})")
+        if not self.devices:
+            raise ValueError("stage needs at least one device")
+        object.__setattr__(self, "devices", tuple(self.devices))
+
+    @property
+    def replicas(self) -> int:
+        return len(self.devices)
+
+    @property
+    def num_layers(self) -> int:
+        return self.layer_hi - self.layer_lo
+
+    def __repr__(self) -> str:
+        devs = ",".join(str(d.global_id) for d in self.devices)
+        return f"Stage([{self.layer_lo}:{self.layer_hi}) @ [{devs}])"
+
+
+@dataclass
+class ParallelPlan:
+    """A complete hybrid data/pipeline parallelization strategy."""
+
+    model: LayerGraph
+    stages: list[Stage]
+    global_batch_size: int
+    num_micro_batches: int
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check layer coverage, device disjointness and batching sanity."""
+        if not self.stages:
+            raise ValueError("plan has no stages")
+        if self.global_batch_size < 1:
+            raise ValueError(f"bad global batch size {self.global_batch_size}")
+        if self.num_micro_batches < 1:
+            raise ValueError(f"bad micro-batch count {self.num_micro_batches}")
+        if self.global_batch_size % self.num_micro_batches != 0:
+            raise ValueError(
+                f"GBS {self.global_batch_size} not divisible by "
+                f"M={self.num_micro_batches}"
+            )
+        lo = 0
+        for s in self.stages:
+            if s.layer_lo != lo:
+                raise ValueError(
+                    f"stages not contiguous: expected layer {lo}, got {s.layer_lo}"
+                )
+            lo = s.layer_hi
+        if lo != self.model.num_layers:
+            raise ValueError(
+                f"stages cover layers [0,{lo}) but model has {self.model.num_layers}"
+            )
+        if not self.meta.get("interleaved"):
+            seen: set[int] = set()
+            for s in self.stages:
+                for d in s.devices:
+                    if d.global_id in seen:
+                        raise ValueError(f"device {d.global_id} used by two stages")
+                    seen.add(d.global_id)
+        else:
+            # Interleaved (virtual-stage) plans place several stages per
+            # device; replicas of one stage must still be distinct devices.
+            for s in self.stages:
+                ids = [d.global_id for d in s.devices]
+                if len(set(ids)) != len(ids):
+                    raise ValueError("stage replicas must be distinct devices")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_devices(self) -> int:
+        return sum(s.replicas for s in self.stages)
+
+    @property
+    def micro_batch_size(self) -> float:
+        """Samples per micro-batch entering the pipeline."""
+        return self.global_batch_size / self.num_micro_batches
+
+    def device_batch(self, stage_idx: int) -> float:
+        """Per-device sub-batch of one micro-batch at ``stage_idx``.
+
+        Replicated stages split each micro-batch into even slices across
+        replicas (paper Fig. 8a).
+        """
+        return self.micro_batch_size / self.stages[stage_idx].replicas
+
+    @property
+    def kind(self) -> PlanKind:
+        if self.num_stages == 1:
+            return PlanKind.DATA_PARALLEL
+        if all(s.replicas == 1 for s in self.stages):
+            return PlanKind.STRAIGHT
+        return PlanKind.PIPELINE
+
+    @property
+    def notation(self) -> str:
+        """Table V-style plan notation (``DP``, ``straight``, ``8:8`` …)."""
+        if self.kind is PlanKind.DATA_PARALLEL:
+            return "DP"
+        if self.kind is PlanKind.STRAIGHT:
+            return "straight"
+        return ":".join(str(s.replicas) for s in self.stages)
+
+    @property
+    def split_positions(self) -> list[int]:
+        """Layer indices where the model is cut (Table V "Split Position")."""
+        return [s.layer_hi for s in self.stages[:-1]]
+
+    @property
+    def split_notation(self) -> str:
+        """Layer counts per stage, e.g. ``"9:7"``."""
+        return ":".join(str(s.num_layers) for s in self.stages)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelPlan({self.model.name}: {self.notation}, "
+            f"split={self.split_notation}, GBS={self.global_batch_size}, "
+            f"M={self.num_micro_batches})"
+        )
+
+
+def interleaved_straight_plan(
+    model: LayerGraph,
+    devices: Sequence[Device],
+    global_batch_size: int,
+    num_micro_batches: int,
+    virtual_per_device: int = 2,
+) -> ParallelPlan:
+    """Interleaved (virtual-stage) pipeline: each device hosts several
+    non-adjacent model chunks, assigned round-robin (Megatron-LM style).
+
+    With ``V`` virtual stages per device the warm-up/drain bubble shrinks
+    roughly by ``V`` at the cost of ``V×`` more cross-stage communication —
+    an extension beyond the paper's single-chunk stages.
+    """
+    devices = list(devices)
+    g = len(devices)
+    total = g * virtual_per_device
+    n = model.num_layers
+    if total > n:
+        raise ValueError(
+            f"{total} virtual stages need {total} layers but model has {n}"
+        )
+    # Contiguous layer chunks, round-robin over devices.
+    bounds = [round(k * n / total) for k in range(total + 1)]
+    bounds = sorted(set(bounds))
+    stages = [
+        Stage(bounds[k], bounds[k + 1], (devices[k % g],))
+        for k in range(len(bounds) - 1)
+    ]
+    return ParallelPlan(
+        model=model,
+        stages=stages,
+        global_batch_size=global_batch_size,
+        num_micro_batches=num_micro_batches,
+        meta={"interleaved": True, "virtual_per_device": virtual_per_device},
+    )
+
+
+def single_stage_plan(
+    model: LayerGraph,
+    devices: Sequence[Device],
+    global_batch_size: int,
+    num_micro_batches: int,
+) -> ParallelPlan:
+    """Pure data-parallel plan: the whole model on every device."""
+    return ParallelPlan(
+        model=model,
+        stages=[Stage(0, model.num_layers, tuple(devices))],
+        global_batch_size=global_batch_size,
+        num_micro_batches=num_micro_batches,
+    )

@@ -1,0 +1,374 @@
+"""DAPPLE planner: dynamic programming over splits, replication, placement.
+
+Implements the paper's §IV-C formulation.  A search state ``TPL(j, used)``
+means: the first ``j`` layers are partitioned into concrete stages placed on
+the GPUs recorded in the per-machine occupancy vector ``used``; the
+remaining layers form one last stage replicated over every free GPU.  Every
+state therefore *is* a complete plan whose latency (eq. 1–2) scores it.
+
+Transitions refine the tail: pick the next split ``j'``, a GPU count ``m'``
+and one of the three placement policies for the new stage, yielding state
+``TPL(j', used + alloc)``.  States are deduplicated on
+``(j, sorted(used), gpus_in_use)`` — machines are homogeneous so sorted
+occupancy is cost-equivalent — keeping the lowest-latency prefix
+(memoized search, paper Fig. 6).  A configurable beam per layer-depth keeps
+the search "offline … within a few seconds" for 50-layer models; setting
+``beam_width=None`` disables pruning for exhaustive search on small models.
+
+Micro-batching: the global micro-batch equals the model's profiling batch
+``b`` (Table II), so the pipeline runs ``M = GBS / b`` micro-batches; a
+stage replicated ``r``-ways splits each micro-batch into ``b/r``-sample
+slices per device (paper Fig. 8a).  A pure-DP plan then degenerates to
+``M`` gradient-accumulation steps with per-device slices of ``b/G`` —
+exactly the DP-with-local-accumulation baseline of §II.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.core.latency import PlanEstimate, evaluate_plan
+from repro.core.placement import allocate
+from repro.core.plan import ParallelPlan, Stage
+from repro.core.profiler import ModelProfile
+from repro.models.graph import GRAD_BYTES_PER_PARAM, FP32
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Search knobs.
+
+    Attributes
+    ----------
+    micro_batch_size:
+        Per-device micro-batch; defaults to the model's profiling batch.
+    beam_width:
+        States kept per layer depth (None = exhaustive).
+    policies:
+        Placement policies to enumerate for each new stage.
+    max_stages:
+        Optional cap on computation-stage count.
+    enforce_memory:
+        Drop plans whose estimated per-device peak memory exceeds capacity.
+    """
+
+    micro_batch_size: int | None = None
+    beam_width: int | None = 48
+    policies: tuple[str, ...] = ("fresh_first", "append_first", "scatter_first")
+    max_stages: int | None = None
+    #: Minimum computation-stage count (2 = force a pipeline, exclude DP).
+    min_stages: int = 1
+    enforce_memory: bool = True
+    #: Relative latency penalty per extra computation stage, modelling
+    #: per-stage runtime overheads the analytical model omits (split/concat
+    #: kernels, pipeline management).  0.0 = pure analytical comparison;
+    #: the ablation bench sweeps this.
+    stage_overhead_frac: float = 0.0
+    #: Also consider Megatron-style interleaved virtual-stage candidates
+    #: (an extension beyond the paper's single-chunk stages).
+    consider_interleaved: bool = False
+
+
+@dataclass
+class PlanResult:
+    """Planner output: the winning plan plus search metadata."""
+
+    plan: ParallelPlan
+    estimate: PlanEstimate
+    states_explored: int
+    plans_evaluated: int
+    infeasible_plans: int
+
+
+@dataclass(order=True)
+class _State:
+    latency: float
+    j: int = field(compare=False)
+    used: tuple = field(compare=False)
+    stages: tuple = field(compare=False)
+
+
+def _largest_divisor_leq(n: int, cap: int) -> int:
+    """Largest divisor of ``n`` that is ≤ ``cap`` (≥ 1)."""
+    cap = max(1, min(cap, n))
+    for d in range(cap, 0, -1):
+        if n % d == 0:
+            return d
+    return 1
+
+
+class Planner:
+    """Searches for the minimum-latency hybrid plan on a cluster."""
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        cluster: Cluster,
+        global_batch_size: int,
+        config: PlannerConfig | None = None,
+    ):
+        self.profile = profile
+        self.cluster = cluster
+        self.gbs = int(global_batch_size)
+        self.config = config or PlannerConfig()
+        if self.gbs < 1:
+            raise ValueError(f"global batch size must be >=1, got {global_batch_size}")
+        self._mbs_dev = self.config.micro_batch_size or profile.graph.profile_batch
+        self._plans_evaluated = 0
+        self._infeasible = 0
+
+    # ------------------------------------------------------------------ #
+    # Plan completion & evaluation
+    # ------------------------------------------------------------------ #
+    def _free_devices(self, used: tuple) -> list:
+        out = []
+        for mid, machine in enumerate(self.cluster.machines):
+            out.extend(machine.devices[used[mid] :])
+        return out
+
+    def _num_micro_batches(self, stages: list[Stage]) -> int:
+        # Global micro-batch = the profiling batch (Table II); replicated
+        # stages each process an even slice of it (paper Fig. 8a).  So
+        # M = GBS / micro_batch for pipelines.  A single-stage (pure DP)
+        # plan instead runs gradient accumulation with the *per-device*
+        # micro-batch at the profiling size: M = GBS / (b · G).
+        if len(stages) == 1:
+            target = max(1, self.gbs // (self._mbs_dev * stages[0].replicas))
+        else:
+            target = max(1, self.gbs // self._mbs_dev)
+        return _largest_divisor_leq(self.gbs, target)
+
+    def complete(self, j: int, used: tuple, prefix: tuple) -> ParallelPlan | None:
+        """Close a state into a full plan: layers [j, N) on all free GPUs."""
+        free = self._free_devices(used)
+        if not free:
+            return None
+        n = self.profile.num_layers
+        stages = list(prefix)
+        if j < n:
+            stages.append(Stage(j, n, tuple(free)))
+        if self.config.max_stages is not None and len(stages) > self.config.max_stages:
+            return None
+        m = self._num_micro_batches(stages)
+        return ParallelPlan(
+            model=self.profile.graph,
+            stages=stages,
+            global_batch_size=self.gbs,
+            num_micro_batches=m,
+        )
+
+    def plan_fits_memory(self, plan: ParallelPlan) -> bool:
+        """Conservative per-device peak-memory feasibility check.
+
+        Persistent optimizer state + gradient buffer + up to
+        ``min(S−i, M)`` resident micro-batch activations per stage (the
+        early-backward bound, paper §V-C), without re-computation.
+        Demands are aggregated per *device*, so interleaved plans placing
+        several stages on one device are checked correctly.
+        """
+        s_count = plan.num_stages
+        demand: dict[int, float] = {}
+        caps: dict[int, float] = {}
+        for i, stage in enumerate(plan.stages):
+            params = self.profile.param_bytes(stage.layer_lo, stage.layer_hi)
+            persistent = (
+                self.profile.state_bytes(stage.layer_lo, stage.layer_hi)
+                + params / FP32 * GRAD_BYTES_PER_PARAM
+            )
+            act_per_mb = self.profile.stored_bytes(
+                stage.layer_lo, stage.layer_hi, plan.device_batch(i)
+            )
+            in_flight = min(s_count - i, plan.num_micro_batches)
+            stage_demand = persistent + in_flight * act_per_mb
+            for d in stage.devices:
+                demand[d.global_id] = demand.get(d.global_id, 0.0) + stage_demand
+                caps[d.global_id] = d.spec.memory_bytes
+        return all(demand[g] <= caps[g] for g in demand)
+
+    def _score(self, plan: ParallelPlan | None) -> tuple[float, PlanEstimate | None]:
+        if plan is None:
+            return float("inf"), None
+        self._plans_evaluated += 1
+        if plan.num_stages < self.config.min_stages:
+            return float("inf"), None
+        if self.config.enforce_memory and not self.plan_fits_memory(plan):
+            self._infeasible += 1
+            return float("inf"), None
+        est = evaluate_plan(self.profile, self.cluster, plan)
+        penalty = 1.0 + self.config.stage_overhead_frac * (plan.num_stages - 1)
+        return est.latency * penalty, est
+
+    # ------------------------------------------------------------------ #
+    # Canonical candidates
+    # ------------------------------------------------------------------ #
+    def straight_plan(self) -> ParallelPlan | None:
+        """Balanced straight pipeline: one stage per device, no replication.
+
+        Layers are assigned greedily so each stage's forward compute stays
+        close to ``total / G`` — the paper's "straight" plan family
+        (Table V), e.g. GNMT-16 with one LSTM layer per device on Config C.
+        """
+        n = self.profile.num_layers
+        g = self.cluster.num_devices
+        if g > n or g < 2:
+            return None
+        total = self.profile.fwd_prefix[-1]
+        bounds = [0]
+        for k in range(1, g):
+            target = total * k / g
+            idx = int(np.searchsorted(self.profile.fwd_prefix, target))
+            idx = max(bounds[-1] + 1, min(idx, n - (g - k)))
+            bounds.append(idx)
+        bounds.append(n)
+        devices = self.cluster.devices
+        stages = [Stage(bounds[i], bounds[i + 1], (devices[i],)) for i in range(g)]
+        m = self._num_micro_batches(stages)
+        return ParallelPlan(
+            model=self.profile.graph,
+            stages=stages,
+            global_batch_size=self.gbs,
+            num_micro_batches=m,
+        )
+
+    def interleaved_plans(self, virtual_depths: tuple[int, ...] = (2, 3)) -> list:
+        """Interleaved virtual-stage candidates (extension beyond the paper)."""
+        from repro.core.plan import interleaved_straight_plan
+
+        n = self.profile.num_layers
+        g = self.cluster.num_devices
+        out = []
+        for v in virtual_depths:
+            if g * v > n or g < 2:
+                continue
+            target = max(1, self.gbs // self._mbs_dev)
+            m = _largest_divisor_leq(self.gbs, target)
+            out.append(
+                interleaved_straight_plan(
+                    self.profile.graph, self.cluster.devices, self.gbs, m, v
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self) -> PlanResult:
+        n = self.profile.num_layers
+        g_total = self.cluster.num_devices
+        zeros = tuple(0 for _ in range(self.cluster.num_machines))
+
+        best_plan: ParallelPlan | None = None
+        best_est: PlanEstimate | None = None
+        best_latency = float("inf")
+        states_explored = 0
+
+        def consider(plan: ParallelPlan | None) -> float:
+            nonlocal best_plan, best_est, best_latency
+            lat, est = self._score(plan)
+            if lat < best_latency:
+                best_plan, best_est, best_latency = plan, est, lat
+            return lat
+
+        # Level 0: the pure-DP completion of the empty prefix, plus the
+        # canonical balanced straight pipeline (beam search would otherwise
+        # prune straight prefixes, whose early completions score poorly).
+        root_latency = consider(self.complete(0, zeros, ()))
+        if self.config.max_stages is None or self.config.max_stages >= g_total:
+            consider(self.straight_plan())
+        if self.config.consider_interleaved:
+            for plan in self.interleaved_plans():
+                consider(plan)
+        frontier: list[_State] = [_State(root_latency, 0, zeros, ())]
+
+        # Levels advance in j; dedupe on (sorted occupancy, gpus used).
+        while frontier:
+            next_level: dict[tuple, _State] = {}
+            for state in frontier:
+                states_explored += 1
+                free_total = g_total - sum(state.used)
+                for j2 in range(state.j + 1, n):
+                    for m2 in range(1, free_total):
+                        for placed in allocate(
+                            self.cluster, state.used, m2, self.config.policies
+                        ):
+                            stages = state.stages + (
+                                Stage(state.j, j2, placed.devices),
+                            )
+                            if (
+                                self.config.max_stages is not None
+                                and len(stages) + 1 > self.config.max_stages
+                            ):
+                                continue
+                            lat = consider(self.complete(j2, placed.new_used, stages))
+                            if lat == float("inf"):
+                                continue
+                            key = (j2, tuple(sorted(placed.new_used)), sum(placed.new_used))
+                            cur = next_level.get(key)
+                            if cur is None or lat < cur.latency:
+                                next_level[key] = _State(lat, j2, placed.new_used, stages)
+            candidates = list(next_level.values())
+            if self.config.beam_width is not None and len(candidates) > self.config.beam_width:
+                candidates = heapq.nsmallest(self.config.beam_width, candidates)
+            frontier = candidates
+
+        if best_plan is None or best_est is None:
+            raise RuntimeError(
+                f"no feasible plan found for {self.profile.graph.name} on "
+                f"{self.cluster!r} at GBS={self.gbs} (all candidates exceed "
+                f"device memory)"
+            )
+        return PlanResult(
+            plan=best_plan,
+            estimate=best_est,
+            states_explored=states_explored,
+            plans_evaluated=self._plans_evaluated,
+            infeasible_plans=self._infeasible,
+        )
+
+
+def plan_best(
+    profile: ModelProfile,
+    cluster: Cluster,
+    global_batch_size: int,
+    config: PlannerConfig | None = None,
+) -> PlanResult:
+    """One-call façade: search and return the best plan."""
+    return Planner(profile, cluster, global_batch_size, config).search()
+
+
+def plan_paper_family(
+    profile: ModelProfile,
+    cluster: Cluster,
+    global_batch_size: int,
+    config: PlannerConfig | None = None,
+) -> PlanResult:
+    """Best plan restricted to the families the paper's Table V reports.
+
+    Searches only DP, all two-stage ``P:Q`` splits, and the balanced
+    straight pipeline.  Useful to compare the unrestricted search against
+    the published plan shapes: on our cost model the unrestricted planner
+    sometimes finds a 3+-stage plan a few percent faster than the best
+    paper-family plan.
+    """
+    cfg = replace(config or PlannerConfig(), max_stages=2)
+    planner = Planner(profile, cluster, global_batch_size, cfg)
+    result = planner.search()
+    straight = planner.straight_plan()
+    if straight is not None:
+        best_penalized = result.estimate.latency * (
+            1.0 + cfg.stage_overhead_frac * (result.plan.num_stages - 1)
+        )
+        lat, est = planner._score(straight)
+        if est is not None and lat < best_penalized:
+            result = PlanResult(
+                plan=straight,
+                estimate=est,
+                states_explored=result.states_explored,
+                plans_evaluated=planner._plans_evaluated,
+                infeasible_plans=planner._infeasible,
+            )
+    return result

@@ -1,0 +1,133 @@
+"""DAPPLE profiler: per-layer compute times and tensor sizes.
+
+The paper's profiler runs each layer on a real device and records execution
+time, activation size, and parameter size (Fig. 1).  Ours evaluates the same
+quantities analytically from the layer graph and a GPU spec — FLOPs divided
+by sustained throughput plus a fixed per-layer kernel overhead — and exposes
+them through numpy prefix sums, because the planner queries O(N²·G) layer
+ranges and must stay "offline … within a few seconds" (paper §II-C).
+
+Times returned by range queries scale linearly with the requested batch
+size, so the planner can evaluate replicated stages (which process
+``micro_batch / replicas`` samples per device) without re-profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.device import GPUSpec, V100
+from repro.models.graph import LayerGraph
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Profiled statistics for one layer at batch size 1."""
+
+    name: str
+    fwd_time: float
+    bwd_time: float
+    params: int
+    param_bytes: float
+    activation_out_bytes: float
+    stored_bytes: float
+
+
+@dataclass
+class ModelProfile:
+    """Profile of a whole model, with O(1) layer-range aggregation.
+
+    All per-sample arrays have one entry per layer; ``*_prefix`` arrays are
+    length ``num_layers + 1`` cumulative sums.
+    """
+
+    graph: LayerGraph
+    gpu: GPUSpec
+    layers: list[LayerProfile]
+    fwd_prefix: np.ndarray = field(repr=False, default=None)
+    bwd_prefix: np.ndarray = field(repr=False, default=None)
+    param_bytes_prefix: np.ndarray = field(repr=False, default=None)
+    stored_prefix: np.ndarray = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        def pref(vals):
+            arr = np.zeros(len(self.layers) + 1)
+            np.cumsum(np.asarray(vals, dtype=float), out=arr[1:])
+            return arr
+
+        self.fwd_prefix = pref([l.fwd_time for l in self.layers])
+        self.bwd_prefix = pref([l.bwd_time for l in self.layers])
+        self.param_bytes_prefix = pref([l.param_bytes for l in self.layers])
+        self.stored_prefix = pref([l.stored_bytes for l in self.layers])
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def _check(self, lo: int, hi: int) -> None:
+        if not (0 <= lo < hi <= self.num_layers):
+            raise IndexError(f"invalid layer range [{lo}, {hi})")
+
+    # Per-layer overhead applies once per layer per micro-batch, regardless
+    # of the sub-batch size — it models kernel-launch floors.
+    def fwd_time(self, lo: int, hi: int, batch: float) -> float:
+        """Forward time of layers [lo, hi) at (possibly fractional) batch."""
+        self._check(lo, hi)
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        span = hi - lo
+        return float(
+            (self.fwd_prefix[hi] - self.fwd_prefix[lo]) * batch
+            + span * self.graph.fixed_overhead_fwd
+        )
+
+    def bwd_time(self, lo: int, hi: int, batch: float) -> float:
+        """Backward time of layers [lo, hi) at (possibly fractional) batch."""
+        self._check(lo, hi)
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        span = hi - lo
+        return float(
+            (self.bwd_prefix[hi] - self.bwd_prefix[lo]) * batch
+            + span * self.graph.fixed_overhead_fwd
+        )
+
+    def param_bytes(self, lo: int, hi: int) -> float:
+        self._check(lo, hi)
+        return float(self.param_bytes_prefix[hi] - self.param_bytes_prefix[lo])
+
+    def stored_bytes(self, lo: int, hi: int, batch: float) -> float:
+        """Resident activation bytes of layers [lo, hi) for one micro-batch."""
+        self._check(lo, hi)
+        return float((self.stored_prefix[hi] - self.stored_prefix[lo]) * batch)
+
+    def boundary_bytes(self, split: int, batch: float) -> float:
+        """One-way cross-stage activation traffic for a cut at ``split``."""
+        return self.graph.boundary_activation_bytes(split) * batch
+
+    def state_bytes(self, lo: int, hi: int) -> float:
+        """Persistent optimizer bytes (weights + states) of layers [lo, hi)."""
+        self._check(lo, hi)
+        from repro.models.graph import OPTIMIZER_STATE_BYTES, FP32
+
+        per_param = OPTIMIZER_STATE_BYTES[self.graph.optimizer]
+        return self.param_bytes(lo, hi) / FP32 * per_param
+
+
+def profile_model(graph: LayerGraph, gpu: GPUSpec = V100) -> ModelProfile:
+    """Profile ``graph`` on ``gpu``; all times are per-sample (batch 1)."""
+    layers = [
+        LayerProfile(
+            name=l.name,
+            fwd_time=gpu.compute_time(l.flops_fwd),
+            bwd_time=gpu.compute_time(l.flops_bwd),
+            params=l.params,
+            param_bytes=l.param_bytes,
+            activation_out_bytes=l.activation_out_bytes,
+            stored_bytes=l.stored_bytes,
+        )
+        for l in graph.layers
+    ]
+    return ModelProfile(graph=graph, gpu=gpu, layers=layers)

@@ -1,0 +1,158 @@
+"""Micro-batch schedules: GPipe and DAPPLE early-backward (paper §III, §V-C).
+
+A schedule is, per stage, the exact order in which forward (F) and backward
+(B) tasks of each micro-batch execute on that stage's devices.  The runtime
+turns consecutive schedule entries into control-dependency edges, exactly
+as the paper's TF implementation does (Fig. 11).
+
+* :func:`gpipe_schedule` — inject all ``M`` forwards, then run backwards in
+  reverse micro-batch order.  Peak activation memory grows with ``M``.
+* :func:`dapple_schedule` — inject ``Ki`` warm-up forwards on stage ``i``,
+  then strictly alternate one backward with one forward (early backward
+  scheduling), draining the tail with backwards.  Peak activation memory is
+  bounded by ``Ki``, *independent of M*.
+
+Warm-up counts implement the paper's two policies:
+
+* **PA**: ``Ki = min(S − i, D)`` — for workloads with negligible cross-stage
+  communication (low ACR);
+* **PB**: ``Ki = min(2·(S − i) − 1, D)`` — twice the in-flight forwards, to
+  saturate pipelines whose cross-stage communication is comparable to
+  compute (high ACR).
+
+``D`` is the device-memory cap on concurrently-resident micro-batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+Kind = Literal["F", "B"]
+
+
+@dataclass(frozen=True)
+class MicroBatchTask:
+    """One forward or backward of one micro-batch on one stage."""
+
+    kind: Kind
+    micro_batch: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}{self.micro_batch}"
+
+
+#: A schedule: ``schedule[stage]`` is the ordered task list for that stage.
+StageSchedule = list[list[MicroBatchTask]]
+
+
+def warmup_counts(
+    num_stages: int,
+    num_micro_batches: int,
+    policy: str = "PA",
+    max_in_memory: int | None = None,
+) -> list[int]:
+    """Per-stage warm-up forward counts ``Ki`` (paper §V-C policies PA/PB)."""
+    if num_stages < 1:
+        raise ValueError(f"need >=1 stage, got {num_stages}")
+    if num_micro_batches < 1:
+        raise ValueError(f"need >=1 micro-batch, got {num_micro_batches}")
+    d = max_in_memory if max_in_memory is not None else num_micro_batches
+    if d < 1:
+        raise ValueError(f"memory cap D must be >=1, got {d}")
+    out = []
+    for i in range(num_stages):
+        if policy == "PA":
+            k = num_stages - i
+        elif policy == "PB":
+            k = 2 * (num_stages - i) - 1
+        else:
+            raise ValueError(f"unknown warm-up policy {policy!r} (PA or PB)")
+        out.append(max(1, min(k, d, num_micro_batches)))
+    return out
+
+
+def _one_f_one_b(num_micro_batches: int, k: int) -> list[MicroBatchTask]:
+    """K warm-up forwards, strict 1F1B interleave, backward tail."""
+    tasks = [MicroBatchTask("F", mb) for mb in range(k)]
+    for mb in range(num_micro_batches - k):
+        tasks.append(MicroBatchTask("B", mb))
+        tasks.append(MicroBatchTask("F", mb + k))
+    tasks.extend(
+        MicroBatchTask("B", mb) for mb in range(num_micro_batches - k, num_micro_batches)
+    )
+    return tasks
+
+
+def dapple_schedule(
+    num_stages: int,
+    num_micro_batches: int,
+    policy: str = "PA",
+    max_in_memory: int | None = None,
+) -> StageSchedule:
+    """DAPPLE early-backward schedule for every stage (paper Fig. 3b)."""
+    ks = warmup_counts(num_stages, num_micro_batches, policy, max_in_memory)
+    return [_one_f_one_b(num_micro_batches, k) for k in ks]
+
+
+def gpipe_schedule(num_stages: int, num_micro_batches: int) -> StageSchedule:
+    """GPipe schedule: all forwards, then backwards in reverse (Fig. 3a)."""
+    if num_stages < 1:
+        raise ValueError(f"need >=1 stage, got {num_stages}")
+    if num_micro_batches < 1:
+        raise ValueError(f"need >=1 micro-batch, got {num_micro_batches}")
+    per_stage = [MicroBatchTask("F", mb) for mb in range(num_micro_batches)]
+    per_stage += [MicroBatchTask("B", mb) for mb in reversed(range(num_micro_batches))]
+    return [list(per_stage) for _ in range(num_stages)]
+
+
+def validate_schedule(schedule: StageSchedule, num_micro_batches: int) -> None:
+    """Check a schedule is complete and stage-locally causal.
+
+    Every stage must run F and B of every micro-batch exactly once, and a
+    micro-batch's backward may not precede its forward on the same stage.
+
+    Raises
+    ------
+    ValueError
+        On any violation.
+    """
+    for sid, tasks in enumerate(schedule):
+        seen_f: set[int] = set()
+        seen_b: set[int] = set()
+        for t in tasks:
+            if t.kind == "F":
+                if t.micro_batch in seen_f:
+                    raise ValueError(f"stage {sid}: duplicate F{t.micro_batch}")
+                seen_f.add(t.micro_batch)
+            else:
+                if t.micro_batch in seen_b:
+                    raise ValueError(f"stage {sid}: duplicate B{t.micro_batch}")
+                if t.micro_batch not in seen_f:
+                    raise ValueError(
+                        f"stage {sid}: B{t.micro_batch} before its forward"
+                    )
+                seen_b.add(t.micro_batch)
+        want = set(range(num_micro_batches))
+        if seen_f != want or seen_b != want:
+            raise ValueError(
+                f"stage {sid}: incomplete schedule "
+                f"(F={sorted(seen_f)}, B={sorted(seen_b)}, expected {num_micro_batches})"
+            )
+
+
+def max_resident_micro_batches(tasks: Sequence[MicroBatchTask]) -> int:
+    """Peak number of micro-batches whose activations are live at once.
+
+    A micro-batch's activations go live at its F and are released at its B —
+    the quantity DAPPLE's early-backward scheduling bounds by ``Ki``.
+    """
+    live = 0
+    peak = 0
+    for t in tasks:
+        if t.kind == "F":
+            live += 1
+            peak = max(peak, live)
+        else:
+            live -= 1
+    return peak

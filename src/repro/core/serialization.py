@@ -1,0 +1,88 @@
+"""Plan (de)serialization to plain dictionaries / JSON.
+
+A serialized plan is portable across processes: it references devices by
+global id and the model by registry name (or carries layer counts for
+custom graphs), so a plan searched once can be cached, shipped to a
+runner, or inspected by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.topology import Cluster
+from repro.core.plan import ParallelPlan, Stage
+from repro.models.graph import LayerGraph
+
+
+def plan_to_dict(plan: ParallelPlan) -> dict[str, Any]:
+    """Serialize a plan into a JSON-safe dictionary."""
+    return {
+        "model": plan.model.name,
+        "num_layers": plan.model.num_layers,
+        "global_batch_size": plan.global_batch_size,
+        "num_micro_batches": plan.num_micro_batches,
+        "stages": [
+            {
+                "layer_lo": s.layer_lo,
+                "layer_hi": s.layer_hi,
+                "devices": [d.global_id for d in s.devices],
+            }
+            for s in plan.stages
+        ],
+        "meta": dict(plan.meta),
+    }
+
+
+def plan_from_dict(
+    data: dict[str, Any], model: LayerGraph, cluster: Cluster
+) -> ParallelPlan:
+    """Rebuild a plan against a concrete model and cluster.
+
+    Raises
+    ------
+    ValueError
+        If the payload does not match the model's depth or references
+        devices the cluster does not have.
+    """
+    if data["num_layers"] != model.num_layers:
+        raise ValueError(
+            f"plan was made for a {data['num_layers']}-layer model but "
+            f"{model.name} has {model.num_layers}"
+        )
+    max_id = cluster.num_devices - 1
+    stages = []
+    for s in data["stages"]:
+        for gid in s["devices"]:
+            if not (0 <= gid <= max_id):
+                raise ValueError(f"plan references device {gid}, cluster has 0..{max_id}")
+        stages.append(
+            Stage(
+                s["layer_lo"],
+                s["layer_hi"],
+                tuple(cluster.device(g) for g in s["devices"]),
+            )
+        )
+    plan = ParallelPlan(
+        model=model,
+        stages=stages,
+        global_batch_size=data["global_batch_size"],
+        num_micro_batches=data["num_micro_batches"],
+        meta=dict(data.get("meta", {})),
+    )
+    return plan
+
+
+def save_plan(plan: ParallelPlan, path: str | Path) -> Path:
+    """Write a plan as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(plan_to_dict(plan), indent=2) + "\n")
+    return path
+
+
+def load_plan(path: str | Path, model: LayerGraph, cluster: Cluster) -> ParallelPlan:
+    """Read a JSON plan back against ``model`` and ``cluster``."""
+    data = json.loads(Path(path).read_text())
+    return plan_from_dict(data, model, cluster)

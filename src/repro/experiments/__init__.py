@@ -1,0 +1,11 @@
+"""One module per table/figure of the paper's evaluation (§VI).
+
+Each module exposes a ``run()`` (or similarly named) function returning
+structured rows plus a ``format_*`` helper rendering the paper-style table.
+The ``benchmarks/`` directory drives these under pytest-benchmark; the
+``examples/`` scripts reuse them interactively.
+"""
+
+from repro.experiments.reporting import format_table, write_result
+
+__all__ = ["format_table", "write_result"]

@@ -1,0 +1,114 @@
+"""Interconnect-sensitivity sweep: where does DP stop winning?
+
+The paper's Config B → C contrast (25 → 10 Gbps) shows plans flipping from
+DP toward pipelines as the network slows.  This experiment generalizes it:
+sweep the inter-server bandwidth over 1–100 Gbps on a flat 16-server
+cluster and record, per model, the planner's chosen family and the
+hybrid-vs-DP speedup — mapping each model's crossover point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Cluster, LinkSpec
+from repro.cluster.configs import GBPS, NO_INTRA
+from repro.core import Planner
+from repro.experiments.common import profile
+from repro.experiments.reporting import format_table
+from repro.models import PAPER_FIGURES
+from repro.runtime.dataparallel import dp_iteration_time
+
+
+def flat_cluster(gbps: float, num_machines: int = 16) -> Cluster:
+    """A Config-B/C-style flat cluster at an arbitrary Ethernet speed."""
+    link = LinkSpec(f"{gbps:g}GbE", bandwidth=gbps * GBPS * 0.9, latency=300e-6)
+    machines = [
+        Machine(machine_id=i, num_gpus=1, intra_bw=NO_INTRA.bandwidth,
+                intra_lat=NO_INTRA.latency)
+        for i in range(num_machines)
+    ]
+    return Cluster(machines, inter=link, name=f"flat-{gbps:g}G")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    model: str
+    gbps: float
+    plan: str
+    kind: str
+    hybrid_latency: float
+    dp_latency: float | None
+
+    @property
+    def hybrid_advantage(self) -> float | None:
+        if self.dp_latency is None:
+            return None
+        return self.dp_latency / self.hybrid_latency
+
+
+DEFAULT_BANDWIDTHS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+
+def run(
+    models: tuple[str, ...] = ("resnet50", "vgg19", "gnmt16", "bert48"),
+    bandwidths: tuple[float, ...] = DEFAULT_BANDWIDTHS,
+) -> list[SweepPoint]:
+    points = []
+    for name in models:
+        prof = profile(name)
+        gbs = PAPER_FIGURES[name].global_batch_size
+        for gbps in bandwidths:
+            clu = flat_cluster(gbps)
+            result = Planner(prof, clu, gbs).search()
+            try:
+                dp = dp_iteration_time(prof, clu, clu.devices, gbs, overlap=True)
+                dp_latency = dp.iteration_time
+            except ValueError:
+                dp_latency = None
+            points.append(
+                SweepPoint(
+                    model=prof.graph.name,
+                    gbps=gbps,
+                    plan=result.plan.notation,
+                    kind=result.plan.kind.value,
+                    hybrid_latency=result.estimate.latency,
+                    dp_latency=dp_latency,
+                )
+            )
+    return points
+
+
+def crossover_bandwidth(points: list[SweepPoint], model: str) -> float | None:
+    """Lowest bandwidth at which the planner still picks pure DP."""
+    dp_points = [p.gbps for p in points if p.model == model and p.kind == "DP"]
+    return min(dp_points) if dp_points else None
+
+
+def format_results(points: list[SweepPoint]) -> str:
+    table = format_table(
+        ["Model", "Gbps", "plan", "hybrid L", "DP+ovl L", "hybrid adv"],
+        [
+            [
+                p.model,
+                f"{p.gbps:g}",
+                p.plan if len(p.plan) <= 10 else p.kind,
+                f"{p.hybrid_latency * 1e3:.0f}ms",
+                f"{p.dp_latency * 1e3:.0f}ms" if p.dp_latency else "-",
+                f"{p.hybrid_advantage:.2f}x" if p.hybrid_advantage else "-",
+            ]
+            for p in points
+        ],
+        title="Interconnect sweep: planner choice vs inter-server bandwidth "
+        "(flat 16x1 cluster)",
+    )
+    notes = []
+    for model in sorted({p.model for p in points}):
+        cross = crossover_bandwidth(points, model)
+        notes.append(
+            f"{model}: DP optimal down to {cross:g} Gbps"
+            if cross is not None
+            else f"{model}: pipeline optimal at every tested bandwidth"
+        )
+    return table + "\n" + "\n".join(notes)

@@ -1,0 +1,115 @@
+"""Fig. 12 reproduction: training speedup vs global batch size.
+
+For five models × three hardware configs, three arms:
+
+* DP No Overlap — gradient accumulation, exposed AllReduce;
+* DP + Normal Overlap — AllReduce overlapped with the last backward;
+* Best Hybrid — the DAPPLE planner's plan executed on the simulator.
+
+Speedup is relative to one device processing the same global batch
+sequentially (§VI-C).  Expected shapes: hybrid ≥ DP everywhere it matters,
+with the gap widening from config A to C (slower interconnects), up to
+~2.3× over the best DP for GNMT-16 on config C; DP is NaN for
+AmoebaNet-36 (does not fit one device).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.common import cluster, speedup_arms
+from repro.experiments.reporting import format_table
+
+#: Fig. 12 models and their GBS sweeps.
+FIG12_SWEEPS: dict[str, list[int]] = {
+    "vgg19": [1024, 2048, 4096],
+    "gnmt16": [1024, 2048, 4096],
+    "bert48": [64, 128, 256],
+    "xlnet36": [64, 128, 256],
+    "amoebanet36": [256, 512, 1024],
+}
+
+CONFIGS = ["A", "B", "C"]
+
+
+@dataclass(frozen=True)
+class Fig12Point:
+    model: str
+    config: str
+    gbs: int
+    dp_no_overlap: float
+    dp_overlap: float
+    best_hybrid: float
+    hybrid_plan: str
+
+
+def run(
+    models: list[str] | None = None,
+    configs: list[str] | None = None,
+    sweeps: dict[str, list[int]] | None = None,
+) -> list[Fig12Point]:
+    sweeps = sweeps or FIG12_SWEEPS
+    points = []
+    for name in models or list(sweeps):
+        for cfg in configs or CONFIGS:
+            clu = cluster(cfg)
+            for gbs in sweeps[name]:
+                arms = speedup_arms(name, clu, gbs)
+                points.append(
+                    Fig12Point(
+                        model=name,
+                        config=cfg,
+                        gbs=gbs,
+                        dp_no_overlap=arms["dp_no_overlap"],
+                        dp_overlap=arms["dp_overlap"],
+                        best_hybrid=arms["best_hybrid"],
+                        hybrid_plan=str(arms["_hybrid_notation"]),
+                    )
+                )
+    return points
+
+
+def format_results(points: list[Fig12Point]) -> str:
+    def fmt(x):
+        return "OOM" if (isinstance(x, float) and math.isnan(x)) else f"{x:.1f}"
+
+    table = format_table(
+        ["Model", "cfg", "GBS", "DP no-ovl", "DP ovl", "Best hybrid", "plan",
+         "hybrid/bestDP"],
+        [
+            [
+                p.model,
+                p.config,
+                p.gbs,
+                fmt(p.dp_no_overlap),
+                fmt(p.dp_overlap),
+                fmt(p.best_hybrid),
+                p.hybrid_plan,
+                fmt(
+                    p.best_hybrid
+                    / max(
+                        x
+                        for x in (p.dp_no_overlap, p.dp_overlap)
+                        if not math.isnan(x)
+                    )
+                )
+                if not (math.isnan(p.dp_no_overlap) and math.isnan(p.dp_overlap))
+                else "inf",
+            ]
+            for p in points
+        ],
+        title="Fig. 12: training speedup vs GBS (16 devices; speedup vs 1 device)",
+    )
+    ratios = [
+        p.best_hybrid / max(x for x in (p.dp_no_overlap, p.dp_overlap) if not math.isnan(x))
+        for p in points
+        if not (math.isnan(p.dp_no_overlap) and math.isnan(p.dp_overlap))
+    ]
+    import numpy as np
+
+    return table + (
+        f"\nhybrid vs best-DP: mean {np.mean(ratios):.2f}x, max {np.max(ratios):.2f}x"
+        if ratios
+        else ""
+    )

@@ -1,0 +1,81 @@
+"""Fig. 7 reproduction: slightly uneven partitions beat perfectly even ones.
+
+The paper's minimum example: a 2-GPU synchronous pipeline where shifting
+the split one layer off the balance point reduces pipeline latency — the
+even split leaves the second stage waiting on the first stage's forward,
+while a front-heavy first stage lets backwards start earlier.
+
+We sweep every split of a uniform model on 2 devices and report the
+simulated latency; the winner should not be the even split when the
+micro-batch count is small (where warm-up/drain dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import uniform_model
+from repro.runtime import execute_plan
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    split: int
+    layers_stage0: int
+    layers_stage1: int
+    latency: float
+
+
+def run(num_layers: int = 8, num_micro_batches: int = 2) -> list[Fig7Row]:
+    # Two micro-batches, like the paper's Fig. 7: with so little steady
+    # phase, warm-up/drain dominates and a front-heavy split fills the
+    # first GPU's wait for the returning backward.
+    model = uniform_model(
+        "fig7-toy",
+        num_layers,
+        flops_per_layer=9e9,
+        params_per_layer=100_000,
+        activation_bytes=1 * 2**20,
+        profile_batch=1,
+    )
+    clu = config_b(2)
+    prof = profile_model(model)
+    rows = []
+    for split in range(1, num_layers):
+        stages = [
+            Stage(0, split, (clu.device(0),)),
+            Stage(split, num_layers, (clu.device(1),)),
+        ]
+        plan = ParallelPlan(model, stages, num_micro_batches, num_micro_batches)
+        res = execute_plan(prof, clu, plan)
+        rows.append(Fig7Row(split, split, num_layers - split, res.iteration_time))
+    return rows
+
+
+def best_split(rows: list[Fig7Row]) -> Fig7Row:
+    return min(rows, key=lambda r: r.latency)
+
+
+def format_results(rows: list[Fig7Row]) -> str:
+    from repro.experiments.reporting import format_table
+
+    even = min(rows, key=lambda r: abs(r.layers_stage0 - r.layers_stage1))
+    best = best_split(rows)
+    table = format_table(
+        ["split", "stage0:stage1", "latency", ""],
+        [
+            [
+                r.split,
+                f"{r.layers_stage0}:{r.layers_stage1}",
+                f"{r.latency * 1e3:.2f}ms",
+                ("<- best" if r is best else "") + (" (even)" if r is even else ""),
+            ]
+            for r in rows
+        ],
+        title="Fig. 7: uneven pipeline partitioning (2 GPUs, uniform layers)",
+    )
+    gain = even.latency / best.latency
+    return table + f"\nuneven best beats even split by {100 * (gain - 1):.1f}%"

@@ -1,0 +1,79 @@
+"""Table I reproduction: cross-stage activation vs gradient traffic volume.
+
+The paper's Table I contrasts, per benchmark, the activation size at the
+pipeline partition boundary (small, MBs) against the gradient size that
+data parallelism must AllReduce (large, GBs) — the asymmetry motivating
+hybrid parallelism on hierarchical interconnects (Fig. 2).
+
+Boundary traffic is the one-way activation tensor at the model's profiling
+batch (Table I's convention for GNMT/XLNet/AmoebaNet; for BERT and VGG the
+paper's figures appear to fold in extra tensors — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import paper_family_plan, profile
+from repro.experiments.reporting import format_table
+from repro.models import PAPER_FIGURES
+
+#: Models in the paper's Table I.
+TABLE1_MODELS = ["gnmt16", "bert48", "xlnet36", "amoebanet36", "vgg19"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    model: str
+    activation_bytes: float  # round trip at the profile batch
+    gradient_bytes: float
+    paper_activation_bytes: float | None
+    paper_gradient_bytes: float | None
+
+
+def run() -> list[Table1Row]:
+    rows = []
+    for name in TABLE1_MODELS:
+        prof = profile(name)
+        ref = PAPER_FIGURES[name]
+        plan = paper_family_plan(name, "A").plan
+        if plan.num_stages >= 2:
+            split = plan.stages[0].layer_hi
+        else:
+            # DP winner (e.g. VGG on config A): report the best 2-stage cut
+            # on the slow config, like the paper's Table I narrative.
+            plan_c = paper_family_plan(name, "C").plan
+            split = (
+                plan_c.stages[0].layer_hi
+                if plan_c.num_stages >= 2
+                else prof.num_layers // 2
+            )
+        act = prof.boundary_bytes(split, prof.graph.profile_batch)
+        rows.append(
+            Table1Row(
+                model=prof.graph.name,
+                activation_bytes=act,
+                gradient_bytes=prof.graph.total_param_bytes,
+                paper_activation_bytes=ref.boundary_activation_bytes,
+                paper_gradient_bytes=ref.gradient_bytes,
+            )
+        )
+    return rows
+
+
+def format_results(rows: list[Table1Row]) -> str:
+    def mb(x):
+        return f"{x / 1e6:.1f}MB" if x is not None else "-"
+
+    def gb(x):
+        return f"{x / 1e9:.2f}GB" if x is not None else "-"
+
+    return format_table(
+        ["Benchmark", "Activation @boundary", "paper", "Gradient size", "paper"],
+        [
+            [r.model, mb(r.activation_bytes), mb(r.paper_activation_bytes),
+             gb(r.gradient_bytes), gb(r.paper_gradient_bytes)]
+            for r in rows
+        ],
+        title="Table I: traffic volume (activations vs gradients)",
+    )

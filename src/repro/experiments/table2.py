@@ -1,0 +1,67 @@
+"""Table II reproduction: benchmark models (#params, profiling memory cost).
+
+Memory cost at the profiling batch = persistent optimizer state (weights +
+optimizer slots) + resident activations of one batch, matching how a
+profiling forward/backward occupies a device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import profile
+from repro.experiments.reporting import format_table
+from repro.models import BENCHMARK_MODELS, PAPER_FIGURES
+from repro.models.graph import OPTIMIZER_STATE_BYTES
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    model: str
+    params: int
+    profile_batch: int
+    memory_bytes: float
+    paper_params: float
+    paper_memory_bytes: float
+    optimizer: str
+
+
+def run() -> list[Table2Row]:
+    rows = []
+    for name in BENCHMARK_MODELS:
+        prof = profile(name)
+        g = prof.graph
+        ref = PAPER_FIGURES[name]
+        state = g.total_params * OPTIMIZER_STATE_BYTES[g.optimizer]
+        act = prof.stored_bytes(0, g.num_layers, g.profile_batch)
+        rows.append(
+            Table2Row(
+                model=g.name,
+                params=g.total_params,
+                profile_batch=g.profile_batch,
+                memory_bytes=state + act,
+                paper_params=ref.params,
+                paper_memory_bytes=ref.profile_memory_bytes,
+                optimizer=g.optimizer,
+            )
+        )
+    return rows
+
+
+def format_results(rows: list[Table2Row]) -> str:
+    return format_table(
+        ["Model", "#Params", "paper", "batch", "Memory", "paper", "optimizer"],
+        [
+            [
+                r.model,
+                f"{r.params / 1e6:.1f}M",
+                f"{r.paper_params / 1e6:.0f}M",
+                r.profile_batch,
+                f"{r.memory_bytes / 2**30:.1f}GB",
+                f"{r.paper_memory_bytes / 2**30:.1f}GB",
+                r.optimizer,
+            ]
+            for r in rows
+        ],
+        title="Table II: benchmark models",
+    )

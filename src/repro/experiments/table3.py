@@ -1,0 +1,73 @@
+"""Table III reproduction: the three hardware configurations.
+
+Table III is an input of the evaluation rather than a result; this module
+emits our calibrated rendition of it (device counts, interconnects, and
+the derived effective bandwidths/latencies the cost models use), so the
+artifact set under ``results/`` documents the exact hardware model behind
+every other table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import config_by_name
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    config: str
+    machines: int
+    gpus_per_machine: int
+    gpu: str
+    gpu_memory_bytes: float
+    gpu_flops: float
+    intra_bandwidth: float
+    inter_name: str
+    inter_bandwidth: float
+    inter_latency: float
+
+
+def run(num_devices: int = 16) -> list[Table3Row]:
+    rows = []
+    for letter in ("A", "B", "C"):
+        c = config_by_name(letter, num_devices)
+        m = c.machines[0]
+        rows.append(
+            Table3Row(
+                config=letter,
+                machines=c.num_machines,
+                gpus_per_machine=c.gpus_per_machine,
+                gpu=m.gpu_spec.name,
+                gpu_memory_bytes=m.gpu_spec.memory_bytes,
+                gpu_flops=m.gpu_spec.flops,
+                intra_bandwidth=m.intra_bw,
+                inter_name=c.inter.name,
+                inter_bandwidth=c.inter.bandwidth,
+                inter_latency=c.inter.latency,
+            )
+        )
+    return rows
+
+
+def format_results(rows: list[Table3Row]) -> str:
+    return format_table(
+        ["Config", "Servers", "GPUs/server", "GPU", "mem", "sustained",
+         "intra-server", "inter-server", "latency"],
+        [
+            [
+                r.config,
+                r.machines,
+                r.gpus_per_machine,
+                r.gpu,
+                f"{r.gpu_memory_bytes / 2**30:.0f} GiB",
+                f"{r.gpu_flops / 1e12:.0f} TFLOP/s",
+                f"{r.intra_bandwidth / 1e9:.0f} GB/s",
+                f"{r.inter_name} ({r.inter_bandwidth / 1e9:.2f} GB/s eff.)",
+                f"{r.inter_latency * 1e6:.0f} µs",
+            ]
+            for r in rows
+        ],
+        title="Table III: hardware configurations (as calibrated)",
+    )

@@ -1,0 +1,82 @@
+"""Table IV reproduction: warm-up policy PB vs PA throughput.
+
+The paper reports normalized speedups of scheduling policy PB over PA on
+Config-A (2×8): BERT-48 1.0, XLNet-36 1.02, VGG-19 1.1, GNMT-16 1.31 —
+PB only pays off when cross-stage communication is comparable to compute
+(high ACR).  We execute each model's Config-A 2-stage plan on the
+simulator under both warm-up policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import cluster, paper_family_plan, profile
+from repro.experiments.reporting import format_table
+from repro.models import PAPER_FIGURES
+from repro.runtime import execute_plan
+
+#: Paper-reported PB/PA speedups (Table IV).
+PAPER_SPEEDUPS = {"bert48": 1.0, "xlnet36": 1.02, "vgg19": 1.1, "gnmt16": 1.31}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    model: str
+    acr: float
+    pa_time: float
+    pb_time: float
+    paper_speedup: float
+
+    @property
+    def speedup(self) -> float:
+        return self.pa_time / self.pb_time
+
+
+def run() -> list[Table4Row]:
+    rows = []
+    for name, paper in PAPER_SPEEDUPS.items():
+        prof = profile(name)
+        clu = cluster("A")
+        result = paper_family_plan(name, "A")
+        plan = result.plan
+        if plan.num_stages < 2:
+            # Models whose config-A winner is DP (e.g. VGG-19): evaluate the
+            # best two-stage pipeline instead, as the paper's Table IV uses
+            # each model's *pipelined* configuration.
+            from repro.core import Planner, PlannerConfig
+
+            gbs = PAPER_FIGURES[name].global_batch_size
+            plan = Planner(
+                prof, clu, gbs, PlannerConfig(max_stages=2, min_stages=2)
+            ).search().plan
+        pa = execute_plan(prof, clu, plan, warmup_policy="PA")
+        pb = execute_plan(prof, clu, plan, warmup_policy="PB")
+        rows.append(
+            Table4Row(
+                model=prof.graph.name,
+                acr=result.estimate.acr,
+                pa_time=pa.iteration_time,
+                pb_time=pb.iteration_time,
+                paper_speedup=paper,
+            )
+        )
+    return rows
+
+
+def format_results(rows: list[Table4Row]) -> str:
+    return format_table(
+        ["Model", "ACR", "PA iter", "PB iter", "PB/PA speedup", "paper"],
+        [
+            [
+                r.model,
+                f"{r.acr:.2f}",
+                f"{r.pa_time * 1e3:.1f}ms",
+                f"{r.pb_time * 1e3:.1f}ms",
+                f"{r.speedup:.3f}",
+                f"{r.paper_speedup:.2f}",
+            ]
+            for r in rows
+        ],
+        title="Table IV: scheduling policy PB vs PA (Config-A)",
+    )

@@ -1,0 +1,94 @@
+"""Table VI reproduction: DAPPLE vs GPipe on BERT-48 (throughput & memory).
+
+Setup follows the paper: a 2-stage pipeline on Config-B with micro-batch
+size fixed at 2, sweeping the number of micro-batches M, with and without
+re-computation (RC).  The balanced split comes from the GPipe partitioner
+so both schedules execute the *same* plan; only the micro-batch schedule
+(and RC) differs.
+
+Expected shapes (paper §VI-E):
+
+* GPipe's peak memory grows with M and eventually OOMs; DAPPLE's is flat.
+* DAPPLE at large M wins throughput (more micro-batches, fewer bubbles).
+* RC trades ~20 % throughput for a large activation-memory cut, on either
+  schedule; DAPPLE+RC is the smallest footprint of all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import gpipe_plan
+from repro.cluster import config_b
+from repro.experiments.common import profile
+from repro.experiments.reporting import format_table
+from repro.runtime import execute_plan
+from repro.runtime.memory import OutOfMemoryError
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    system: str  # "GPipe", "GPipe+RC", "DAPPLE", "DAPPLE+RC"
+    num_micro_batches: int
+    throughput: float | None  # samples/s, None on OOM
+    avg_peak_memory: float | None
+
+    @property
+    def oom(self) -> bool:
+        return self.throughput is None
+
+
+SWEEP = {
+    "GPipe": ("gpipe", False, (2, 5, 8)),
+    "GPipe+RC": ("gpipe", True, (2, 5, 8)),
+    "DAPPLE": ("dapple", False, (2, 8, 16)),
+    "DAPPLE+RC": ("dapple", True, (2, 8, 16)),
+}
+
+
+def run(micro_batch_size: int = 2) -> list[Table6Row]:
+    prof = profile("bert48")
+    clu = config_b(2)
+    rows = []
+    for system, (schedule, rc, ms) in SWEEP.items():
+        for m in ms:
+            plan = gpipe_plan(
+                prof, clu, m * micro_batch_size, num_stages=2,
+                micro_batch_size=micro_batch_size,
+            )
+            try:
+                res = execute_plan(prof, clu, plan, schedule=schedule, recompute=rc)
+                rows.append(
+                    Table6Row(system, m, res.throughput, res.average_peak_memory())
+                )
+            except OutOfMemoryError:
+                rows.append(Table6Row(system, m, None, None))
+    return rows
+
+
+def format_results(rows: list[Table6Row]) -> str:
+    table = format_table(
+        ["Config", "M", "Throughput (samples/s)", "Avg peak memory"],
+        [
+            [
+                r.system,
+                r.num_micro_batches,
+                "OOM" if r.oom else f"{r.throughput:.2f}",
+                "OOM" if r.oom else f"{r.avg_peak_memory / 2**30:.2f} GB",
+            ]
+            for r in rows
+        ],
+        title="Table VI: DAPPLE vs GPipe, BERT-48 2-stage on Config-B (micro-batch 2)",
+    )
+    da = {r.num_micro_batches: r for r in rows if r.system == "DAPPLE"}
+    gp = {r.num_micro_batches: r for r in rows if r.system == "GPipe"}
+    notes = []
+    if 16 in da and not da[16].oom:
+        base = next((r for r in gp.values() if not r.oom), None)
+        if base:
+            notes.append(
+                f"DAPPLE M=16 vs best non-OOM GPipe: "
+                f"{da[16].throughput / base.throughput:.2f}x throughput, "
+                f"{da[16].avg_peak_memory / base.avg_peak_memory:.2f}x memory"
+            )
+    return table + ("\n" + "\n".join(notes) if notes else "")

@@ -1,0 +1,55 @@
+"""BERT layer graphs (Devlin et al.), scalable in depth.
+
+``bert48()`` is the paper's 640 M-parameter language-model benchmark
+(48 encoder layers, hidden 1024, SQuAD-style sequence length 384).
+``bert_large()`` (24 layers) is used by the Table VII planner comparison,
+and ``bert_layers(L)`` scales depth for the Table VIII weak-scaling study —
+the paper trains up to BERT-428 (5.5 B parameters) on an 8-GPU pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.models.blocks import embedding_layer, fc_layer, transformer_encoder_layer
+from repro.models.graph import LayerGraph
+
+
+def bert_layers(
+    num_layers: int,
+    hidden: int = 1024,
+    heads: int = 16,
+    seq_len: int = 384,
+    vocab: int = 30522,
+    profile_batch: int = 2,
+    name: str | None = None,
+) -> LayerGraph:
+    """Build a BERT-style graph with ``num_layers`` encoder layers."""
+    layers = [
+        embedding_layer(
+            "embedding",
+            vocab=vocab,
+            hidden=hidden,
+            seq_len=seq_len,
+            extra_params=(512 + 2) * hidden,  # position + segment tables
+        )
+    ]
+    layers.extend(
+        transformer_encoder_layer(f"encoder{i}", hidden=hidden, seq_len=seq_len, heads=heads)
+        for i in range(num_layers)
+    )
+    layers.append(fc_layer("head", hidden, hidden))
+    return LayerGraph(
+        name=name or f"BERT-{num_layers}",
+        layers=layers,
+        profile_batch=profile_batch,
+        optimizer="adam",
+    )
+
+
+def bert48() -> LayerGraph:
+    """The paper's BERT-48 benchmark (~640 M parameters)."""
+    return bert_layers(48)
+
+
+def bert_large() -> LayerGraph:
+    """BERT-Large (24 encoder layers, ~340 M parameters) for Table VII."""
+    return bert_layers(24, name="BERT-Large")

@@ -1,0 +1,151 @@
+"""Reusable layer constructors: conv, transformer encoder, LSTM.
+
+Each helper computes FLOPs (multiply-accumulate counted as 2 FLOPs),
+parameter counts, boundary activation sizes, and stored-activation sizes
+from first principles, so model builders read like architecture definitions
+rather than tables of magic numbers.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import FP32, LayerSpec
+
+
+def conv_layer(
+    name: str,
+    in_ch: int,
+    out_ch: int,
+    spatial: int,
+    kernel: int = 3,
+    out_spatial: int | None = None,
+    store_factor: float = 2.0,
+) -> LayerSpec:
+    """3×3 (or k×k) convolution producing an ``out_spatial²×out_ch`` map.
+
+    ``store_factor`` accounts for pre-activation + post-activation copies
+    retained for backward.
+    """
+    out_spatial = out_spatial if out_spatial is not None else spatial
+    flops = 2.0 * kernel * kernel * in_ch * out_ch * out_spatial * out_spatial
+    params = kernel * kernel * in_ch * out_ch + out_ch
+    act = out_spatial * out_spatial * out_ch * FP32
+    return LayerSpec(
+        name=name,
+        flops_fwd=flops,
+        params=params,
+        activation_out_bytes=act,
+        stored_bytes=store_factor * act,
+    )
+
+
+def pool_layer(name: str, channels: int, out_spatial: int) -> LayerSpec:
+    """2×2 max-pool; negligible FLOPs, halves the activation map."""
+    act = out_spatial * out_spatial * channels * FP32
+    return LayerSpec(
+        name=name,
+        flops_fwd=channels * out_spatial * out_spatial * 4.0,
+        params=0,
+        activation_out_bytes=act,
+        stored_bytes=act,  # argmax indices / input reference
+        bwd_flops_ratio=1.0,
+    )
+
+
+def fc_layer(name: str, in_dim: int, out_dim: int, store_factor: float = 1.0) -> LayerSpec:
+    """Fully-connected layer."""
+    return LayerSpec(
+        name=name,
+        flops_fwd=2.0 * in_dim * out_dim,
+        params=in_dim * out_dim + out_dim,
+        activation_out_bytes=out_dim * FP32,
+        stored_bytes=store_factor * (in_dim + out_dim) * FP32,
+    )
+
+
+def embedding_layer(
+    name: str, vocab: int, hidden: int, seq_len: int, extra_params: int = 0
+) -> LayerSpec:
+    """Token embedding lookup: parameter-heavy, compute-light."""
+    return LayerSpec(
+        name=name,
+        flops_fwd=2.0 * seq_len * hidden,  # lookup + scale/add position
+        params=vocab * hidden + extra_params,
+        activation_out_bytes=seq_len * hidden * FP32,
+        stored_bytes=seq_len * hidden * FP32,
+        bwd_flops_ratio=1.0,
+    )
+
+
+def transformer_encoder_layer(
+    name: str,
+    hidden: int,
+    seq_len: int,
+    heads: int,
+    ff_mult: int = 4,
+    flops_scale: float = 1.0,
+    param_scale: float = 1.0,
+    streams: int = 1,
+    stored_scale: float = 1.0,
+) -> LayerSpec:
+    """Standard post-LN transformer encoder layer.
+
+    FLOPs: QKV+output projections ``8·s·h²`` + attention ``4·s²·h`` +
+    feed-forward ``2·s·h·(ff·h)·2 = 4·ff·s·h²``; with ff=4 the projection
+    total is the familiar ``24·s·h²``.  ``streams`` > 1 models XLNet's
+    two-stream attention (doubles activations and FLOPs, shares weights).
+    """
+    proj_flops = 8.0 * seq_len * hidden * hidden
+    attn_flops = 4.0 * seq_len * seq_len * hidden
+    ff_flops = 4.0 * ff_mult * seq_len * hidden * hidden
+    flops = (proj_flops + attn_flops + ff_flops) * flops_scale * streams
+
+    params = int((4 * hidden * hidden + 2 * ff_mult * hidden * hidden + 9 * hidden) * param_scale)
+
+    act = streams * seq_len * hidden * FP32
+    # Resident tensors for backward: attention scores + probabilities +
+    # dropout mask (1.5·heads·s² after mask packing), QKV/attn-out/LN
+    # copies and FF intermediates (~(ff+10)·s·h in fp32).
+    stored = (
+        (1.5 * heads * seq_len * seq_len + (ff_mult + 10) * seq_len * hidden)
+        * FP32
+        * streams
+        * stored_scale
+    )
+    return LayerSpec(
+        name=name,
+        flops_fwd=flops,
+        params=params,
+        activation_out_bytes=act,
+        stored_bytes=stored,
+    )
+
+
+def lstm_layer(
+    name: str,
+    hidden: int,
+    seq_len: int,
+    directions: int = 1,
+    attention: bool = False,
+) -> LayerSpec:
+    """(Bi)LSTM layer, optionally with a Luong-style attention block.
+
+    FLOPs per step: 8·h² MACs for the four gates → ``2·8·s·h²``; attention
+    adds roughly ``4·s·h²`` projections + ``4·s²·h`` scores.
+    """
+    flops = 2.0 * 8.0 * seq_len * hidden * hidden * directions
+    params = directions * (8 * hidden * hidden + 8 * hidden)
+    if attention:
+        flops += 4.0 * seq_len * hidden * hidden + 4.0 * seq_len * seq_len * hidden
+        params += 4 * hidden * hidden
+    # Boundary: hidden states for all steps (plus cell state snapshot).
+    act = 2.0 * seq_len * hidden * FP32 * directions
+    stored = (4 + 2) * seq_len * hidden * FP32 * directions  # gates + h/c
+    if attention:
+        stored += seq_len * seq_len * FP32
+    return LayerSpec(
+        name=name,
+        flops_fwd=flops,
+        params=params,
+        activation_out_bytes=act,
+        stored_bytes=stored,
+    )

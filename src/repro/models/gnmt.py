@@ -1,0 +1,78 @@
+"""GNMT-16 layer graph (Wu et al.): 8 encoder + 8 decoder LSTM layers.
+
+The paper's key observation for GNMT (§VI-C): encoder and decoder layers are
+*unbalanced* — a decoder layer (with attention) costs about 1.45× an encoder
+layer — so the planner's best 2-stage split is 9:7, one layer past the even
+midpoint, rather than 8:8.  Embeddings fold into the first encoder/decoder
+units and the softmax projection into the last decoder unit, matching the
+paper's 16-layer planning granularity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.models.blocks import lstm_layer
+from repro.models.graph import FP32, LayerGraph, LayerSpec
+
+#: Decoder/encoder per-layer compute ratio reported in the paper (§VI-C).
+DECODER_COMPUTE_RATIO = 1.45
+
+#: GNMT trains with sampled softmax (Wu et al. §5), so the projection's
+#: training-time compute uses a sampled vocabulary, keeping the last
+#: decoder unit's cost near the other decoder layers — the paper describes
+#: GNMT's layers as having "roughly the same scale of computations".
+SOFTMAX_SAMPLE_VOCAB = 4096
+
+
+def gnmt_layers(
+    num_layers: int = 16,
+    hidden: int = 1024,
+    seq_len: int = 50,
+    vocab: int = 32000,
+    name: str | None = None,
+) -> LayerGraph:
+    """Build a GNMT-style graph: first half encoder, second half decoder."""
+    if num_layers % 2 != 0:
+        raise ValueError(f"GNMT needs an even layer count, got {num_layers}")
+    half = num_layers // 2
+    embed_params = vocab * hidden
+    softmax_params = vocab * hidden + vocab
+
+    layers: list[LayerSpec] = []
+    for i in range(half):
+        spec = lstm_layer(f"encoder{i}", hidden, seq_len, directions=2 if i == 0 else 1)
+        if i == 0:  # fold source embedding into the first encoder unit
+            spec = dataclasses.replace(spec, params=spec.params + embed_params)
+        layers.append(spec)
+    for i in range(half):
+        spec = lstm_layer(f"decoder{i}", hidden, seq_len, attention=True)
+        # Calibrate decoder compute to the paper's measured 1.45× ratio.
+        enc_flops = layers[1].flops_fwd
+        spec = dataclasses.replace(spec, flops_fwd=enc_flops * DECODER_COMPUTE_RATIO)
+        extra = 0
+        if i == 0:  # target embedding
+            extra += embed_params
+        if i == half - 1:  # sampled-softmax projection + loss outputs
+            extra += softmax_params
+            spec = dataclasses.replace(
+                spec,
+                params=spec.params + extra,
+                flops_fwd=spec.flops_fwd + 2.0 * seq_len * SOFTMAX_SAMPLE_VOCAB * hidden,
+                activation_out_bytes=seq_len * SOFTMAX_SAMPLE_VOCAB * FP32,
+            )
+            layers.append(spec)
+            continue
+        spec = dataclasses.replace(spec, params=spec.params + extra)
+        layers.append(spec)
+    return LayerGraph(
+        name=name or f"GNMT-{num_layers}",
+        layers=layers,
+        profile_batch=64,
+        optimizer="adam",
+    )
+
+
+def gnmt16() -> LayerGraph:
+    """The paper's GNMT-16 benchmark (~290 M parameters)."""
+    return gnmt_layers(16)

@@ -1,0 +1,53 @@
+"""GPT-style decoder stacks (not in the paper; zoo extension).
+
+Decoder-only language models are the workload that made pipeline
+parallelism mainstream after the paper's publication; adding them to the
+zoo lets users plan modern LLM shapes with the same machinery.  Layer
+structure reuses the calibrated transformer block (causal attention has
+the same cost profile at this granularity).
+"""
+
+from __future__ import annotations
+
+from repro.models.blocks import embedding_layer, fc_layer, transformer_encoder_layer
+from repro.models.graph import LayerGraph
+
+
+def gpt_layers(
+    num_layers: int,
+    hidden: int,
+    heads: int,
+    seq_len: int = 1024,
+    vocab: int = 50257,
+    profile_batch: int = 1,
+    name: str | None = None,
+) -> LayerGraph:
+    """Build a GPT-style decoder stack at planner granularity."""
+    layers = [
+        embedding_layer(
+            "embedding", vocab=vocab, hidden=hidden, seq_len=seq_len,
+            extra_params=seq_len * hidden,
+        )
+    ]
+    layers.extend(
+        transformer_encoder_layer(f"block{i}", hidden=hidden, seq_len=seq_len,
+                                  heads=heads)
+        for i in range(num_layers)
+    )
+    layers.append(fc_layer("ln_f", hidden, hidden))
+    return LayerGraph(
+        name=name or f"GPT-{num_layers}x{hidden}",
+        layers=layers,
+        profile_batch=profile_batch,
+        optimizer="adam",
+    )
+
+
+def gpt2_medium() -> LayerGraph:
+    """GPT-2 Medium: 24 layers, hidden 1024 (~350M params)."""
+    return gpt_layers(24, 1024, 16, name="GPT2-Medium")
+
+
+def gpt2_xl() -> LayerGraph:
+    """GPT-2 XL: 48 layers, hidden 1600 (~1.5B params)."""
+    return gpt_layers(48, 1600, 25, name="GPT2-XL")

@@ -1,0 +1,238 @@
+"""Layer-graph representation of benchmark models.
+
+The DAPPLE planner treats a DNN as a *sequence of layers*, each with
+per-sample forward FLOPs, a parameter count, an output-activation size (what
+crosses a stage boundary if the model is split after this layer), and a
+stored-activation size (what must stay resident between forward and backward
+of one micro-batch).  This is exactly the granularity of the paper's
+profiler output ("compute times, activation sizes, parameter sizes" per
+layer, Fig. 1).
+
+All aggregate queries are backed by numpy prefix sums so the planner's inner
+loop (which evaluates tens of thousands of layer ranges) costs O(1) per
+query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+FP32 = 4  # bytes per parameter / activation element
+
+#: Persistent optimizer bytes per parameter (weight + optimizer states,
+#: excluding the gradient-accumulation buffer which the runtime adds during
+#: training).  Adam: w + m + v; RMSProp: w + accumulator; SGD+momentum: w + u.
+OPTIMIZER_STATE_BYTES = {
+    "adam": 12,
+    "rmsprop": 8,
+    "sgd": 8,
+}
+
+#: Gradient accumulation buffer added while training (fp32 gradients).
+GRAD_BYTES_PER_PARAM = 4
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One planner-granularity layer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``"encoder12"``, ``"conv3_2"``).
+    flops_fwd:
+        Forward FLOPs *per sample*.
+    params:
+        Number of trainable parameters.
+    activation_out_bytes:
+        Per-sample size of the tensor handed to the next layer — the
+        cross-stage traffic if the model is cut after this layer (Table I).
+    stored_bytes:
+        Per-sample activation bytes that must stay resident from forward
+        until the corresponding backward of a micro-batch (checkpointing
+        discards these, keeping only the stage input).
+    bwd_flops_ratio:
+        Backward/forward FLOP ratio; 2.0 is the standard for dense layers
+        (grad wrt inputs + grad wrt weights).
+    """
+
+    name: str
+    flops_fwd: float
+    params: int
+    activation_out_bytes: float
+    stored_bytes: float
+    bwd_flops_ratio: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.flops_fwd < 0 or self.params < 0:
+            raise ValueError(f"layer {self.name!r} has negative flops/params")
+        if self.activation_out_bytes < 0 or self.stored_bytes < 0:
+            raise ValueError(f"layer {self.name!r} has negative activation sizes")
+
+    @property
+    def param_bytes(self) -> float:
+        return self.params * FP32
+
+    @property
+    def flops_bwd(self) -> float:
+        return self.flops_fwd * self.bwd_flops_ratio
+
+
+@dataclass
+class LayerGraph:
+    """A model as an ordered sequence of :class:`LayerSpec`.
+
+    ``profile_batch`` is the per-device micro-batch size the paper profiles
+    with (Table II, "batch size" column); ``optimizer`` selects persistent
+    state accounting.  ``fixed_overhead_fwd`` models per-layer kernel-launch
+    cost so very small sub-batches do not look artificially free.
+    """
+
+    name: str
+    layers: list[LayerSpec]
+    profile_batch: int
+    optimizer: str = "adam"
+    fixed_overhead_fwd: float = 20e-6
+    _prefix: dict = field(init=False, default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"model {self.name!r} has no layers")
+        if self.profile_batch < 1:
+            raise ValueError(f"profile batch must be >=1, got {self.profile_batch}")
+        if self.optimizer not in OPTIMIZER_STATE_BYTES:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; "
+                f"expected one of {sorted(OPTIMIZER_STATE_BYTES)}"
+            )
+        self._rebuild_prefix()
+
+    def _rebuild_prefix(self) -> None:
+        def pref(values):
+            arr = np.zeros(len(self.layers) + 1)
+            np.cumsum(np.asarray(values, dtype=float), out=arr[1:])
+            return arr
+
+        self._prefix = {
+            "flops_fwd": pref([l.flops_fwd for l in self.layers]),
+            "flops_bwd": pref([l.flops_bwd for l in self.layers]),
+            "params": pref([l.params for l in self.layers]),
+            "stored": pref([l.stored_bytes for l in self.layers]),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Whole-model aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return int(self._prefix["params"][-1])
+
+    @property
+    def total_param_bytes(self) -> float:
+        """Gradient traffic volume of pure data parallelism (Table I)."""
+        return self.total_params * FP32
+
+    @property
+    def total_flops_fwd(self) -> float:
+        return float(self._prefix["flops_fwd"][-1])
+
+    @property
+    def optimizer_state_bytes(self) -> float:
+        """Persistent weight+state bytes for the whole model."""
+        return self.total_params * OPTIMIZER_STATE_BYTES[self.optimizer]
+
+    # ------------------------------------------------------------------ #
+    # Range queries (layer index ranges are half-open [lo, hi))
+    # ------------------------------------------------------------------ #
+    def _check_range(self, lo: int, hi: int) -> None:
+        if not (0 <= lo < hi <= self.num_layers):
+            raise IndexError(
+                f"invalid layer range [{lo}, {hi}) for {self.num_layers}-layer model"
+            )
+
+    def range_flops_fwd(self, lo: int, hi: int) -> float:
+        self._check_range(lo, hi)
+        return float(self._prefix["flops_fwd"][hi] - self._prefix["flops_fwd"][lo])
+
+    def range_flops_bwd(self, lo: int, hi: int) -> float:
+        self._check_range(lo, hi)
+        return float(self._prefix["flops_bwd"][hi] - self._prefix["flops_bwd"][lo])
+
+    def range_params(self, lo: int, hi: int) -> int:
+        self._check_range(lo, hi)
+        return int(self._prefix["params"][hi] - self._prefix["params"][lo])
+
+    def range_param_bytes(self, lo: int, hi: int) -> float:
+        return self.range_params(lo, hi) * FP32
+
+    def range_stored_bytes(self, lo: int, hi: int) -> float:
+        """Per-sample resident activation bytes of layers [lo, hi)."""
+        self._check_range(lo, hi)
+        return float(self._prefix["stored"][hi] - self._prefix["stored"][lo])
+
+    def range_state_bytes(self, lo: int, hi: int) -> float:
+        """Persistent optimizer bytes of a stage covering layers [lo, hi)."""
+        return self.range_params(lo, hi) * OPTIMIZER_STATE_BYTES[self.optimizer]
+
+    def boundary_activation_bytes(self, split: int) -> float:
+        """Per-sample bytes crossing a cut placed *after* layer ``split-1``.
+
+        ``split == 0`` or ``split == num_layers`` are the trivial cuts with
+        no traffic.
+        """
+        if not (0 <= split <= self.num_layers):
+            raise IndexError(f"invalid split {split}")
+        if split in (0, self.num_layers):
+            return 0.0
+        return self.layers[split - 1].activation_out_bytes
+
+    # ------------------------------------------------------------------ #
+    # Derived model variants
+    # ------------------------------------------------------------------ #
+    def scaled(self, layer_lo: int, layer_hi: int, name: str | None = None) -> "LayerGraph":
+        """A sub-model made of layers [lo, hi) — used for weak scaling."""
+        self._check_range(layer_lo, layer_hi)
+        return LayerGraph(
+            name=name or f"{self.name}[{layer_lo}:{layer_hi}]",
+            layers=self.layers[layer_lo:layer_hi],
+            profile_batch=self.profile_batch,
+            optimizer=self.optimizer,
+            fixed_overhead_fwd=self.fixed_overhead_fwd,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LayerGraph({self.name}: {self.num_layers} layers, "
+            f"{self.total_params / 1e6:.0f}M params)"
+        )
+
+
+def uniform_model(
+    name: str,
+    num_layers: int,
+    flops_per_layer: float,
+    params_per_layer: int,
+    activation_bytes: float,
+    stored_bytes: float | None = None,
+    profile_batch: int = 1,
+    optimizer: str = "adam",
+) -> LayerGraph:
+    """Convenience constructor for synthetic uniform-layer models (tests)."""
+    stored = stored_bytes if stored_bytes is not None else 2.0 * activation_bytes
+    layers = [
+        LayerSpec(
+            name=f"layer{i}",
+            flops_fwd=flops_per_layer,
+            params=params_per_layer,
+            activation_out_bytes=activation_bytes,
+            stored_bytes=stored,
+        )
+        for i in range(num_layers)
+    ]
+    return LayerGraph(name=name, layers=layers, profile_batch=profile_batch, optimizer=optimizer)

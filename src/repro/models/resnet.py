@@ -1,0 +1,59 @@
+"""ResNet-50 layer graph (He et al.).
+
+ResNet-50 is the paper's "data parallelism wins everywhere" benchmark: tiny
+parameters (~25 M → 100 MB gradients) against heavy convolution compute and
+*large* inter-block activations, so splitting it into pipeline stages buys
+nothing on any of the three hardware configs (Table V).
+"""
+
+from __future__ import annotations
+
+from repro.models.blocks import conv_layer, fc_layer
+from repro.models.graph import FP32, LayerGraph, LayerSpec
+
+#: (stage, bottleneck width, blocks, output spatial size @224 input).
+_RESNET50_STAGES = [
+    (2, 64, 3, 56),
+    (3, 128, 4, 28),
+    (4, 256, 6, 14),
+    (5, 512, 3, 7),
+]
+
+
+def _bottleneck(name: str, in_ch: int, width: int, spatial: int) -> LayerSpec:
+    """A 1×1 → 3×3 → 1×1 bottleneck block collapsed into one planner unit."""
+    out_ch = width * 4
+    flops = (
+        2.0 * in_ch * width * spatial * spatial  # 1x1 reduce
+        + 2.0 * 9 * width * width * spatial * spatial  # 3x3
+        + 2.0 * width * out_ch * spatial * spatial  # 1x1 expand
+    )
+    params = in_ch * width + 9 * width * width + width * out_ch
+    if in_ch != out_ch:  # projection shortcut
+        flops += 2.0 * in_ch * out_ch * spatial * spatial
+        params += in_ch * out_ch
+    act = spatial * spatial * out_ch * FP32
+    # Fused conv-bn-relu keeps only block inputs/outputs for backward
+    # (in-place ReLU, recomputed BN stats), matching the paper's modest
+    # 1 GB profile cost at batch 128 (Table II).
+    return LayerSpec(
+        name=name,
+        flops_fwd=flops,
+        params=params,
+        activation_out_bytes=act,
+        stored_bytes=0.3 * act,
+    )
+
+
+def resnet50(num_classes: int = 1000) -> LayerGraph:
+    """Build the 18-unit ResNet-50 planner graph (stem + 16 blocks + head)."""
+    layers: list[LayerSpec] = [
+        conv_layer("stem", 3, 64, 224, kernel=7, out_spatial=56, store_factor=0.5)
+    ]
+    in_ch = 64
+    for stage, width, blocks, spatial in _RESNET50_STAGES:
+        for b in range(blocks):
+            layers.append(_bottleneck(f"res{stage}_{b+1}", in_ch, width, spatial))
+            in_ch = width * 4
+    layers.append(fc_layer("fc", in_ch, num_classes))
+    return LayerGraph(name="ResNet-50", layers=layers, profile_batch=128, optimizer="sgd")

@@ -1,0 +1,52 @@
+"""VGG-19 layer graph (Simonyan & Zisserman, config E).
+
+The characteristic shape the paper exploits (§VI-C): ~70 % of the weights
+sit in the first fully-connected layer at the very end, while nearly all
+FLOPs are in the convolutions at the front, and activations shrink from
+12 MB/sample after conv1 to ~0.1 MB/sample entering the classifier.  This is
+why a 15:1 pipeline that cuts before the classifier beats data parallelism
+on slow interconnects.
+"""
+
+from __future__ import annotations
+
+from repro.models.blocks import conv_layer, fc_layer, pool_layer
+from repro.models.graph import FP32, LayerGraph, LayerSpec
+
+#: (block, channels, convs-in-block); input is 224×224×3.
+_VGG19_BLOCKS = [
+    (1, 64, 2),
+    (2, 128, 2),
+    (3, 256, 4),
+    (4, 512, 4),
+    (5, 512, 4),
+]
+
+
+def vgg19(num_classes: int = 1000, image_size: int = 224) -> LayerGraph:
+    """Build the 25-unit VGG-19 planner graph (16 conv + 5 pool + 3 fc + loss)."""
+    layers: list[LayerSpec] = []
+    spatial = image_size
+    in_ch = 3
+    for block, ch, n_convs in _VGG19_BLOCKS:
+        for i in range(n_convs):
+            layers.append(conv_layer(f"conv{block}_{i+1}", in_ch, ch, spatial))
+            in_ch = ch
+        spatial //= 2
+        layers.append(pool_layer(f"pool{block}", ch, spatial))
+
+    flat = spatial * spatial * in_ch  # 7*7*512 = 25088
+    layers.append(fc_layer("fc6", flat, 4096))
+    layers.append(fc_layer("fc7", 4096, 4096))
+    layers.append(fc_layer("fc8", 4096, num_classes))
+    layers.append(
+        LayerSpec(
+            name="softmax",
+            flops_fwd=5.0 * num_classes,
+            params=0,
+            activation_out_bytes=num_classes * FP32,
+            stored_bytes=num_classes * FP32,
+            bwd_flops_ratio=1.0,
+        )
+    )
+    return LayerGraph(name="VGG-19", layers=layers, profile_batch=32, optimizer="sgd")

@@ -1,0 +1,44 @@
+"""DAPPLE runtime: executes plans and schedules on the simulated cluster."""
+
+from repro.runtime.checkpointing import (
+    STRATEGIES,
+    StageCheckpointing,
+    normalize_strategy,
+    stage_checkpointing,
+)
+from repro.runtime.dataparallel import (
+    DataParallelResult,
+    dp_iteration_time,
+    overlapped_allreduce_exposure,
+)
+from repro.runtime.executor import (
+    ExecutionResult,
+    IterationOps,
+    PipelineExecutor,
+    execute_plan,
+)
+from repro.runtime.analysis import PipelineReport, analyze, closed_form_efficiency
+from repro.runtime.memory import MemoryModel, OutOfMemoryError, StageMemory
+from repro.runtime.steady_state import SteadyStateResult, simulate_iterations
+
+__all__ = [
+    "STRATEGIES",
+    "StageCheckpointing",
+    "normalize_strategy",
+    "stage_checkpointing",
+    "DataParallelResult",
+    "dp_iteration_time",
+    "overlapped_allreduce_exposure",
+    "ExecutionResult",
+    "IterationOps",
+    "PipelineExecutor",
+    "execute_plan",
+    "MemoryModel",
+    "OutOfMemoryError",
+    "StageMemory",
+    "SteadyStateResult",
+    "simulate_iterations",
+    "PipelineReport",
+    "analyze",
+    "closed_form_efficiency",
+]

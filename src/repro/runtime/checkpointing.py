@@ -1,0 +1,108 @@
+"""Activation re-computation strategies (paper §III, Chen et al. [13]).
+
+Three policies for what a stage keeps between a micro-batch's forward and
+backward:
+
+* ``"none"`` — keep every intermediate (fastest, most memory);
+* ``"boundary"`` — the paper's GPipe-aligned policy: keep only the stage's
+  input activation, rematerialize everything during backward (≈ one extra
+  forward of compute, the "~20 %" overhead the paper cites);
+* ``"sqrt"`` — Chen et al.'s √n checkpointing *within* the stage: keep
+  ⌈√L⌉ segment boundaries, rematerialize one segment at a time, paying
+  roughly one extra forward but bounding the transient to the largest
+  segment instead of the whole stage.
+
+Strategies are orthogonal to the DAPPLE schedule (paper contribution #3):
+the executor composes any of them with early backward scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.plan import ParallelPlan
+from repro.core.profiler import ModelProfile
+
+#: Accepted strategy names (True/False map to boundary/none for backward
+#: compatibility with the original boolean ``recompute`` flag).
+STRATEGIES = ("none", "boundary", "sqrt")
+
+
+def normalize_strategy(value) -> str:
+    """Map legacy booleans and strings onto a strategy name."""
+    if value is True:
+        return "boundary"
+    if value is False or value is None:
+        return "none"
+    if value in STRATEGIES:
+        return value
+    raise ValueError(f"unknown checkpoint strategy {value!r}; expected {STRATEGIES}")
+
+
+@dataclass(frozen=True)
+class StageCheckpointing:
+    """Memory/time consequences of a strategy for one stage replica."""
+
+    strategy: str
+    resident_per_microbatch: float  # bytes held from forward to backward
+    transient_backward: float  # extra bytes alive during one backward
+    extra_backward_time: float  # rematerialization compute per micro-batch
+
+
+def stage_checkpointing(
+    profile: ModelProfile,
+    plan: ParallelPlan,
+    stage_idx: int,
+    strategy,
+) -> StageCheckpointing:
+    """Compute the checkpointing profile of ``plan.stages[stage_idx]``."""
+    strategy = normalize_strategy(strategy)
+    stage = plan.stages[stage_idx]
+    b = plan.device_batch(stage_idx)
+    lo, hi = stage.layer_lo, stage.layer_hi
+    full = profile.stored_bytes(lo, hi, b)
+
+    # Stage input checkpoint: the boundary tensor (or a tiny input slice
+    # for the first stage).
+    if lo > 0:
+        input_ckpt = profile.boundary_bytes(lo, plan.micro_batch_size) / stage.replicas
+    else:
+        input_ckpt = full * 0.02
+    input_ckpt = min(input_ckpt, full)
+
+    if strategy == "none":
+        return StageCheckpointing("none", full, 0.0, 0.0)
+
+    if strategy == "boundary":
+        return StageCheckpointing(
+            "boundary",
+            resident_per_microbatch=input_ckpt,
+            transient_backward=max(0.0, full - input_ckpt),
+            extra_backward_time=profile.fwd_time(lo, hi, b),
+        )
+
+    # sqrt: segment the stage into ~sqrt(L) pieces; keep each segment's
+    # input activation, rematerialize one segment at a time.
+    n_layers = hi - lo
+    segments = max(1, int(math.ceil(math.sqrt(n_layers))))
+    seg_len = int(math.ceil(n_layers / segments))
+    bounds = list(range(lo, hi, seg_len)) + [hi]
+    ckpt_bytes = input_ckpt + sum(
+        profile.boundary_bytes(cut, plan.micro_batch_size) / stage.replicas
+        for cut in bounds[1:-1]
+    )
+    largest_segment = max(
+        profile.stored_bytes(bounds[i], bounds[i + 1], b) for i in range(len(bounds) - 1)
+    )
+    resident = min(ckpt_bytes, full)
+    # All segments except the last are rematerialized (the last's forward
+    # immediately precedes its backward in the 1F1B interleave only for the
+    # final stage; be conservative and recompute everything).
+    extra = profile.fwd_time(lo, hi, b)
+    return StageCheckpointing(
+        "sqrt",
+        resident_per_microbatch=resident,
+        transient_backward=max(0.0, largest_segment - resident),
+        extra_backward_time=extra,
+    )

@@ -1,0 +1,154 @@
+"""Data-parallel training baselines (paper §VI-C comparison arms).
+
+Two DP variants appear throughout the paper's figures:
+
+* **DP No Overlap** — gradient accumulation over local micro-batches, then
+  one exposed AllReduce:
+  ``T = steps·(F + B) + AR(total_grads)``.
+* **DP + Normal Overlap** — the AllReduce of each gradient bucket starts as
+  soon as that bucket's accumulated gradient is final, i.e. during the
+  *last* micro-batch's backward pass, overlapping communication with the
+  remaining backward compute [Poseidon-style].  Layers complete backward in
+  reverse order, so late-model parameters (e.g. VGG's giant fc layers) get
+  the longest overlap window — the paper calls VGG's weight-at-the-end /
+  compute-at-the-front distribution "overlapping-friendly".
+
+The overlap model walks layers in backward order, accumulates them into
+bandwidth-friendly buckets (NCCL/Horovod fusion buffers), and serializes
+bucket AllReduces on the network channel behind their readiness times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.collectives import allreduce_time
+from repro.cluster.device import Device
+from repro.cluster.topology import Cluster
+from repro.core.profiler import ModelProfile
+
+#: Gradient-fusion bucket size (bytes); matches common NCCL/Horovod defaults.
+DEFAULT_BUCKET_BYTES = 25 * 1024 * 1024
+
+
+def overlapped_allreduce_exposure(
+    profile: ModelProfile,
+    cluster: Cluster,
+    devices: Sequence[Device],
+    device_batch: float,
+    layer_lo: int = 0,
+    layer_hi: int | None = None,
+    bucket_bytes: float = DEFAULT_BUCKET_BYTES,
+) -> float:
+    """Extra time beyond the backward pass spent on overlapped AllReduce.
+
+    Simulates the last micro-batch's backward over layers
+    ``[layer_lo, layer_hi)`` in reverse order.  A gradient bucket becomes
+    ready when the backward of all its layers completed; bucket AllReduces
+    run serially on the comm channel, each starting no earlier than its
+    readiness.  Returns ``max(0, comm_end − backward_total)`` — the exposed
+    communication tail the figures call the overlap benefit's complement.
+    """
+    layer_hi = profile.num_layers if layer_hi is None else layer_hi
+    devices = list(devices)
+    if len(devices) <= 1:
+        return 0.0
+
+    # Consecutive bucket rings pipeline over the links, so per-hop ring
+    # latency is paid once, not once per bucket: charge each bucket its
+    # volume time only, plus one full-latency ring at the end.
+    ring_latency = allreduce_time(1.0, cluster, devices)
+
+    t_comp = 0.0
+    t_comm = 0.0
+    bucket = 0.0
+    total_bytes = 0.0
+    for l in range(layer_hi - 1, layer_lo - 1, -1):
+        t_comp += profile.bwd_time(l, l + 1, device_batch)
+        bucket += profile.layers[l].param_bytes
+        if bucket >= bucket_bytes:
+            vol = allreduce_time(bucket, cluster, devices) - ring_latency
+            t_comm = max(t_comm, t_comp) + max(vol, 0.0)
+            total_bytes += bucket
+            bucket = 0.0
+    if bucket > 0:
+        vol = allreduce_time(bucket, cluster, devices) - ring_latency
+        t_comm = max(t_comm, t_comp) + max(vol, 0.0)
+    t_comm += ring_latency
+    return max(0.0, t_comm - t_comp)
+
+
+@dataclass(frozen=True)
+class DataParallelResult:
+    """One DP training-iteration estimate."""
+
+    iteration_time: float
+    compute_time: float
+    allreduce_exposed: float
+    steps: int
+    device_batch: float
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the iteration spent on exposed AllReduce."""
+        return self.allreduce_exposed / self.iteration_time if self.iteration_time else 0.0
+
+
+def dp_iteration_time(
+    profile: ModelProfile,
+    cluster: Cluster,
+    devices: Sequence[Device],
+    global_batch_size: int,
+    overlap: bool = True,
+    micro_batch: int | None = None,
+) -> DataParallelResult:
+    """Iteration time of synchronous DP on ``devices`` at ``global_batch_size``.
+
+    Each device accumulates gradients over local micro-batches of
+    ``micro_batch`` samples (default: the model's profiling batch), then all
+    devices AllReduce the full gradient set.  With ``overlap=True`` the
+    AllReduce overlaps the last micro-batch's backward.
+    """
+    devices = list(devices)
+    if not devices:
+        raise ValueError("DP needs at least one device")
+    if global_batch_size < 1:
+        raise ValueError(f"bad global batch size {global_batch_size}")
+    n = profile.num_layers
+    local = global_batch_size / len(devices)
+    mb = micro_batch if micro_batch is not None else profile.graph.profile_batch
+    steps = max(1, round(local / mb))
+    device_batch = local / steps
+
+    fwd = profile.fwd_time(0, n, device_batch)
+    bwd = profile.bwd_time(0, n, device_batch)
+    compute = steps * (fwd + bwd)
+
+    grad_bytes = profile.param_bytes(0, n)
+    if len(devices) == 1:
+        exposed = 0.0
+    elif overlap:
+        exposed = overlapped_allreduce_exposure(profile, cluster, devices, device_batch)
+    else:
+        exposed = allreduce_time(grad_bytes, cluster, devices)
+    return DataParallelResult(
+        iteration_time=compute + exposed,
+        compute_time=compute,
+        allreduce_exposed=exposed,
+        steps=steps,
+        device_batch=device_batch,
+    )
+
+
+def single_device_time(profile: ModelProfile, global_batch_size: int) -> float:
+    """Time for one device to process the whole global batch sequentially.
+
+    The paper's speedup denominator (§VI-C): "the time executing all
+    micro-batches sequentially on a single device".
+    """
+    n = profile.num_layers
+    mb = profile.graph.profile_batch
+    steps = max(1, global_batch_size // mb)
+    per_step = global_batch_size / steps
+    return steps * (profile.fwd_time(0, n, per_step) + profile.bwd_time(0, n, per_step))

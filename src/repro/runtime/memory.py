@@ -1,0 +1,128 @@
+"""Per-stage device memory accounting (paper §III-B, §V-C, Table VI).
+
+For a stage covering layers ``[lo, hi)`` with per-device sub-batch ``b``:
+
+* **persistent** — weights + optimizer states + the gradient-accumulation
+  buffer; resident for the whole run;
+* **per-micro-batch activations** — what forward must keep for backward.
+  Without re-computation this is the full ``stored_bytes`` of the stage's
+  layers; with re-computation only the stage-input checkpoint survives
+  ("storing activations only at the partition boundaries", §VI-E), and the
+  full intermediate set is rematerialized transiently during backward.
+
+``D = max_resident_micro_batches`` is the memory cap on concurrently
+in-flight micro-batches that bounds the scheduler's warm-up count ``Ki``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import ParallelPlan
+from repro.core.profiler import ModelProfile
+from repro.models.graph import FP32, GRAD_BYTES_PER_PARAM
+
+
+class OutOfMemoryError(RuntimeError):
+    """A stage cannot hold even one in-flight micro-batch."""
+
+
+@dataclass(frozen=True)
+class StageMemory:
+    """Memory footprint of one stage replica."""
+
+    persistent_bytes: float
+    full_activation_bytes: float  # resident per micro-batch, no recompute
+    checkpoint_bytes: float  # resident per micro-batch with recompute
+    capacity_bytes: float
+    recompute: bool
+    #: Explicit transient override (set by segmented strategies, where only
+    #: the largest segment is rematerialized at a time).
+    transient_override: float | None = None
+
+    @property
+    def per_microbatch_bytes(self) -> float:
+        """Resident activation bytes per in-flight micro-batch."""
+        return self.checkpoint_bytes if self.recompute else self.full_activation_bytes
+
+    @property
+    def transient_backward_bytes(self) -> float:
+        """Extra bytes rematerialized during one backward with recompute."""
+        if not self.recompute:
+            return 0.0
+        if self.transient_override is not None:
+            return self.transient_override
+        return max(0.0, self.full_activation_bytes - self.checkpoint_bytes)
+
+    def max_resident_micro_batches(self) -> int:
+        """``D``: in-flight micro-batches the device memory can hold."""
+        budget = self.capacity_bytes - self.persistent_bytes - self.transient_backward_bytes
+        if self.per_microbatch_bytes <= 0:
+            return 10**9 if budget >= 0 else 0
+        return max(0, int(budget // self.per_microbatch_bytes))
+
+    def peak_bytes(self, resident_micro_batches: int) -> float:
+        """Peak usage with ``resident_micro_batches`` live micro-batches."""
+        return (
+            self.persistent_bytes
+            + resident_micro_batches * self.per_microbatch_bytes
+            + self.transient_backward_bytes
+        )
+
+
+class MemoryModel:
+    """Builds :class:`StageMemory` for every stage of a plan.
+
+    ``recompute`` accepts the legacy booleans or a strategy name from
+    :mod:`repro.runtime.checkpointing` (``"none"``/``"boundary"``/``"sqrt"``).
+    """
+
+    def __init__(self, profile: ModelProfile, plan: ParallelPlan, recompute=False):
+        from repro.runtime.checkpointing import normalize_strategy
+
+        self.profile = profile
+        self.plan = plan
+        self.strategy = normalize_strategy(recompute)
+        self.recompute = self.strategy != "none"
+
+    def stage_memory(self, stage_idx: int) -> StageMemory:
+        """Footprint of one replica of ``plan.stages[stage_idx]``."""
+        from repro.runtime.checkpointing import stage_checkpointing
+
+        stage = self.plan.stages[stage_idx]
+        b = self.plan.device_batch(stage_idx)
+        params = self.profile.param_bytes(stage.layer_lo, stage.layer_hi)
+        persistent = (
+            self.profile.state_bytes(stage.layer_lo, stage.layer_hi)
+            + params / FP32 * GRAD_BYTES_PER_PARAM
+        )
+        full = self.profile.stored_bytes(stage.layer_lo, stage.layer_hi, b)
+        ckpt = stage_checkpointing(self.profile, self.plan, stage_idx, self.strategy)
+        return StageMemory(
+            persistent_bytes=persistent,
+            full_activation_bytes=full,
+            checkpoint_bytes=ckpt.resident_per_microbatch,
+            # Heterogeneous replicas: the smallest device is the binding
+            # constraint (every replica holds the same state + slices).
+            capacity_bytes=min(d.spec.memory_bytes for d in stage.devices),
+            recompute=self.recompute,
+            transient_override=ckpt.transient_backward if self.recompute else None,
+        )
+
+    def all_stages(self) -> list[StageMemory]:
+        """Footprints for every stage of the plan, in order."""
+        return [self.stage_memory(i) for i in range(self.plan.num_stages)]
+
+    def max_in_flight(self) -> list[int]:
+        """Per-stage ``D`` values; raises if any stage cannot hold one."""
+        out = []
+        for i, sm in enumerate(self.all_stages()):
+            d = sm.max_resident_micro_batches()
+            if d < 1:
+                raise OutOfMemoryError(
+                    f"stage {i} of {self.plan.model.name} needs "
+                    f"{sm.peak_bytes(1) / 2**30:.1f} GiB for one micro-batch "
+                    f"but the device has {sm.capacity_bytes / 2**30:.1f} GiB"
+                )
+            out.append(d)
+        return out

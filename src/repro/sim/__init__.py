@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+This package provides the execution engine underneath the DAPPLE runtime:
+a deterministic list-scheduling simulator over a static task graph
+(:mod:`repro.sim.engine`), resource bookkeeping (:mod:`repro.sim.resources`),
+and execution traces with per-device memory timelines
+(:mod:`repro.sim.trace`).
+
+The simulator plays the role that the TensorFlow graph executor plays in the
+paper: it runs operations as soon as their data/control dependencies are
+satisfied and their resources (GPU streams, network links) are free.
+"""
+
+from repro.sim.chrome_trace import export_chrome_trace, trace_to_events
+from repro.sim.engine import Op, TaskGraph, Simulator, SimulationResult
+from repro.sim.resources import Resource, ResourcePool
+from repro.sim.trace import Trace, TraceEvent, MemoryTimeline
+
+__all__ = [
+    "Op",
+    "TaskGraph",
+    "Simulator",
+    "SimulationResult",
+    "Resource",
+    "ResourcePool",
+    "Trace",
+    "TraceEvent",
+    "MemoryTimeline",
+    "export_chrome_trace",
+    "trace_to_events",
+]

@@ -1,0 +1,77 @@
+"""Export simulation traces to Chrome trace-event JSON.
+
+Open the resulting file in ``chrome://tracing`` or https://ui.perfetto.dev
+to inspect a simulated training iteration interactively — one row per GPU /
+NIC / collective channel, one slice per op, with stage and micro-batch ids
+attached as arguments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sim.trace import Trace
+
+#: Stable color names of the Chrome trace-viewer palette per op kind.
+_COLORS = {
+    "F": "thread_state_running",
+    "B": "thread_state_runnable",
+    "send": "rail_response",
+    "sendback": "rail_animation",
+    "AR": "detailed_memory_dump",
+}
+
+
+def _row_key(resource: str) -> tuple[int, str]:
+    """Sort GPUs numerically first, then links/collectives."""
+    text = str(resource)
+    if text.startswith("gpu:"):
+        return (0, f"{int(text.split(':')[1]):06d}")
+    return (1, text)
+
+
+def trace_to_events(trace: Trace, time_scale: float = 1e6) -> list[dict]:
+    """Convert a trace into Chrome 'X' (complete) events, one per op-resource.
+
+    ``time_scale`` converts seconds to the viewer's microseconds.
+    """
+    rows = sorted(
+        {r for e in trace.events for r in e.resources}, key=_row_key
+    )
+    tid_of = {r: i for i, r in enumerate(rows)}
+    events: list[dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": str(resource)},
+        }
+        for resource, tid in tid_of.items()
+    ]
+    for e in trace.events:
+        kind = e.tags.get("kind", "?")
+        for r in e.resources:
+            events.append(
+                {
+                    "name": e.name,
+                    "cat": kind,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid_of[r],
+                    "ts": e.start * time_scale,
+                    "dur": max(e.duration * time_scale, 0.01),
+                    "cname": _COLORS.get(kind),
+                    "args": {k: v for k, v in e.tags.items()},
+                }
+            )
+    return events
+
+
+def export_chrome_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` as a Chrome trace-event JSON file."""
+    path = Path(path)
+    payload = {"traceEvents": trace_to_events(trace), "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload))
+    return path

@@ -1,0 +1,82 @@
+"""Resource bookkeeping for the discrete-event simulator.
+
+A *resource* is anything an operation occupies exclusively for its duration:
+a GPU compute stream, a machine's NIC, an NVLink lane, or a virtual
+"collective" channel used to serialize AllReduce operations of one replica
+group.  Resources are identified by hashable keys (usually strings such as
+``"gpu:3"`` or ``"nic:0->1"``).
+
+The simulator in :mod:`repro.sim.engine` only needs two operations: check
+whether a set of resources is simultaneously free, and mark them busy/free.
+Keeping this logic in a small class makes the dispatch loop easy to test in
+isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A named exclusive resource.
+
+    Attributes
+    ----------
+    key:
+        Unique hashable identifier, e.g. ``"gpu:0"``.
+    kind:
+        Free-form category tag (``"gpu"``, ``"link"``, ``"collective"``);
+        only used for traces and debugging.
+    """
+
+    key: Hashable
+    kind: str = "generic"
+
+
+@dataclass
+class ResourcePool:
+    """Tracks which resources are currently occupied and by which op.
+
+    The pool is permissive: resources are registered lazily the first time
+    they are referenced, so callers do not need to pre-declare the hardware
+    inventory.  ``owner`` maps a busy resource key to the integer id of the
+    op holding it.
+    """
+
+    owner: dict = field(default_factory=dict)
+
+    def is_free(self, keys: Iterable[Hashable]) -> bool:
+        """Return True iff *every* key in ``keys`` is currently unoccupied."""
+        return all(k not in self.owner for k in keys)
+
+    def acquire(self, keys: Iterable[Hashable], op_id: int) -> None:
+        """Mark ``keys`` busy, owned by ``op_id``.
+
+        Raises
+        ------
+        RuntimeError
+            If any key is already busy — this indicates a scheduler bug, so
+            we fail loudly instead of silently corrupting the simulation.
+        """
+        for k in keys:
+            if k in self.owner:
+                raise RuntimeError(
+                    f"resource {k!r} already owned by op {self.owner[k]} "
+                    f"(requested by op {op_id})"
+                )
+            self.owner[k] = op_id
+
+    def release(self, keys: Iterable[Hashable], op_id: int) -> None:
+        """Free ``keys`` previously acquired by ``op_id``."""
+        for k in keys:
+            got = self.owner.pop(k, None)
+            if got != op_id:
+                raise RuntimeError(
+                    f"resource {k!r} released by op {op_id} but owned by {got}"
+                )
+
+    def busy_keys(self) -> set:
+        """Snapshot of currently-occupied resource keys."""
+        return set(self.owner)

@@ -1,0 +1,150 @@
+"""Execution traces and per-device memory timelines.
+
+The runtime asks the simulator two kinds of questions after a run:
+
+* *When did each op execute?* — answered by :class:`Trace`, a flat list of
+  :class:`TraceEvent` rows suitable for Gantt rendering and assertions about
+  schedule structure (e.g. "backward of micro-batch 0 on stage 0 starts
+  before forward of micro-batch K").
+* *How much memory was live on each device over time?* — answered by
+  :class:`MemoryTimeline`, built from (time, delta) pairs emitted by ops.
+
+Memory deltas emitted at op *end* are applied before deltas emitted at op
+*start* when timestamps tie: an op that frees activations completes before
+the next op (which allocates) begins, so this ordering reflects the physical
+sequence on a device and avoids reporting phantom peaks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# Phase codes used to order simultaneous memory events: frees (op end) are
+# applied before allocations (op start) at equal timestamps.
+PHASE_END = 0
+PHASE_START = 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed op occurrence."""
+
+    name: str
+    start: float
+    end: float
+    resources: tuple
+    tags: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Ordered record of executed ops."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def add(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def makespan(self) -> float:
+        """Completion time of the last op (0.0 for an empty trace)."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def by_resource(self, key) -> list[TraceEvent]:
+        """Events that occupied resource ``key``, in start order."""
+        evs = [e for e in self.events if key in e.resources]
+        evs.sort(key=lambda e: (e.start, e.end))
+        return evs
+
+    def find(self, name: str) -> TraceEvent:
+        """Return the unique event with ``name``; raise if absent/ambiguous."""
+        hits = [e for e in self.events if e.name == name]
+        if len(hits) != 1:
+            raise KeyError(f"expected exactly one event named {name!r}, got {len(hits)}")
+        return hits[0]
+
+    def busy_time(self, key) -> float:
+        """Total occupied time of resource ``key`` (no overlap by design)."""
+        return sum(e.duration for e in self.by_resource(key))
+
+    def utilization(self, key) -> float:
+        """Busy fraction of resource ``key`` over the full makespan."""
+        ms = self.makespan()
+        return self.busy_time(key) / ms if ms > 0 else 0.0
+
+
+class MemoryTimeline:
+    """Per-device memory usage over time, built from deltas.
+
+    Deltas are accumulated as ``(time, phase, delta_bytes)`` triples and
+    materialized lazily into sorted step functions.  All computations are
+    vectorized with numpy prefix sums so a timeline with hundreds of
+    thousands of events stays cheap to query.
+    """
+
+    def __init__(self) -> None:
+        self._deltas: dict[object, list[tuple[float, int, float]]] = {}
+        self._cache: dict[object, tuple[np.ndarray, np.ndarray]] = {}
+
+    def record(self, device, time: float, delta: float, phase: int = PHASE_START) -> None:
+        """Record a memory delta (bytes) on ``device`` at ``time``."""
+        self._deltas.setdefault(device, []).append((time, phase, delta))
+        self._cache.pop(device, None)
+
+    def devices(self) -> list:
+        return sorted(self._deltas, key=str)
+
+    def _materialize(self, device) -> tuple[np.ndarray, np.ndarray]:
+        """Return (times, usage) arrays: usage[i] holds from times[i] on."""
+        cached = self._cache.get(device)
+        if cached is not None:
+            return cached
+        rows = sorted(self._deltas.get(device, ()))
+        if not rows:
+            out = (np.zeros(1), np.zeros(1))
+            self._cache[device] = out
+            return out
+        times = np.array([r[0] for r in rows], dtype=float)
+        usage = np.cumsum(np.array([r[2] for r in rows], dtype=float))
+        self._cache[device] = (times, usage)
+        return times, usage
+
+    def peak(self, device) -> float:
+        """Maximum live bytes ever observed on ``device``."""
+        _, usage = self._materialize(device)
+        return float(usage.max(initial=0.0))
+
+    def peak_all(self) -> dict:
+        """Peak live bytes for every device."""
+        return {d: self.peak(d) for d in self.devices()}
+
+    def usage_at(self, device, time: float) -> float:
+        """Live bytes on ``device`` at ``time`` (right-continuous)."""
+        times, usage = self._materialize(device)
+        idx = bisect.bisect_right(times.tolist(), time) - 1
+        return float(usage[idx]) if idx >= 0 else 0.0
+
+    def curve(self, device, num_points: int = 200, until: float | None = None):
+        """Sample the usage step function at ``num_points`` uniform times.
+
+        Returns ``(sample_times, sampled_usage)`` numpy arrays — the data
+        behind the paper's Fig. 3(c) memory-consumption plot.
+        """
+        times, usage = self._materialize(device)
+        horizon = until if until is not None else (times[-1] if len(times) else 1.0)
+        horizon = max(horizon, 1e-12)
+        sample_t = np.linspace(0.0, horizon, num_points)
+        idx = np.searchsorted(times, sample_t, side="right") - 1
+        sampled = np.where(idx >= 0, usage[np.clip(idx, 0, len(usage) - 1)], 0.0)
+        return sample_t, sampled
+
+    def final(self, device) -> float:
+        """Live bytes after the last event — should equal persistent state."""
+        _, usage = self._materialize(device)
+        return float(usage[-1]) if len(usage) else 0.0

@@ -1,0 +1,50 @@
+"""Numerical training engine: numpy autograd + DAPPLE-scheduled trainer.
+
+The paper argues (§VI-A) that all of DAPPLE's pipeline-latency optimizations
+"give equivalent gradients for training when keeping global batch size
+fixed and thus convergence is safely preserved".  This package makes that
+claim executable: a small reverse-mode autograd engine over numpy
+(:mod:`repro.training.autograd`), standard layers and optimizers, and a
+pipeline trainer (:mod:`repro.training.pipeline_trainer`) that runs
+micro-batched, stage-partitioned, replica-sliced training in DAPPLE's
+early-backward order and produces gradients numerically equal to
+single-device full-batch training.
+"""
+
+from repro.training.autograd import Tensor, no_grad
+from repro.training.layers import (
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+    mse_loss,
+    softmax_cross_entropy,
+)
+from repro.training.optim import SGD, Adam, RMSProp, clip_grad_norm
+from repro.training.data_parallel_trainer import DataParallelTrainer
+from repro.training.pipeline_trainer import (
+    PipelineTrainer,
+    gradients_of,
+    sequential_step_gradients,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Linear",
+    "Module",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+    "mse_loss",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "clip_grad_norm",
+    "DataParallelTrainer",
+    "PipelineTrainer",
+    "gradients_of",
+    "sequential_step_gradients",
+]

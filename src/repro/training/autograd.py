@@ -1,0 +1,319 @@
+"""Minimal reverse-mode autograd over numpy arrays.
+
+Tape-based: every operation appends a node holding its inputs and a
+backward closure; :meth:`Tensor.backward` walks the tape in reverse
+topological order accumulating gradients.  Float64 by default so the
+pipeline-vs-sequential gradient-equivalence tests can assert tight
+tolerances.
+
+This is intentionally a small engine — enough to express the MLP-style
+stage partitions the equivalence experiments need — not a deep-learning
+framework.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph recording inside the context (inference/updates)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` back down to ``shape`` (inverse of numpy broadcasting)."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for ax, dim in enumerate(shape):
+        if dim == 1 and grad.shape[ax] != 1:
+            grad = grad.sum(axis=ax, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an optional gradient and autograd history."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward: Callable[[np.ndarray], tuple] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Graph plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    def _make(self, data, parents, backward) -> "Tensor":
+        req = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=req)
+        if req:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad=None) -> None:
+        """Accumulate gradients of a scalar (or given seed) into the graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a seed requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Reverse topological order via iterative DFS.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                node.grad = g if node.grad is None else node.grad + g
+            if node._backward is None:
+                continue
+            for parent, pg in zip(node._parents, node._backward(g)):
+                if pg is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                grads[key] = pg if key not in grads else grads[key] + pg
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g):
+            return _unbroadcast(g, self.shape), _unbroadcast(g, other.shape)
+
+        return self._make(out_data, (self, other), backward)
+
+    def __sub__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data - other.data
+
+        def backward(g):
+            return _unbroadcast(g, self.shape), _unbroadcast(-g, other.shape)
+
+        return self._make(out_data, (self, other), backward)
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g * other.data, self.shape),
+                _unbroadcast(g * self.data, other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product; supports batched (N-D) operands à la numpy."""
+        out_data = self.data @ other.data
+
+        def backward(g):
+            ga = g @ np.swapaxes(other.data, -1, -2)
+            gb = np.swapaxes(self.data, -1, -2) @ g
+            return _unbroadcast(ga, self.shape), _unbroadcast(gb, other.shape)
+
+        return self._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def transpose(self, *axes) -> "Tensor":
+        """Permute axes; gradient applies the inverse permutation."""
+        axes = axes or tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            return (g.transpose(inverse),)
+
+        return self._make(self.data.transpose(axes), (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Elementwise max(x, 0) with mask-gated gradient."""
+        mask = self.data > 0
+
+        def backward(g):
+            return (g * mask,)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1.0 - out_data**2),)
+
+        return self._make(out_data, (self,), backward)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g / other.data, self.shape),
+                _unbroadcast(-g * self.data / (other.data**2), other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            return (-g,)
+
+        return self._make(-self.data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            return (g * out_data,)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        def backward(g):
+            return (g / self.data,)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def pow(self, exponent: float) -> "Tensor":
+        """Elementwise power with a constant exponent."""
+        def backward(g):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return self._make(self.data**exponent, (self,), backward)
+
+    __pow__ = pow
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        return self.pow(0.5)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g):
+            return (g * out_data * (1.0 - out_data),)
+
+        return self._make(out_data, (self,), backward)
+
+    def reshape(self, *shape) -> "Tensor":
+        """View with a new shape; gradient reshapes back."""
+        old = self.shape
+
+        def backward(g):
+            return (g.reshape(old),)
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        """Fancy indexing; gradients scatter-add back (repeats accumulate)."""
+        def backward(g):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            return (full,)
+
+        return self._make(self.data[index], (self,), backward)
+
+    def sum_axis(self, axis: int, keepdims: bool = True) -> "Tensor":
+        """Sum along one axis."""
+        def backward(g):
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            return (np.broadcast_to(g, self.shape).copy(),)
+
+        return self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean_axis(self, axis: int, keepdims: bool = True) -> "Tensor":
+        """Mean along one axis."""
+        n = self.data.shape[axis]
+
+        def backward(g):
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            return (np.broadcast_to(g / n, self.shape).copy(),)
+
+        return self._make(
+            self.data.mean(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically-stable softmax along ``axis``."""
+        z = self.data - self.data.max(axis=axis, keepdims=True)
+        ez = np.exp(z)
+        out_data = ez / ez.sum(axis=axis, keepdims=True)
+
+        def backward(g):
+            dot = (g * out_data).sum(axis=axis, keepdims=True)
+            return (out_data * (g - dot),)
+
+        return self._make(out_data, (self,), backward)
+
+    def sum(self) -> "Tensor":
+        """Sum over all elements (scalar output)."""
+        def backward(g):
+            return (np.broadcast_to(g, self.shape).copy(),)
+
+        return self._make(self.data.sum(), (self,), backward)
+
+    def mean(self) -> "Tensor":
+        """Mean over all elements (scalar output)."""
+        n = self.data.size
+
+        def backward(g):
+            return (np.broadcast_to(g / n, self.shape).copy(),)
+
+        return self._make(self.data.mean(), (self,), backward)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, grad={'yes' if self.requires_grad else 'no'})"

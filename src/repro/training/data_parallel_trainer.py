@@ -1,0 +1,83 @@
+"""Numerical data-parallel training with gradient accumulation.
+
+The DP baseline of the paper's figures, executed numerically: ``W``
+workers each hold a full model replica, process their shard of the global
+batch in local micro-batches (gradient accumulation, §II), then AllReduce
+the summed gradients and apply one synchronous update.  Like
+:class:`~repro.training.pipeline_trainer.PipelineTrainer`, losses are
+normalized by the global batch size so the result is numerically equal to
+single-device full-batch training — letting tests assert that *both*
+parallelization families (and therefore any hybrid of them) preserve
+convergence.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.training.autograd import Tensor
+from repro.training.layers import Sequential
+from repro.training.optim import Optimizer
+from repro.training.pipeline_trainer import LossFn
+
+
+class DataParallelTrainer:
+    """Synchronous DP over ``num_workers`` full model replicas."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        num_workers: int,
+        micro_batches_per_worker: int = 1,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"need >=1 worker, got {num_workers}")
+        if micro_batches_per_worker < 1:
+            raise ValueError(
+                f"need >=1 micro-batch per worker, got {micro_batches_per_worker}"
+            )
+        self.model = model
+        self.num_workers = num_workers
+        self.micro_batches_per_worker = micro_batches_per_worker
+        self.replicas = [copy.deepcopy(model) for _ in range(num_workers)]
+
+    def step_gradients(
+        self, x: np.ndarray, y: np.ndarray, loss_fn: LossFn
+    ) -> tuple[float, list[np.ndarray]]:
+        """One global batch: shard, accumulate locally, AllReduce (sum)."""
+        n = len(x)
+        shards_x = np.array_split(np.asarray(x, dtype=np.float64), self.num_workers)
+        shards_y = np.array_split(np.asarray(y), self.num_workers)
+        total_loss = 0.0
+        for rep in self.replicas:
+            rep.zero_grad()
+
+        for rep, sx, sy in zip(self.replicas, shards_x, shards_y):
+            if len(sx) == 0:
+                continue
+            steps = min(self.micro_batches_per_worker, len(sx))
+            for mx, my in zip(np.array_split(sx, steps), np.array_split(sy, steps)):
+                pred = rep(Tensor(mx))
+                loss = loss_fn(pred, my, float(n))
+                loss.backward()  # grads accumulate across micro-batches
+                total_loss += float(loss.data)
+
+        # AllReduce: sum gradients across workers.
+        reduced = [p.grad.copy() for p in self.replicas[0].parameters()]
+        for rep in self.replicas[1:]:
+            for acc, p in zip(reduced, rep.parameters()):
+                acc += p.grad
+        return total_loss, reduced
+
+    def train_step(
+        self, x: np.ndarray, y: np.ndarray, loss_fn: LossFn, optimizer: Optimizer
+    ) -> float:
+        """AllReduce → apply → broadcast (the paper's Fig. 10 update)."""
+        loss, grads = self.step_gradients(x, y, loss_fn)
+        optimizer.step(grads)
+        values = self.model.state()
+        for rep in self.replicas:
+            rep.load_state(values)
+        return loss

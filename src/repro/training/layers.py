@@ -1,0 +1,192 @@
+"""Layers and losses for the numerical training engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.training.autograd import Tensor
+
+
+class Module:
+    """Base class: a callable with named parameters."""
+
+    def parameters(self) -> list[Tensor]:
+        out: list[Tensor] = []
+        for v in vars(self).values():
+            if isinstance(v, Tensor) and v.requires_grad:
+                out.append(v)
+            elif isinstance(v, Module):
+                out.extend(v.parameters())
+            elif isinstance(v, (list, tuple)):
+                for item in v:
+                    if isinstance(item, Module):
+                        out.extend(item.parameters())
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def state(self) -> list[np.ndarray]:
+        """Copies of current parameter values (for replication/snapshots)."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state(self, state: list[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(params) != len(state):
+            raise ValueError(f"state has {len(state)} arrays, module has {len(params)}")
+        for p, s in zip(params, state):
+            p.data[...] = s
+
+
+class Linear(Module):
+    """Dense layer ``y = x W + b`` with Xavier-uniform init."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        bound = float(np.sqrt(6.0 / (in_dim + out_dim)))
+        self.weight = Tensor(rng.uniform(-bound, bound, (in_dim, out_dim)), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_dim), requires_grad=True)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic-sigmoid activation."""
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with learnable scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+        self.eps = eps
+
+    def __call__(self, x: Tensor) -> Tensor:
+        mu = x.mean_axis(-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean_axis(-1, keepdims=True)
+        inv = (var + Tensor(self.eps)).pow(-0.5)
+        return centered * inv * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Token-embedding lookup (integer indices → rows of a table)."""
+
+    def __init__(self, vocab: int, dim: int, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        self.table = Tensor(rng.standard_normal((vocab, dim)) * 0.02, requires_grad=True)
+
+    def __call__(self, indices) -> Tensor:
+        idx = np.asarray(indices.data if isinstance(indices, Tensor) else indices).astype(int)
+        return self.table[idx]
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit per-step seed.
+
+    Synchronous data/pipeline parallel training requires every replica to
+    draw the *same* mask (real frameworks broadcast RNG seeds); callers set
+    ``seed`` once per step.  With ``training=False`` (default) the layer is
+    the identity, so the gradient-equivalence guarantees are unaffected
+    unless a caller opts in.
+    """
+
+    def __init__(self, p: float = 0.1):
+        if not (0.0 <= p < 1.0):
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.training = False
+        self.seed = 0
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        rng = np.random.default_rng(self.seed)
+        mask = (rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """A layer pipeline — the structure DAPPLE partitions into stages."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for m in self.modules:
+            x = m(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def slice(self, lo: int, hi: int) -> "Sequential":
+        """Sub-pipeline of modules [lo, hi) — one DAPPLE stage."""
+        if not (0 <= lo < hi <= len(self.modules)):
+            raise IndexError(f"invalid module range [{lo}, {hi})")
+        return Sequential(*self.modules[lo:hi])
+
+
+def mse_loss(pred: Tensor, target: Tensor, normalizer: float | None = None) -> Tensor:
+    """Sum of squared errors divided by ``normalizer`` (default: size).
+
+    Passing the *global* batch size as ``normalizer`` makes micro-batch
+    losses sum exactly to the full-batch loss — the convention DAPPLE's
+    gradient accumulation relies on.
+    """
+    diff = pred - target
+    sq = diff * diff
+    total = sq.sum()
+    n = normalizer if normalizer is not None else float(pred.data.size)
+    return total * Tensor(1.0 / n)
+
+
+def softmax_cross_entropy(
+    logits: Tensor, labels: np.ndarray, normalizer: float | None = None
+) -> Tensor:
+    """Cross-entropy with integer labels, normalized by ``normalizer``.
+
+    Implemented with a custom backward (softmax − one-hot) for stability.
+    """
+    labels = np.asarray(labels)
+    z = logits.data - logits.data.max(axis=1, keepdims=True)
+    ez = np.exp(z)
+    probs = ez / ez.sum(axis=1, keepdims=True)
+    n = normalizer if normalizer is not None else float(len(labels))
+    nll = -np.log(probs[np.arange(len(labels)), labels] + 1e-300).sum() / n
+
+    out = Tensor(nll)
+    if logits.requires_grad:
+        one_hot = np.zeros_like(probs)
+        one_hot[np.arange(len(labels)), labels] = 1.0
+
+        def backward(g):
+            return (g * (probs - one_hot) / n,)
+
+        out.requires_grad = True
+        out._parents = (logits,)
+        out._backward = backward
+    return out

@@ -1,0 +1,129 @@
+"""Optimizers for the numerical training engine (the paper's three: §VI-A).
+
+All optimizers consume explicit ``(param, grad)`` updates so the pipeline
+trainer can apply *accumulated* gradients exactly once per global batch —
+the synchronous weights-update step of the paper's Fig. 10.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.training.autograd import Tensor
+
+
+def clip_grad_norm(grads: Sequence[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global L2 norm is ≤ ``max_norm``.
+
+    Returns the pre-clip norm.  Deterministic and replica-independent when
+    applied to the AllReduced gradients, so it preserves the pipeline/DP
+    gradient-equivalence guarantees.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Optimizer:
+    """Base: holds parameters and per-parameter state slots.
+
+    ``weight_decay`` applies decoupled L2 decay (AdamW-style: decay added
+    to the update, not the gradient) uniformly across subclasses.
+    """
+
+    def __init__(self, params: Sequence[Tensor], lr: float, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be >=0, got {weight_decay}")
+        self.params = list(params)
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self, grads: Sequence[np.ndarray] | None = None) -> None:
+        """Apply one update from ``grads`` (default: each param's ``.grad``)."""
+        if grads is None:
+            grads = [p.grad for p in self.params]
+        if len(grads) != len(self.params):
+            raise ValueError(f"{len(grads)} grads for {len(self.params)} params")
+        for i, (p, g) in enumerate(zip(self.params, grads)):
+            if g is None:
+                raise ValueError(f"missing gradient for parameter {i}")
+            if self.weight_decay:
+                p.data -= self.lr * self.weight_decay * p.data
+            self._update(i, p, np.asarray(g))
+
+    def _update(self, idx: int, p: Tensor, g: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum (VGG/ResNet in the paper)."""
+
+    def __init__(self, params, lr: float = 0.1, momentum: float = 0.9,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, idx, p, g):
+        v = self._velocity[idx]
+        v *= self.momentum
+        v += g
+        p.data -= self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam (GNMT/BERT/XLNet in the paper)."""
+
+    def __init__(self, params, lr: float = 1e-4, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self, grads=None):
+        self._t += 1
+        super().step(grads)
+
+    def _update(self, idx, p, g):
+        m = self._m[idx]
+        v = self._v[idx]
+        m *= self.beta1
+        m += (1 - self.beta1) * g
+        v *= self.beta2
+        v += (1 - self.beta2) * g * g
+        m_hat = m / (1 - self.beta1**self._t)
+        v_hat = v / (1 - self.beta2**self._t)
+        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp (AmoebaNet in the paper)."""
+
+    def __init__(self, params, lr: float = 1e-3, decay: float = 0.9,
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.decay = decay
+        self.eps = eps
+        self._acc = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, idx, p, g):
+        acc = self._acc[idx]
+        acc *= self.decay
+        acc += (1 - self.decay) * g * g
+        p.data -= self.lr * g / (np.sqrt(acc) + self.eps)

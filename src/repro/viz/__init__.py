@@ -1,0 +1,6 @@
+"""Text rendering of schedules and memory curves (paper Figs. 3 & 4)."""
+
+from repro.viz.gantt import render_gantt
+from repro.viz.memcurve import render_memory_curve
+
+__all__ = ["render_gantt", "render_memory_curve"]

@@ -1,0 +1,60 @@
+"""ASCII Gantt charts of pipeline execution traces.
+
+Renders one row per GPU with forward cells as the micro-batch digit,
+backward cells as the digit followed by ``'``, communication as ``~`` and
+idle (bubble) time as ``.`` — a terminal rendition of the paper's Fig. 3/4
+schedule diagrams.
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Trace
+
+
+def _cell(tags: dict) -> str:
+    kind = tags.get("kind", "?")
+    mb = tags.get("mb", "")
+    mb_char = str(mb % 10) if isinstance(mb, int) else "?"
+    if kind == "F":
+        return mb_char
+    if kind == "B":
+        return mb_char.upper() if mb_char.isalpha() else mb_char + "'"
+    if kind in ("send", "sendback"):
+        return "~"
+    if kind == "AR":
+        return "#"
+    return "?"
+
+
+def render_gantt(trace: Trace, width: int = 100, resources: list | None = None) -> str:
+    """Render ``trace`` as a fixed-width ASCII Gantt chart.
+
+    Parameters
+    ----------
+    trace:
+        An executed simulation trace.
+    width:
+        Number of character columns representing the full makespan.
+    resources:
+        Resource keys to show (default: every ``gpu:*`` key, sorted by id).
+    """
+    makespan = trace.makespan()
+    if makespan <= 0:
+        return "(empty trace)"
+    if resources is None:
+        keys = {r for e in trace.events for r in e.resources if str(r).startswith("gpu:")}
+        resources = sorted(keys, key=lambda k: int(str(k).split(":")[1]))
+
+    lines = []
+    for key in resources:
+        row = ["."] * width
+        for e in trace.by_resource(key):
+            lo = int(e.start / makespan * width)
+            hi = max(lo + 1, int(e.end / makespan * width))
+            cell = _cell(e.tags)
+            for i in range(lo, min(hi, width)):
+                # Two-char backward cells ("3'") alternate their characters.
+                row[i] = cell[(i - lo) % len(cell)]
+        lines.append(f"{str(key):>8s} |{''.join(row)}|")
+    header = f"{'':>8s}  t=0{' ' * (width - 12)}t={makespan * 1e3:.1f}ms"
+    return "\n".join([header, *lines])

@@ -1,0 +1,30 @@
+"""ASCII memory-over-time curves (paper Fig. 3c)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.trace import MemoryTimeline
+
+
+def render_memory_curve(
+    memory: MemoryTimeline,
+    device,
+    width: int = 80,
+    height: int = 12,
+    until: float | None = None,
+    label: str | None = None,
+) -> str:
+    """Render a device's memory usage step function as an ASCII sparkplot."""
+    t, u = memory.curve(device, num_points=width, until=until)
+    peak = float(u.max(initial=0.0))
+    if peak <= 0:
+        return f"{label or device}: (no memory activity)"
+    levels = np.clip((u / peak * height).astype(int), 0, height)
+    rows = []
+    for h in range(height, 0, -1):
+        row = "".join("█" if lv >= h else " " for lv in levels)
+        rows.append(f"{'':>4s}|{row}|")
+    gib = peak / 2**30
+    head = f"{label or device}: peak {gib:.2f} GiB over {t[-1] * 1e3:.1f} ms"
+    return "\n".join([head, *rows])

@@ -1,0 +1,83 @@
+"""Unit tests for the GPipe block partitioner."""
+
+import pytest
+
+from repro.baselines import balanced_partition, gpipe_plan
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.models import uniform_model, vgg19
+
+
+class TestBalancedPartition:
+    def test_uniform_costs_even_split(self):
+        bounds = balanced_partition([1.0] * 8, 4)
+        assert bounds == [0, 2, 4, 6, 8]
+
+    def test_single_block(self):
+        assert balanced_partition([1.0, 2.0, 3.0], 1) == [0, 3]
+
+    def test_blocks_equal_items(self):
+        assert balanced_partition([5.0, 1.0], 2) == [0, 1, 2]
+
+    def test_minimizes_max_block(self):
+        costs = [9.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        bounds = balanced_partition(costs, 2)
+        # Optimal: [9] | [1,1,1,1,1] with max 9.
+        assert bounds == [0, 1, 6]
+
+    def test_optimality_vs_bruteforce(self):
+        import itertools
+
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        k = 3
+        best = min(
+            max(sum(costs[a:b]) for a, b in zip((0,) + cuts, cuts + (len(costs),)))
+            for cuts in itertools.combinations(range(1, len(costs)), k - 1)
+        )
+        bounds = balanced_partition(costs, k)
+        got = max(sum(costs[bounds[i] : bounds[i + 1]]) for i in range(k))
+        assert got == pytest.approx(best)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            balanced_partition([1.0], 2)
+        with pytest.raises(ValueError):
+            balanced_partition([1.0, 2.0], 0)
+
+
+class TestGPipePlan:
+    def test_default_one_stage_per_device(self):
+        m = uniform_model("u", 8, 1e9, 1000, 1e6, profile_batch=2)
+        c = config_b(4)
+        plan = gpipe_plan(profile_model(m), c, 16)
+        assert plan.num_stages == 4
+        assert all(s.replicas == 1 for s in plan.stages)
+
+    def test_explicit_stage_count(self):
+        m = uniform_model("u", 8, 1e9, 1000, 1e6, profile_batch=2)
+        c = config_b(4)
+        plan = gpipe_plan(profile_model(m), c, 16, num_stages=2)
+        assert plan.num_stages == 2
+
+    def test_too_many_stages_rejected(self):
+        m = uniform_model("u", 8, 1e9, 1000, 1e6, profile_batch=2)
+        c = config_b(2)
+        with pytest.raises(ValueError):
+            gpipe_plan(profile_model(m), c, 16, num_stages=4)
+
+    def test_vgg_partition_balances_compute(self):
+        prof = profile_model(vgg19())
+        c = config_b(4)
+        plan = gpipe_plan(prof, c, 64)
+        times = [
+            prof.fwd_time(s.layer_lo, s.layer_hi, 1.0) for s in plan.stages
+        ]
+        # The heaviest stage is within 2x of the mean (convs dominate and
+        # are chunky, so perfect balance is impossible).
+        assert max(times) < 2.0 * (sum(times) / len(times))
+
+    def test_micro_batch_count(self):
+        m = uniform_model("u", 8, 1e9, 1000, 1e6, profile_batch=2)
+        c = config_b(2)
+        plan = gpipe_plan(profile_model(m), c, 16)
+        assert plan.num_micro_batches == 8

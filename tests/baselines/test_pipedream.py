@@ -1,0 +1,61 @@
+"""Unit tests for the PipeDream baseline planner."""
+
+import pytest
+
+from repro.baselines import pipedream_plan
+from repro.cluster import config_a, config_b
+from repro.core import Planner, profile_model
+from repro.core.latency import evaluate_plan
+from repro.models import uniform_model, vgg19
+
+
+class TestPipeDreamPlanner:
+    def test_plan_valid_and_uses_all_devices(self):
+        m = uniform_model("u", 12, 5e9, 10_000_000, 1e6, profile_batch=4)
+        c = config_b(4)
+        res = pipedream_plan(profile_model(m), c, 32)
+        res.plan.validate()
+        assert res.plan.num_devices == 4
+        assert res.bottleneck_time > 0
+
+    def test_bounds_cover_model(self):
+        m = uniform_model("u", 10, 5e9, 1_000_000, 1e6, profile_batch=4)
+        c = config_b(4)
+        res = pipedream_plan(profile_model(m), c, 32)
+        assert res.stage_layer_bounds[0] == 0
+        assert res.stage_layer_bounds[-1] == 10
+        assert sum(res.stage_replicas) == 4
+
+    def test_uniform_cheap_sync_prefers_replication(self):
+        # Tiny params (free weight sync) but fat activations (expensive
+        # inter-stage comm): one replicated stage strictly beats pipelining.
+        m = uniform_model("u", 8, 5e9, 1000, 1e8, profile_batch=4)
+        c = config_a(1)
+        res = pipedream_plan(profile_model(m), c, 32)
+        assert max(res.stage_replicas) >= 4
+
+    def test_heavy_params_prefer_more_stages(self):
+        # Per-mini-batch weight sync makes replication expensive for fat
+        # layers on Ethernet -> deeper pipelines.
+        fat = uniform_model("fat", 8, 5e9, 80_000_000, 1e5, profile_batch=4)
+        thin = uniform_model("thin", 8, 5e9, 1000, 1e5, profile_batch=4)
+        c = config_b(4)
+        fat_res = pipedream_plan(profile_model(fat), c, 32)
+        thin_res = pipedream_plan(profile_model(thin), c, 32)
+        assert fat_res.plan.num_stages >= thin_res.plan.num_stages
+
+    def test_dapple_beats_pipedream_under_sync_eval(self):
+        """The paper's §VI-F claim, evaluated analytically."""
+        prof = profile_model(vgg19())
+        c = config_a(2)
+        pd = pipedream_plan(prof, c, 1024)
+        dap = Planner(prof, c, 1024).search()
+        pd_latency = evaluate_plan(prof, c, pd.plan).latency
+        assert dap.estimate.latency <= pd_latency
+
+    def test_contiguous_device_assignment(self):
+        m = uniform_model("u", 12, 5e9, 10_000_000, 1e6, profile_batch=4)
+        c = config_b(4)
+        res = pipedream_plan(profile_model(m), c, 32)
+        ids = [d.global_id for s in res.plan.stages for d in s.devices]
+        assert ids == sorted(ids) == list(range(4))

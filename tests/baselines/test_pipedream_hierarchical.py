@@ -1,0 +1,54 @@
+"""Tests for the two-level (hierarchical) PipeDream planner."""
+
+import pytest
+
+from repro.baselines import pipedream_plan, pipedream_plan_hierarchical
+from repro.cluster import config_a, config_b
+from repro.core import profile_model
+from repro.models import uniform_model, vgg19
+
+
+class TestHierarchicalPipeDream:
+    def test_flat_cluster_falls_back_to_single_level(self):
+        m = uniform_model("u", 8, 5e9, 1_000_000, 1e6, profile_batch=2)
+        prof = profile_model(m)
+        c = config_b(4)
+        hier = pipedream_plan_hierarchical(prof, c, 32)
+        flat = pipedream_plan(prof, c, 32)
+        assert hier.stage_layer_bounds == flat.stage_layer_bounds
+        assert hier.stage_replicas == flat.stage_replicas
+
+    def test_plan_valid_on_config_a(self):
+        prof = profile_model(vgg19())
+        res = pipedream_plan_hierarchical(prof, config_a(2), 1024)
+        res.plan.validate()
+        assert res.plan.num_devices == 16
+        assert res.bottleneck_time > 0
+
+    def test_reproduces_paper_vgg_strategy_shape(self):
+        """Table VII: PipeDream's VGG strategy puts convs on a replicated
+        block and the fc layers on single GPUs."""
+        prof = profile_model(vgg19())
+        res = pipedream_plan_hierarchical(prof, config_a(2), 1024)
+        # First stage: large replicated conv block starting at layer 0.
+        assert res.stage_replicas[0] >= 6
+        assert res.stage_layer_bounds[0] == 0
+        # Tail: at least one single-GPU fc stage.
+        assert 1 in res.stage_replicas[1:]
+
+    def test_stage_devices_respect_machine_boundaries(self):
+        prof = profile_model(vgg19())
+        res = pipedream_plan_hierarchical(prof, config_a(2), 1024)
+        for stage in res.plan.stages:
+            machines = {d.machine_id for d in stage.devices}
+            # Inner-level stages live in one machine; only whole-machine
+            # replication blocks may span machines.
+            if len(stage.devices) < 8:
+                assert len(machines) == 1
+
+    def test_uniform_model_balanced(self):
+        m = uniform_model("u", 16, 5e9, 2_000_000, 1e6, profile_batch=2)
+        prof = profile_model(m)
+        res = pipedream_plan_hierarchical(prof, config_a(2), 64)
+        res.plan.validate()
+        assert sum(res.stage_replicas) == 16

@@ -1,0 +1,90 @@
+"""Unit tests for collective cost models."""
+
+import pytest
+
+from repro.cluster import (
+    allreduce_time,
+    broadcast_time,
+    config_a,
+    config_b,
+    hierarchical_allreduce_time,
+    ring_allreduce_time,
+)
+from repro.cluster.configs import ETHERNET_25G, NVLINK
+from repro.cluster.topology import LinkSpec
+
+
+class TestRingAllReduce:
+    def test_single_peer_free(self):
+        assert ring_allreduce_time(1e9, 1, ETHERNET_25G) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert ring_allreduce_time(0, 8, ETHERNET_25G) == 0.0
+
+    def test_two_peer_volume(self):
+        link = LinkSpec("t", bandwidth=1e9, latency=0.0)
+        # 2*(n-1)/n = 1.0 of the payload for n=2.
+        assert ring_allreduce_time(1e9, 2, link) == pytest.approx(1.0)
+
+    def test_volume_grows_to_2x_asymptotically(self):
+        link = LinkSpec("t", bandwidth=1e9, latency=0.0)
+        t16 = ring_allreduce_time(1e9, 16, link)
+        assert t16 == pytest.approx(2 * 15 / 16)
+
+    def test_latency_hops(self):
+        link = LinkSpec("t", bandwidth=float("inf"), latency=1e-3)
+        assert ring_allreduce_time(1e6, 4, link) == pytest.approx(2 * 3 * 1e-3)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_time(1.0, 0, ETHERNET_25G)
+
+
+class TestAllReduceSelection:
+    def test_intra_machine_uses_nvlink(self):
+        c = config_a(2)
+        group = c.devices[:8]
+        t = allreduce_time(2.8e9, c, group)
+        # 2.8 GB over 8-way NVLink ring should be tens of ms, not seconds.
+        assert t < 0.1
+        assert t > 0.0
+
+    def test_cross_machine_much_slower(self):
+        c = config_a(2)
+        intra = allreduce_time(2.8e9, c, c.devices[:8])
+        cross = allreduce_time(2.8e9, c, [c.device(0), c.device(8)])
+        assert cross > 10 * intra
+
+    def test_flat_config_ring(self):
+        c = config_b(16)
+        t = allreduce_time(2.8e9, c, c.devices)
+        expected = ring_allreduce_time(2.8e9, 16, c.inter)
+        assert t == pytest.approx(expected)
+
+    def test_hierarchical_beats_flat_on_config_a(self):
+        c = config_a(2)
+        flat = ring_allreduce_time(1e9, 16, c.inter)
+        hier = hierarchical_allreduce_time(1e9, c, c.devices)
+        assert hier < flat
+
+    def test_single_device_free(self):
+        c = config_b(2)
+        assert allreduce_time(1e9, c, [c.device(0)]) == 0.0
+
+    def test_monotone_in_bytes(self):
+        c = config_a(2)
+        sizes = [1e6, 1e7, 1e8, 1e9]
+        times = [allreduce_time(s, c, c.devices) for s in sizes]
+        assert times == sorted(times)
+
+
+class TestBroadcast:
+    def test_single_device_free(self):
+        c = config_b(2)
+        assert broadcast_time(1e9, c, [c.device(0)]) == 0.0
+
+    def test_intra_vs_inter(self):
+        c = config_a(2)
+        t_intra = broadcast_time(1e8, c, c.devices[:4])
+        t_inter = broadcast_time(1e8, c, [c.device(0), c.device(8)])
+        assert t_intra < t_inter

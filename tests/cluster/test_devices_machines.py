@@ -1,0 +1,92 @@
+"""Unit tests for device and machine primitives."""
+
+import pytest
+
+from repro.cluster.device import GB, TFLOPS, Device, GPUSpec, V100
+from repro.cluster.machine import Machine
+
+
+class TestGPUSpec:
+    def test_v100_reference_values(self):
+        assert V100.memory_bytes == 16 * GB
+        assert V100.flops == 9.0 * TFLOPS
+
+    def test_compute_time(self):
+        spec = GPUSpec("t", 1, 1e12)
+        assert spec.compute_time(2e12) == pytest.approx(2.0)
+        assert spec.compute_time(0) == 0.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            V100.compute_time(-1)
+
+    def test_custom_spec_in_device(self):
+        a100 = GPUSpec("A100", 40 * GB, 27 * TFLOPS)
+        d = Device(global_id=0, machine_id=0, local_id=0, spec=a100)
+        assert d.spec.memory_bytes == 40 * GB
+
+
+class TestDevice:
+    def test_resource_key(self):
+        d = Device(global_id=7, machine_id=1, local_id=3)
+        assert d.resource_key == "gpu:7"
+
+    def test_repr_compact(self):
+        assert repr(Device(global_id=5, machine_id=0, local_id=5)) == "G5"
+
+    def test_frozen(self):
+        d = Device(global_id=0, machine_id=0, local_id=0)
+        with pytest.raises(AttributeError):
+            d.global_id = 1
+
+
+class TestMachine:
+    def test_devices_created(self):
+        m = Machine(machine_id=2, num_gpus=4, intra_bw=1e11, intra_lat=1e-6)
+        assert len(m.devices) == 4
+        assert all(d.machine_id == 2 for d in m.devices)
+        assert [d.local_id for d in m.devices] == [0, 1, 2, 3]
+
+    def test_assign_global_ids(self):
+        m = Machine(machine_id=1, num_gpus=3, intra_bw=1e11, intra_lat=1e-6)
+        nxt = m.assign_global_ids(10)
+        assert nxt == 13
+        assert [d.global_id for d in m.devices] == [10, 11, 12]
+
+    def test_nic_keys_unique_per_machine(self):
+        m0 = Machine(machine_id=0, num_gpus=1, intra_bw=1e11, intra_lat=0)
+        m1 = Machine(machine_id=1, num_gpus=1, intra_bw=1e11, intra_lat=0)
+        assert m0.nic_send_key != m1.nic_send_key
+        assert m0.nic_send_key != m0.nic_recv_key
+
+    def test_custom_gpu_spec_propagates(self):
+        a100 = GPUSpec("A100", 40 * GB, 27 * TFLOPS)
+        m = Machine(machine_id=0, num_gpus=2, intra_bw=1e11, intra_lat=0,
+                    gpu_spec=a100)
+        assert all(d.spec.name == "A100" for d in m.devices)
+
+
+class TestHeterogeneousMemory:
+    def test_memory_model_uses_smallest_device(self):
+        """A stage mixing 16 GB and 40 GB replicas is bound by 16 GB."""
+        from repro.cluster.topology import Cluster
+        from repro.cluster.configs import ETHERNET_25G
+        from repro.core import profile_model
+        from repro.core.plan import ParallelPlan, Stage
+        from repro.models import uniform_model
+        from repro.runtime.memory import MemoryModel
+
+        a100 = GPUSpec("A100", 40 * GB, 27 * TFLOPS)
+        machines = [
+            Machine(machine_id=0, num_gpus=1, intra_bw=1e11, intra_lat=0),
+            Machine(machine_id=1, num_gpus=1, intra_bw=1e11, intra_lat=0,
+                    gpu_spec=a100),
+        ]
+        cluster = Cluster(machines, inter=ETHERNET_25G)
+        model = uniform_model("u", 4, 1e9, 1_000_000, 1e6, profile_batch=2)
+        prof = profile_model(model)
+        plan = ParallelPlan(
+            model, [Stage(0, 4, tuple(cluster.devices))], 4, 1
+        )
+        sm = MemoryModel(prof, plan).stage_memory(0)
+        assert sm.capacity_bytes == 16 * GB

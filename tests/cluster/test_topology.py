@@ -1,0 +1,126 @@
+"""Unit tests for cluster topology and hardware configs."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    LinkSpec,
+    Machine,
+    config_a,
+    config_b,
+    config_c,
+    config_by_name,
+)
+from repro.cluster.configs import ETHERNET_10G, ETHERNET_25G, NVLINK
+
+
+class TestLinkSpec:
+    def test_time_includes_latency(self):
+        link = LinkSpec("t", bandwidth=1e9, latency=1e-3)
+        assert link.time(1e9) == pytest.approx(1.0 + 1e-3)
+
+    def test_zero_bytes_free(self):
+        link = LinkSpec("t", bandwidth=1e9, latency=1e-3)
+        assert link.time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec("t", 1e9, 0.0).time(-1)
+
+
+class TestConfigs:
+    def test_config_a_shape(self):
+        c = config_a(2)
+        assert c.num_machines == 2
+        assert c.gpus_per_machine == 8
+        assert c.num_devices == 16
+        assert c.inter.bandwidth == ETHERNET_25G.bandwidth
+
+    def test_config_b_shape(self):
+        c = config_b(16)
+        assert c.num_machines == 16
+        assert c.gpus_per_machine == 1
+        assert c.inter.bandwidth == ETHERNET_25G.bandwidth
+
+    def test_config_c_slower_than_b(self):
+        assert config_c(2).inter.bandwidth < config_b(2).inter.bandwidth
+        assert config_c(2).inter.bandwidth == ETHERNET_10G.bandwidth
+
+    def test_config_by_name(self):
+        assert config_by_name("A", 16).num_machines == 2
+        assert config_by_name("b", 8).num_machines == 8
+        assert config_by_name("C", 4).num_devices == 4
+        with pytest.raises(ValueError):
+            config_by_name("A", 12)
+        with pytest.raises(ValueError):
+            config_by_name("Z")
+
+    def test_global_ids_consecutive(self):
+        c = config_a(2)
+        assert [d.global_id for d in c.devices] == list(range(16))
+        assert c.device(9).machine_id == 1
+        assert c.device(9).local_id == 1
+
+
+class TestLinkSelection:
+    def test_intra_machine_uses_nvlink(self):
+        c = config_a(2)
+        a, b = c.device(0), c.device(1)
+        assert c.same_machine(a, b)
+        assert c.link_between(a, b).bandwidth == NVLINK.bandwidth
+
+    def test_inter_machine_uses_ethernet(self):
+        c = config_a(2)
+        a, b = c.device(0), c.device(8)
+        assert not c.same_machine(a, b)
+        assert c.link_between(a, b).bandwidth == ETHERNET_25G.bandwidth
+
+    def test_loopback_free(self):
+        c = config_a(1)
+        d = c.device(0)
+        assert c.p2p_time(1e9, d, d) == 0.0
+
+    def test_p2p_faster_intra(self):
+        c = config_a(2)
+        t_intra = c.p2p_time(1e8, c.device(0), c.device(1))
+        t_inter = c.p2p_time(1e8, c.device(0), c.device(8))
+        assert t_intra < t_inter
+
+
+class TestTransferResources:
+    def test_intra_pair_lane(self):
+        c = config_a(1)
+        keys = c.transfer_resources(c.device(0), c.device(3))
+        assert keys == ("nvlink:0-3",)
+        # symmetric canonical key
+        assert c.transfer_resources(c.device(3), c.device(0)) == ("nvlink:0-3",)
+
+    def test_inter_nic_pair(self):
+        c = config_a(2)
+        keys = c.transfer_resources(c.device(0), c.device(8))
+        assert keys == ("nic-out:0", "nic-in:1")
+
+    def test_loopback_no_resources(self):
+        c = config_b(2)
+        assert c.transfer_resources(c.device(0), c.device(0)) == ()
+
+
+class TestGroups:
+    def test_spans_machines(self):
+        c = config_a(2)
+        assert not c.spans_machines([c.device(0), c.device(7)])
+        assert c.spans_machines([c.device(0), c.device(8)])
+
+    def test_group_min_bandwidth(self):
+        c = config_a(2)
+        assert c.group_min_bandwidth([c.device(0), c.device(1)]) == NVLINK.bandwidth
+        assert c.group_min_bandwidth([c.device(0), c.device(8)]) == ETHERNET_25G.bandwidth
+        assert c.group_min_bandwidth([c.device(0)]) == float("inf")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([], inter=ETHERNET_25G)
+
+    def test_machine_needs_gpus(self):
+        with pytest.raises(ValueError):
+            Machine(machine_id=0, num_gpus=0, intra_bw=1e9, intra_lat=0.0)

@@ -1,0 +1,72 @@
+"""Unit tests for point-to-point transfer and split/concat cost models."""
+
+import pytest
+
+from repro.cluster import config_a, config_b, split_concat_overhead, transfer_time
+from repro.cluster.transfer import COPY_LAUNCH_OVERHEAD
+
+
+class TestSplitConcat:
+    def test_no_fan_is_free(self):
+        assert split_concat_overhead(1e6, 1) == 0.0
+        assert split_concat_overhead(1e6, 0) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert split_concat_overhead(0, 4) == 0.0
+
+    def test_scales_with_bytes(self):
+        small = split_concat_overhead(1e6, 2)
+        large = split_concat_overhead(1e9, 2)
+        assert large > small > COPY_LAUNCH_OVERHEAD
+
+
+class TestTransferTime:
+    def test_same_group_free(self):
+        c = config_a(2)
+        g = [c.device(0), c.device(1)]
+        assert transfer_time(c, 1e6, g, g) == 0.0
+
+    def test_zero_bytes_free(self):
+        c = config_b(2)
+        assert transfer_time(c, 0, [c.device(0)], [c.device(1)]) == 0.0
+
+    def test_one_to_one_matches_p2p_plus_latency(self):
+        c = config_b(2)
+        a, b = c.device(0), c.device(1)
+        t = transfer_time(c, 8.8e6, [a], [b])
+        assert t == pytest.approx(c.p2p_time(8.8e6, a, b), rel=1e-9)
+
+    def test_one_to_many_splits_volume(self):
+        # 1 sender fanning to 2 receivers: sender still pushes all bytes, so
+        # the time is dominated by the sender's full volume.
+        c = config_b(3)
+        t_1to1 = transfer_time(c, 1e8, [c.device(0)], [c.device(1)])
+        t_1to2 = transfer_time(c, 1e8, [c.device(0)], [c.device(1), c.device(2)])
+        assert t_1to2 >= t_1to1 * 0.99  # same bottleneck + split overhead
+
+    def test_many_to_one_bottleneck_is_receiver(self):
+        c = config_b(3)
+        t = transfer_time(c, 1e8, [c.device(0), c.device(1)], [c.device(2)])
+        # Receiver must drain the full 1e8 over its inbound Ethernet.
+        assert t >= 1e8 / c.inter.bandwidth
+
+    def test_many_to_many_parallelizes(self):
+        c = config_b(4)
+        t_11 = transfer_time(c, 1e8, [c.device(0)], [c.device(1)])
+        t_22 = transfer_time(
+            c, 1e8, [c.device(0), c.device(1)], [c.device(2), c.device(3)]
+        )
+        # 2 senders / 2 receivers each carry half the volume.
+        assert t_22 < t_11
+        assert t_22 > t_11 / 4
+
+    def test_intra_machine_much_faster(self):
+        c = config_a(2)
+        t_intra = transfer_time(c, 1e8, [c.device(0)], [c.device(1)])
+        t_inter = transfer_time(c, 1e8, [c.device(0)], [c.device(8)])
+        assert t_intra * 10 < t_inter
+
+    def test_empty_groups_rejected(self):
+        c = config_b(2)
+        with pytest.raises(ValueError):
+            transfer_time(c, 1e6, [], [c.device(0)])

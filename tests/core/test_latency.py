@@ -1,0 +1,180 @@
+"""Unit tests for the analytical latency model (paper eq. 1-3)."""
+
+import pytest
+
+from repro.cluster import config_a, config_b
+from repro.core import profile_model
+from repro.core.latency import (
+    StageCosts,
+    compute_acr,
+    evaluate_plan,
+    find_pivot,
+    stage_costs,
+)
+from repro.core.plan import ParallelPlan, Stage, single_stage_plan
+from repro.models import uniform_model
+
+
+@pytest.fixture
+def model():
+    # 8 uniform layers, 9e9 FLOPs each -> 1 ms fwd/sample on a V100.
+    return uniform_model("u", 8, 9e9, 25_000_000, 1e6, profile_batch=4)
+
+
+@pytest.fixture
+def cluster():
+    return config_b(4)
+
+
+def make_plan(model, cluster, bounds, groups, gbs=16, m=4):
+    stages = [
+        Stage(bounds[i], bounds[i + 1], tuple(cluster.device(g) for g in groups[i]))
+        for i in range(len(groups))
+    ]
+    return ParallelPlan(model, stages, gbs, m)
+
+
+class TestFindPivot:
+    def _costs(self, fb_pairs):
+        return StageCosts(
+            fwd=[f for f, _ in fb_pairs],
+            bwd=[b for _, b in fb_pairs],
+            allreduce=[0.0] * len(fb_pairs),
+            is_comm=[False] * len(fb_pairs),
+            comp_index=list(range(len(fb_pairs))),
+        )
+
+    def test_uniform_stages_pivot_last(self):
+        costs = self._costs([(1.0, 2.0)] * 4)
+        assert find_pivot(costs, 8) == 3
+
+    def test_dominant_early_stage_becomes_pivot(self):
+        costs = self._costs([(10.0, 20.0), (1.0, 2.0), (1.0, 2.0)])
+        assert find_pivot(costs, 8) == 0
+
+    def test_single_micro_batch_keeps_last(self):
+        costs = self._costs([(10.0, 20.0), (1.0, 2.0)])
+        # M=1: steady phases are all zero, pivot stays at the last stage.
+        assert find_pivot(costs, 1) == 1
+
+
+class TestSingleStage:
+    def test_dp_latency_components(self, model, cluster):
+        plan = single_stage_plan(model, cluster.devices, 16, 4)
+        est = evaluate_plan(model_profile(model), cluster, plan, dp_overlap=False)
+        costs = est.costs
+        # L = M*(F+B) + AR for a single stage.
+        expected = 4 * (costs.fwd[0] + costs.bwd[0]) + costs.allreduce[0]
+        assert est.latency == pytest.approx(expected)
+
+    def test_dp_overlap_reduces_latency(self, model, cluster):
+        plan = single_stage_plan(model, cluster.devices, 16, 4)
+        prof = model_profile(model)
+        no = evaluate_plan(prof, cluster, plan, dp_overlap=False)
+        yes = evaluate_plan(prof, cluster, plan, dp_overlap=True)
+        assert yes.latency <= no.latency
+
+    def test_single_device_no_allreduce(self, model, cluster):
+        plan = single_stage_plan(model, [cluster.device(0)], 16, 4)
+        est = evaluate_plan(model_profile(model), cluster, plan)
+        assert est.costs.allreduce[0] == 0.0
+
+
+def model_profile(model):
+    return profile_model(model)
+
+
+class TestStageCosts:
+    def test_comm_stages_interleaved(self, model, cluster):
+        plan = make_plan(model, cluster, [0, 4, 8], [(0, 1), (2, 3)])
+        costs = stage_costs(model_profile(model), cluster, plan)
+        assert costs.is_comm == [False, True, False]
+        assert costs.comp_index == [0, None, 1]
+        assert costs.allreduce[1] == 0.0
+
+    def test_replication_splits_compute(self, model, cluster):
+        p1 = make_plan(model, cluster, [0, 4, 8], [(0,), (1,)])
+        p2 = make_plan(model, cluster, [0, 4, 8], [(0, 1), (2,)])
+        prof = model_profile(model)
+        c1 = stage_costs(prof, cluster, p1)
+        c2 = stage_costs(prof, cluster, p2)
+        assert c2.fwd[0] < c1.fwd[0]  # 2-way replica halves the slice
+
+    def test_allreduce_only_on_replicated(self, model, cluster):
+        plan = make_plan(model, cluster, [0, 4, 8], [(0, 1), (2,)])
+        costs = stage_costs(model_profile(model), cluster, plan)
+        assert costs.allreduce[0] > 0.0
+        assert costs.allreduce[2] == 0.0
+
+
+class TestLatency:
+    def test_more_micro_batches_better_amortization(self, model, cluster):
+        prof = model_profile(model)
+        # Same GBS split into more micro-batches -> lower latency (better
+        # pipelining) until overheads dominate.
+        p2 = make_plan(model, cluster, [0, 4, 8], [(0, 1), (2, 3)], gbs=32, m=2)
+        p8 = make_plan(model, cluster, [0, 4, 8], [(0, 1), (2, 3)], gbs=32, m=8)
+        l2 = evaluate_plan(prof, cluster, p2).latency
+        l8 = evaluate_plan(prof, cluster, p8).latency
+        assert l8 < l2
+
+    def test_latency_positive_and_finite(self, model, cluster):
+        prof = model_profile(model)
+        plan = make_plan(model, cluster, [0, 3, 8], [(0,), (1, 2, 3)])
+        est = evaluate_plan(prof, cluster, plan)
+        assert 0 < est.latency < float("inf")
+        assert est.latency == pytest.approx(est.warmup + est.steady + est.ending)
+
+    def test_uneven_beats_even_when_comm_matters(self):
+        # Paper Fig. 7: with a 2-device pipeline and a heavy boundary in the
+        # middle, a slightly uneven split can beat the even one.
+        layers = uniform_model("u", 4, 9e9, 1000, 5e8, profile_batch=1)
+        c = config_b(2)
+        prof = profile_model(layers)
+        lat = {}
+        for split in (1, 2, 3):
+            plan = make_plan(layers, c, [0, split, 4], [(0,), (1,)], gbs=8, m=8)
+            lat[split] = evaluate_plan(prof, c, plan).latency
+        # With a heavy boundary the 1:3 split edges out the even 2:2 —
+        # the paper's Fig. 7 observation.  Guard that the model keeps the
+        # candidates within a sane band and never rewards the worst skew.
+        assert lat[1] <= lat[2] <= lat[3]
+        assert lat[3] / lat[1] < 1.2
+
+
+class TestACR:
+    def test_single_stage_zero(self, model, cluster):
+        plan = single_stage_plan(model, cluster.devices, 16, 4)
+        assert compute_acr(model_profile(model), cluster, plan) == 0.0
+
+    def test_bigger_activations_bigger_acr(self, cluster):
+        small = uniform_model("s", 4, 9e9, 1000, 1e5, profile_batch=2)
+        big = uniform_model("b", 4, 9e9, 1000, 1e8, profile_batch=2)
+        acr_s = compute_acr(
+            profile_model(small), cluster, make_plan(small, cluster, [0, 2, 4], [(0,), (1,)])
+        )
+        acr_b = compute_acr(
+            profile_model(big), cluster, make_plan(big, cluster, [0, 2, 4], [(0,), (1,)])
+        )
+        assert acr_b > acr_s
+
+
+class TestAgainstPaperEfficiencyFormula:
+    def test_pipeline_efficiency_matches_closed_form(self):
+        """Paper §II-A: efficiency = 1 / (1 + (1+α)(S−1)/M) for uniform stages.
+
+        With negligible comm (α≈0) and S uniform stages on S devices, our
+        latency model should reproduce the closed-form bubble overhead.
+        """
+        s, m = 4, 16
+        layers = uniform_model("u", s, 9e9, 1000, 1.0, profile_batch=1)
+        c = config_b(s)
+        prof = profile_model(layers)
+        bounds = list(range(s + 1))
+        plan = make_plan(layers, c, bounds, [(i,) for i in range(s)], gbs=m, m=m)
+        est = evaluate_plan(prof, c, plan)
+        per_mb = prof.fwd_time(0, s, 1.0) + prof.bwd_time(0, s, 1.0)
+        ideal = m * per_mb / s
+        efficiency = ideal / est.latency
+        expected = 1.0 / (1.0 + (s - 1) / m)
+        assert efficiency == pytest.approx(expected, rel=0.06)

@@ -1,0 +1,100 @@
+"""Unit tests for the three device-assignment policies (paper Fig. 5)."""
+
+import pytest
+
+from repro.cluster import config_a, config_b
+from repro.core.placement import (
+    allocate,
+    append_first,
+    fresh_first,
+    scatter_first,
+)
+
+
+@pytest.fixture
+def hier():
+    """3 machines × 8 GPUs, like the paper's Fig. 5 example."""
+    return config_a(3)
+
+
+class TestFreshFirst:
+    def test_prefers_unused_machine(self, hier):
+        # Machine 0 partially used; fresh-first should go to machine 1.
+        alloc = fresh_first(hier, (4, 0, 0), 6)
+        assert alloc == (0, 6, 0)
+
+    def test_spills_to_second_fresh_machine(self, hier):
+        alloc = fresh_first(hier, (4, 0, 0), 10)
+        assert alloc == (0, 8, 2)
+
+    def test_falls_back_to_partial(self, hier):
+        alloc = fresh_first(hier, (4, 8, 8), 4)
+        assert alloc == (4, 0, 0)
+
+    def test_insufficient_returns_none(self, hier):
+        assert fresh_first(hier, (8, 8, 8), 1) is None
+        assert fresh_first(hier, (0, 0, 0), 25) is None
+
+
+class TestAppendFirst:
+    def test_prefers_partially_used(self, hier):
+        alloc = append_first(hier, (4, 0, 0), 4)
+        assert alloc == (4, 0, 0)
+
+    def test_overflows_to_fresh(self, hier):
+        alloc = append_first(hier, (4, 0, 0), 6)
+        assert alloc == (4, 2, 0)
+
+    def test_all_fresh_behaves_like_fill(self, hier):
+        alloc = append_first(hier, (0, 0, 0), 6)
+        assert alloc == (6, 0, 0)
+
+
+class TestScatterFirst:
+    def test_spreads_evenly(self, hier):
+        alloc = scatter_first(hier, (0, 0, 0), 6)
+        assert alloc == (2, 2, 2)
+
+    def test_uneven_remainder(self, hier):
+        alloc = scatter_first(hier, (0, 0, 0), 5)
+        assert alloc == (2, 2, 1)
+
+    def test_respects_capacity(self, hier):
+        alloc = scatter_first(hier, (7, 0, 0), 6)
+        assert alloc == (1, 3, 2)
+
+    def test_insufficient_returns_none(self, hier):
+        assert scatter_first(hier, (8, 8, 7), 2) is None
+
+
+class TestAllocate:
+    def test_dedupes_identical_allocations(self):
+        # Flat cluster: every machine has one GPU, all policies coincide.
+        c = config_b(4)
+        groups = allocate(c, (0, 0, 0, 0), 2)
+        assert len(groups) == 1
+
+    def test_distinct_policies_on_hierarchy(self, hier):
+        groups = allocate(hier, (4, 0, 0), 6)
+        allocations = {g.new_used for g in groups}
+        assert (4, 6, 0) in allocations  # fresh
+        assert (8, 2, 0) in allocations  # append
+        # scatter: 2 from m0 (4 free), 2 from m1, 2 from m2
+        assert (6, 2, 2) in allocations
+
+    def test_devices_materialized_consistently(self, hier):
+        groups = allocate(hier, (2, 0, 0), 3, policies=("append_first",))
+        (g,) = groups
+        assert [d.global_id for d in g.devices] == [2, 3, 4]
+        assert g.new_used == (5, 0, 0)
+
+    def test_zero_want_rejected(self, hier):
+        with pytest.raises(ValueError):
+            allocate(hier, (0, 0, 0), 0)
+
+    def test_over_capacity_empty(self, hier):
+        assert allocate(hier, (8, 8, 8), 1) == []
+
+    def test_policy_tag_recorded(self, hier):
+        groups = allocate(hier, (0, 0, 0), 4)
+        assert all(g.policy in {"fresh_first", "append_first", "scatter_first"} for g in groups)

@@ -1,0 +1,106 @@
+"""Unit tests for plan data structures."""
+
+import pytest
+
+from repro.cluster import config_a, config_b
+from repro.core.plan import ParallelPlan, PlanKind, Stage, single_stage_plan
+from repro.models import uniform_model
+
+
+@pytest.fixture
+def model():
+    return uniform_model("u", 10, 1e9, 100, 1e4, profile_batch=4)
+
+
+@pytest.fixture
+def cluster():
+    return config_a(2)
+
+
+def two_stage(model, cluster, split=5, m=4):
+    d = cluster.devices
+    return ParallelPlan(
+        model=model,
+        stages=[Stage(0, split, tuple(d[:8])), Stage(split, 10, tuple(d[8:]))],
+        global_batch_size=64,
+        num_micro_batches=m,
+    )
+
+
+class TestStage:
+    def test_empty_range_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            Stage(3, 3, (cluster.device(0),))
+
+    def test_no_devices_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(0, 1, ())
+
+    def test_replicas(self, cluster):
+        s = Stage(0, 2, tuple(cluster.devices[:3]))
+        assert s.replicas == 3
+        assert s.num_layers == 2
+
+
+class TestPlanValidation:
+    def test_valid_plan(self, model, cluster):
+        two_stage(model, cluster)  # no raise
+
+    def test_gap_rejected(self, model, cluster):
+        d = cluster.devices
+        with pytest.raises(ValueError, match="contiguous"):
+            ParallelPlan(model, [Stage(0, 4, (d[0],)), Stage(5, 10, (d[1],))], 8, 2)
+
+    def test_incomplete_coverage_rejected(self, model, cluster):
+        d = cluster.devices
+        with pytest.raises(ValueError):
+            ParallelPlan(model, [Stage(0, 4, (d[0],))], 8, 2)
+
+    def test_device_reuse_rejected(self, model, cluster):
+        d = cluster.devices
+        with pytest.raises(ValueError, match="two stages"):
+            ParallelPlan(model, [Stage(0, 5, (d[0],)), Stage(5, 10, (d[0],))], 8, 2)
+
+    def test_indivisible_gbs_rejected(self, model, cluster):
+        d = cluster.devices
+        with pytest.raises(ValueError, match="divisible"):
+            ParallelPlan(model, [Stage(0, 10, (d[0],))], 10, 3)
+
+
+class TestPlanProperties:
+    def test_kind_dp(self, model, cluster):
+        p = single_stage_plan(model, cluster.devices, 64, 4)
+        assert p.kind is PlanKind.DATA_PARALLEL
+        assert p.notation == "DP"
+
+    def test_kind_straight(self, model, cluster):
+        d = cluster.devices
+        stages = [Stage(i, i + 1, (d[i],)) for i in range(10)]
+        p = ParallelPlan(model, stages, 64, 4)
+        assert p.kind is PlanKind.STRAIGHT
+        assert p.notation == "straight"
+
+    def test_kind_pipeline_notation(self, model, cluster):
+        p = two_stage(model, cluster)
+        assert p.kind is PlanKind.PIPELINE
+        assert p.notation == "8:8"
+        assert p.split_notation == "5:5"
+        assert p.split_positions == [5]
+
+    def test_micro_batch_size(self, model, cluster):
+        p = two_stage(model, cluster, m=4)
+        assert p.micro_batch_size == 16.0
+        assert p.device_batch(0) == 2.0
+
+    def test_num_devices(self, model, cluster):
+        assert two_stage(model, cluster).num_devices == 16
+
+    def test_uneven_replication(self, model):
+        c = config_b(4)
+        d = c.devices
+        p = ParallelPlan(
+            model, [Stage(0, 7, tuple(d[:3])), Stage(7, 10, (d[3],))], 12, 3
+        )
+        assert p.notation == "3:1"
+        assert p.device_batch(0) == pytest.approx(4 / 3)
+        assert p.device_batch(1) == pytest.approx(4.0)

@@ -1,0 +1,145 @@
+"""Unit tests for the DAPPLE planner."""
+
+import pytest
+
+from repro.cluster import config_a, config_b, config_c
+from repro.core import PlannerConfig, Planner, profile_model
+from repro.core.plan import PlanKind
+from repro.core.planner import _largest_divisor_leq, plan_best, plan_paper_family
+from repro.models import uniform_model, vgg19
+
+
+class TestHelpers:
+    def test_largest_divisor(self):
+        assert _largest_divisor_leq(16, 5) == 4
+        assert _largest_divisor_leq(16, 16) == 16
+        assert _largest_divisor_leq(16, 100) == 16
+        assert _largest_divisor_leq(17, 4) == 1
+        assert _largest_divisor_leq(12, 0) == 1
+
+
+class TestBasicSearch:
+    def test_compute_dense_model_prefers_dp(self):
+        # Tiny weights + heavy compute: DP should win on any config.
+        m = uniform_model("dense", 8, 50e9, 100_000, 1e6, profile_batch=8)
+        prof = profile_model(m)
+        res = Planner(prof, config_a(2), 128).search()
+        assert res.plan.kind is PlanKind.DATA_PARALLEL
+
+    def test_param_heavy_model_prefers_pipeline_on_slow_net(self):
+        # Huge weights, slow flat network: DP's AllReduce is ruinous.
+        m = uniform_model("fat", 8, 10e9, 60_000_000, 1e6, profile_batch=8)
+        prof = profile_model(m)
+        res = Planner(prof, config_c(4), 64).search()
+        assert res.plan.kind is not PlanKind.DATA_PARALLEL
+
+    def test_plan_valid_and_uses_all_devices(self):
+        m = uniform_model("u", 10, 10e9, 1_000_000, 1e6, profile_batch=4)
+        prof = profile_model(m)
+        for cluster in (config_a(2), config_b(4)):
+            res = Planner(prof, cluster, 64).search()
+            res.plan.validate()
+            assert res.plan.num_devices == cluster.num_devices
+
+    def test_search_metadata(self):
+        m = uniform_model("u", 6, 10e9, 1_000_000, 1e6, profile_batch=4)
+        res = Planner(profile_model(m), config_b(4), 32).search()
+        assert res.plans_evaluated > 0
+        assert res.states_explored > 0
+
+    def test_bad_gbs_rejected(self):
+        m = uniform_model("u", 4, 1e9, 10, 1.0)
+        with pytest.raises(ValueError):
+            Planner(profile_model(m), config_b(2), 0)
+
+
+class TestMemoryFeasibility:
+    def test_oversized_model_excludes_dp(self):
+        # 5 B params with adam: ~80 GB persistent -> DP on one 16 GB device
+        # impossible; planner must pipeline.
+        m = uniform_model("huge", 16, 10e9, 312_500_000, 1e6, profile_batch=1)
+        prof = profile_model(m)
+        res = Planner(prof, config_b(8), 8).search()
+        assert res.plan.num_stages > 1
+        assert res.infeasible_plans > 0
+
+    def test_impossible_model_raises(self):
+        # One layer that cannot fit anywhere.
+        m = uniform_model("nofit", 2, 1e9, 3_000_000_000, 1e6, profile_batch=1)
+        prof = profile_model(m)
+        with pytest.raises(RuntimeError, match="no feasible plan"):
+            Planner(prof, config_b(2), 2).search()
+
+    def test_enforce_memory_off_allows_dp(self):
+        m = uniform_model("huge", 4, 10e9, 800_000_000, 1e6, profile_batch=1)
+        prof = profile_model(m)
+        cfg = PlannerConfig(enforce_memory=False)
+        res = Planner(prof, config_b(2), 4, cfg).search()
+        res.plan.validate()  # runs without the memory filter
+
+
+class TestConfigKnobs:
+    def test_max_stages_respected(self):
+        m = uniform_model("u", 12, 10e9, 40_000_000, 1e6, profile_batch=4)
+        prof = profile_model(m)
+        cfg = PlannerConfig(max_stages=2)
+        res = Planner(prof, config_c(4), 32, cfg).search()
+        assert res.plan.num_stages <= 2
+
+    def test_beam_none_is_exhaustive_and_at_least_as_good(self):
+        m = uniform_model("u", 6, 10e9, 30_000_000, 1e6, profile_batch=4)
+        prof = profile_model(m)
+        c = config_b(4)
+        beam = Planner(prof, c, 32, PlannerConfig(beam_width=4)).search()
+        full = Planner(prof, c, 32, PlannerConfig(beam_width=None)).search()
+        assert full.estimate.latency <= beam.estimate.latency + 1e-12
+
+    def test_stage_overhead_discourages_many_stages(self):
+        m = uniform_model("u", 12, 10e9, 40_000_000, 1e6, profile_batch=4)
+        prof = profile_model(m)
+        c = config_c(4)
+        free = Planner(prof, c, 32, PlannerConfig(stage_overhead_frac=0.0)).search()
+        taxed = Planner(prof, c, 32, PlannerConfig(stage_overhead_frac=0.5)).search()
+        assert taxed.plan.num_stages <= free.plan.num_stages
+
+    def test_custom_micro_batch(self):
+        m = uniform_model("u", 6, 10e9, 1_000_000, 1e6, profile_batch=4)
+        prof = profile_model(m)
+        res = Planner(prof, config_b(2), 32, PlannerConfig(micro_batch_size=8)).search()
+        if res.plan.num_stages > 1:
+            assert res.plan.num_micro_batches == 4
+
+
+class TestStraightPlan:
+    def test_straight_shape(self):
+        m = uniform_model("u", 16, 10e9, 1_000_000, 1e6, profile_batch=2)
+        p = Planner(profile_model(m), config_b(4), 16)
+        sp = p.straight_plan()
+        assert sp.kind is PlanKind.STRAIGHT
+        assert sp.num_stages == 4
+
+    def test_straight_none_when_more_gpus_than_layers(self):
+        m = uniform_model("u", 3, 10e9, 1_000_000, 1e6, profile_batch=2)
+        p = Planner(profile_model(m), config_b(4), 16)
+        assert p.straight_plan() is None
+
+    def test_straight_balanced(self):
+        m = uniform_model("u", 16, 10e9, 1_000_000, 1e6, profile_batch=2)
+        p = Planner(profile_model(m), config_b(4), 16)
+        sp = p.straight_plan()
+        sizes = [s.num_layers for s in sp.stages]
+        assert max(sizes) - min(sizes) <= 1  # uniform layers -> even split
+
+
+class TestPaperFamily:
+    def test_family_restricted_to_published_shapes(self):
+        prof = profile_model(vgg19())
+        res = plan_paper_family(prof, config_c(4), 256)
+        assert res.plan.num_stages <= 2 or res.plan.kind is PlanKind.STRAIGHT
+
+    def test_facades(self):
+        m = uniform_model("u", 6, 10e9, 1_000_000, 1e6, profile_batch=4)
+        prof = profile_model(m)
+        a = plan_best(prof, config_b(2), 16)
+        b = plan_paper_family(prof, config_b(2), 16)
+        assert a.estimate.latency <= b.estimate.latency + 1e-12

@@ -1,0 +1,59 @@
+"""Planner support for interleaved virtual-stage candidates."""
+
+import pytest
+
+from repro.cluster import config_b
+from repro.core import Planner, PlannerConfig, profile_model
+from repro.core.latency import evaluate_plan
+from repro.models import uniform_model
+
+
+@pytest.fixture
+def setup():
+    model = uniform_model("u", 16, 9e9, 1_000_000, 1e5, profile_batch=1)
+    cluster = config_b(4)
+    return model, cluster, profile_model(model)
+
+
+class TestInterleavedCandidates:
+    def test_candidates_generated_and_valid(self, setup):
+        _, cluster, prof = setup
+        planner = Planner(prof, cluster, 8)
+        plans = planner.interleaved_plans()
+        assert len(plans) == 2  # V=2 and V=3 fit 16 layers on 4 devices
+        for p in plans:
+            p.validate()
+            assert p.meta["interleaved"]
+
+    def test_no_candidates_when_layers_scarce(self):
+        model = uniform_model("s", 6, 9e9, 1_000, 1e4, profile_batch=1)
+        prof = profile_model(model)
+        planner = Planner(prof, config_b(4), 8)
+        assert planner.interleaved_plans() == []
+
+    def test_flag_never_hurts(self, setup):
+        _, cluster, prof = setup
+        base = Planner(prof, cluster, 8).search()
+        ext = Planner(
+            prof, cluster, 8, PlannerConfig(consider_interleaved=True)
+        ).search()
+        assert ext.estimate.latency <= base.estimate.latency + 1e-12
+
+    def test_interleaved_latency_accounts_for_device_sharing(self, setup):
+        """The analytic model must not treat V stages on one device as
+        free parallelism: an interleaved straight plan's steady phase is at
+        least the plain straight plan's (same per-device work)."""
+        model, cluster, prof = setup
+        from repro.core.plan import ParallelPlan, Stage, interleaved_straight_plan
+
+        m = 8
+        plain = ParallelPlan(
+            model,
+            [Stage(4 * i, 4 * i + 4, (cluster.device(i),)) for i in range(4)],
+            m,
+            m,
+        )
+        inter = interleaved_straight_plan(model, cluster.devices, m, m, 2)
+        e_plain = evaluate_plan(prof, cluster, plain)
+        e_inter = evaluate_plan(prof, cluster, inter)
+        assert e_inter.steady >= e_plain.steady * 0.95

@@ -1,0 +1,80 @@
+"""Unit tests for the analytical profiler."""
+
+import pytest
+
+from repro.cluster.device import GPUSpec, V100
+from repro.core import profile_model
+from repro.models import uniform_model, vgg19
+
+
+@pytest.fixture
+def prof():
+    return profile_model(uniform_model("u", 5, 9e9, 1000, 4e3, profile_batch=2))
+
+
+class TestLayerTimes:
+    def test_fwd_time_from_flops(self, prof):
+        # 9e9 FLOPs on a 9 TFLOP/s V100 = 1 ms per sample + 20 µs overhead.
+        assert prof.fwd_time(0, 1, 1.0) == pytest.approx(1e-3 + 20e-6)
+
+    def test_bwd_is_2x_fwd(self, prof):
+        f = prof.fwd_time(0, 3, 1.0)
+        b = prof.bwd_time(0, 3, 1.0)
+        overhead = 3 * 20e-6
+        assert (b - overhead) == pytest.approx(2 * (f - overhead))
+
+    def test_time_linear_in_batch(self, prof):
+        t1 = prof.fwd_time(0, 5, 1.0)
+        t4 = prof.fwd_time(0, 5, 4.0)
+        overhead = 5 * 20e-6
+        assert (t4 - overhead) == pytest.approx(4 * (t1 - overhead))
+
+    def test_fractional_batch_supported(self, prof):
+        assert prof.fwd_time(0, 1, 0.25) < prof.fwd_time(0, 1, 1.0)
+
+    def test_nonpositive_batch_rejected(self, prof):
+        with pytest.raises(ValueError):
+            prof.fwd_time(0, 1, 0)
+        with pytest.raises(ValueError):
+            prof.bwd_time(0, 1, -1)
+
+    def test_range_additivity(self, prof):
+        whole = prof.fwd_time(0, 5, 2.0)
+        parts = prof.fwd_time(0, 2, 2.0) + prof.fwd_time(2, 5, 2.0)
+        assert whole == pytest.approx(parts)
+
+    def test_bad_range(self, prof):
+        with pytest.raises(IndexError):
+            prof.fwd_time(3, 3, 1.0)
+        with pytest.raises(IndexError):
+            prof.param_bytes(0, 99)
+
+
+class TestSizes:
+    def test_param_bytes(self, prof):
+        assert prof.param_bytes(0, 5) == 5 * 1000 * 4
+
+    def test_stored_bytes_scale_with_batch(self, prof):
+        assert prof.stored_bytes(0, 5, 3.0) == pytest.approx(3 * 5 * 2 * 4e3)
+
+    def test_boundary_bytes(self, prof):
+        assert prof.boundary_bytes(2, 10.0) == pytest.approx(10 * 4e3)
+        assert prof.boundary_bytes(0, 10.0) == 0.0
+
+    def test_state_bytes_adam(self, prof):
+        # uniform_model defaults to adam: 12 bytes/param persistent.
+        assert prof.state_bytes(0, 5) == 5 * 1000 * 12
+
+
+class TestGPUDependence:
+    def test_faster_gpu_shorter_times(self):
+        g = uniform_model("u", 3, 9e9, 10, 1.0)
+        slow = profile_model(g, GPUSpec("slow", 16 * 2**30, 1e12))
+        fast = profile_model(g, GPUSpec("fast", 16 * 2**30, 1e13))
+        assert fast.fwd_time(0, 3, 1.0) < slow.fwd_time(0, 3, 1.0)
+
+    def test_vgg_profile_sane(self):
+        prof = profile_model(vgg19(), V100)
+        # Whole-model forward at batch 32 should be tens of ms on a V100.
+        t = prof.fwd_time(0, prof.num_layers, 32)
+        assert 0.05 < t < 0.5

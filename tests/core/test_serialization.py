@@ -1,0 +1,67 @@
+"""Unit tests for plan JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.cluster import config_a, config_b
+from repro.core.plan import ParallelPlan, Stage
+from repro.core.serialization import load_plan, plan_from_dict, plan_to_dict, save_plan
+from repro.models import uniform_model
+
+
+@pytest.fixture
+def model():
+    return uniform_model("u", 10, 1e9, 1000, 1e4, profile_batch=2)
+
+
+@pytest.fixture
+def cluster():
+    return config_a(2)
+
+
+@pytest.fixture
+def plan(model, cluster):
+    d = cluster.devices
+    return ParallelPlan(
+        model,
+        [Stage(0, 6, tuple(d[:8])), Stage(6, 10, tuple(d[8:]))],
+        64,
+        8,
+        meta={"source": "test"},
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, plan, model, cluster):
+        data = plan_to_dict(plan)
+        restored = plan_from_dict(data, model, cluster)
+        assert restored.notation == plan.notation
+        assert restored.split_positions == plan.split_positions
+        assert restored.num_micro_batches == plan.num_micro_batches
+        assert [d.global_id for s in restored.stages for d in s.devices] == [
+            d.global_id for s in plan.stages for d in s.devices
+        ]
+        assert restored.meta == {"source": "test"}
+
+    def test_file_roundtrip(self, plan, model, cluster, tmp_path):
+        path = save_plan(plan, tmp_path / "plan.json")
+        assert path.exists()
+        restored = load_plan(path, model, cluster)
+        assert restored.notation == plan.notation
+
+    def test_json_is_plain(self, plan):
+        text = json.dumps(plan_to_dict(plan))
+        assert "8" in text  # device ids serialized as ints
+
+
+class TestValidation:
+    def test_wrong_depth_rejected(self, plan, cluster):
+        other = uniform_model("v", 5, 1e9, 1000, 1e4)
+        with pytest.raises(ValueError, match="layer"):
+            plan_from_dict(plan_to_dict(plan), other, cluster)
+
+    def test_missing_device_rejected(self, plan, model):
+        small = config_b(4)
+        with pytest.raises(ValueError, match="device"):
+            plan_from_dict(plan_to_dict(plan), model, small)

@@ -1,0 +1,174 @@
+"""Property-based tests over core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import config_a, config_b
+from repro.cluster.collectives import allreduce_time, ring_allreduce_time
+from repro.cluster.topology import LinkSpec
+from repro.cluster.transfer import transfer_time
+from repro.core import PlannerConfig, Planner, profile_model
+from repro.core.latency import evaluate_plan
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import uniform_model
+from repro.runtime import execute_plan
+from repro.sim import Op, Simulator, TaskGraph
+
+
+class TestSimulatorProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        width=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_dags_complete_without_resource_overlap(self, n, width, seed):
+        rng = np.random.default_rng(seed)
+        g = TaskGraph()
+        for i in range(n):
+            g.add(
+                Op(
+                    f"op{i}",
+                    float(rng.uniform(0.1, 2.0)),
+                    resources=(f"gpu:{rng.integers(width)}",),
+                    priority=float(rng.integers(5)),
+                )
+            )
+        for i in range(n):
+            for j in rng.choice(n, size=min(2, n), replace=False):
+                if j > i:
+                    g.add_dep(f"op{i}", f"op{j}")
+        res = Simulator(g).run()
+        assert len(res.trace.events) == n
+        # No two ops overlap on the same resource.
+        for key in {r for e in res.trace.events for r in e.resources}:
+            evs = res.trace.by_resource(key)
+            for a, b in zip(evs, evs[1:]):
+                assert a.end <= b.start + 1e-12
+
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_at_least_critical_resource_load(self, n, seed):
+        rng = np.random.default_rng(seed)
+        g = TaskGraph()
+        loads: dict[str, float] = {}
+        for i in range(n):
+            key = f"gpu:{rng.integers(3)}"
+            dur = float(rng.uniform(0.1, 1.0))
+            loads[key] = loads.get(key, 0.0) + dur
+            g.add(Op(f"op{i}", dur, resources=(key,)))
+        res = Simulator(g).run()
+        assert res.makespan >= max(loads.values()) - 1e-9
+
+
+class TestCostModelProperties:
+    @given(
+        nbytes=st.floats(min_value=1.0, max_value=1e10),
+        n=st.integers(min_value=2, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ring_allreduce_positive_and_bounded(self, nbytes, n):
+        link = LinkSpec("t", bandwidth=1e9, latency=1e-5)
+        t = ring_allreduce_time(nbytes, n, link)
+        assert t > 0
+        # Never more than 2x the raw payload time plus latencies.
+        assert t <= 2 * nbytes / link.bandwidth + 2 * (n - 1) * link.latency + 1e-12
+
+    @given(
+        size_a=st.floats(min_value=1e3, max_value=1e9),
+        factor=st.floats(min_value=1.1, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allreduce_monotone_in_bytes(self, size_a, factor):
+        c = config_a(2)
+        t1 = allreduce_time(size_a, c, c.devices)
+        t2 = allreduce_time(size_a * factor, c, c.devices)
+        assert t2 >= t1
+
+    @given(
+        nbytes=st.floats(min_value=1e3, max_value=1e9),
+        senders=st.integers(min_value=1, max_value=8),
+        receivers=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transfer_time_positive(self, nbytes, senders, receivers):
+        c = config_b(16)
+        s = c.devices[:senders]
+        r = c.devices[8 : 8 + receivers]
+        t = transfer_time(c, nbytes, s, r)
+        assert t > 0
+        # Lower bound: the busiest NIC must carry at least its fair share.
+        assert t >= nbytes / max(senders, 1) / c.inter.bandwidth / 8
+
+
+class TestPlannerProperties:
+    @given(
+        layers=st.integers(min_value=2, max_value=12),
+        flops=st.floats(min_value=1e8, max_value=1e11),
+        params=st.integers(min_value=10_000, max_value=50_000_000),
+        act=st.floats(min_value=1e3, max_value=1e8),
+        gbs_exp=st.integers(min_value=2, max_value=7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_planner_always_returns_valid_plan(self, layers, flops, params, act, gbs_exp):
+        model = uniform_model("prop", layers, flops, params, act, profile_batch=2)
+        prof = profile_model(model)
+        clu = config_b(4)
+        gbs = 2**gbs_exp
+        try:
+            result = Planner(prof, clu, gbs, PlannerConfig(beam_width=8)).search()
+        except RuntimeError:
+            return  # nothing fits: acceptable outcome
+        plan = result.plan
+        plan.validate()
+        assert plan.num_devices == 4
+        assert result.estimate.latency > 0
+        # Every returned plan respects the memory filter.
+        assert Planner(prof, clu, gbs).plan_fits_memory(plan)
+
+    @given(split=st.integers(min_value=1, max_value=7), m=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_model_vs_simulator_never_wildly_off(self, split, m):
+        model = uniform_model("prop2", 8, 9e9, 100_000, 1e6, profile_batch=2)
+        prof = profile_model(model)
+        clu = config_b(2)
+        plan = ParallelPlan(
+            model,
+            [Stage(0, split, (clu.device(0),)), Stage(split, 8, (clu.device(1),))],
+            2 * m,
+            m,
+        )
+        est = evaluate_plan(prof, clu, plan).latency
+        sim = execute_plan(prof, clu, plan, warmup_policy="PB").iteration_time
+        assert 0.5 < sim / est < 2.0
+
+
+class TestMemoryModelProperties:
+    @given(
+        stored=st.floats(min_value=1e5, max_value=1e9),
+        m=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recompute_never_increases_peak(self, stored, m):
+        model = uniform_model(
+            "mem", 6, 9e9, 1_000_000, stored / 4, stored_bytes=stored, profile_batch=2
+        )
+        prof = profile_model(model)
+        clu = config_b(2)
+        plan = ParallelPlan(
+            model,
+            [Stage(0, 3, (clu.device(0),)), Stage(3, 6, (clu.device(1),))],
+            2 * m,
+            m,
+        )
+        try:
+            base = execute_plan(prof, clu, plan, recompute=False).max_peak_memory()
+        except Exception:
+            assume(False)
+        rc = execute_plan(prof, clu, plan, recompute=True).max_peak_memory()
+        assert rc <= base + 1e-6

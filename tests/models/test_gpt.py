@@ -1,0 +1,36 @@
+"""Tests for the GPT zoo extension."""
+
+import pytest
+
+from repro.cluster import config_a
+from repro.core import Planner, profile_model
+from repro.models import get_model, gpt2_medium, gpt2_xl
+from repro.models.gpt import gpt_layers
+
+
+class TestGPTModels:
+    def test_gpt2_medium_params(self):
+        # GPT-2 Medium is ~355M parameters.
+        assert gpt2_medium().total_params == pytest.approx(355e6, rel=0.05)
+
+    def test_gpt2_xl_params(self):
+        # GPT-2 XL is ~1.5B parameters.
+        assert gpt2_xl().total_params == pytest.approx(1.5e9, rel=0.1)
+
+    def test_registry(self):
+        assert get_model("gpt2-medium").name == "GPT2-Medium"
+        assert get_model("gpt2-xl").name == "GPT2-XL"
+
+    def test_layer_structure(self):
+        g = gpt_layers(12, 768, 12)
+        assert g.num_layers == 14  # embedding + 12 blocks + final norm
+        assert g.layers[0].name == "embedding"
+
+    def test_gpt2_xl_plannable_and_needs_pipeline(self):
+        """1.5B params × 16B/param ≈ 23GB: cannot fit one 16GB V100, so the
+        planner must emit a multi-stage plan — the LLM scenario DAPPLE
+        anticipates."""
+        prof = profile_model(gpt2_xl())
+        res = Planner(prof, config_a(2), 16).search()
+        assert res.plan.num_stages >= 2
+        res.plan.validate()

@@ -1,0 +1,95 @@
+"""Unit tests for LayerSpec / LayerGraph."""
+
+import numpy as np
+import pytest
+
+from repro.models import FP32, LayerGraph, LayerSpec, uniform_model
+
+
+def spec(name="l", flops=1e9, params=1000, act=1e6, stored=2e6):
+    return LayerSpec(
+        name=name,
+        flops_fwd=flops,
+        params=params,
+        activation_out_bytes=act,
+        stored_bytes=stored,
+    )
+
+
+class TestLayerSpec:
+    def test_param_bytes(self):
+        assert spec(params=100).param_bytes == 400
+
+    def test_bwd_flops_default_2x(self):
+        assert spec(flops=3.0).flops_bwd == 6.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spec(flops=-1)
+        with pytest.raises(ValueError):
+            spec(act=-1)
+
+
+class TestLayerGraph:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LayerGraph(name="x", layers=[], profile_batch=1)
+
+    def test_bad_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            LayerGraph(name="x", layers=[spec()], profile_batch=1, optimizer="adamw9000")
+
+    def test_bad_profile_batch_rejected(self):
+        with pytest.raises(ValueError):
+            LayerGraph(name="x", layers=[spec()], profile_batch=0)
+
+    def test_totals(self):
+        g = uniform_model("u", 4, flops_per_layer=1e9, params_per_layer=10, activation_bytes=8.0)
+        assert g.total_params == 40
+        assert g.total_param_bytes == 160
+        assert g.total_flops_fwd == pytest.approx(4e9)
+
+    def test_range_queries_match_manual_sums(self):
+        layers = [spec(f"l{i}", flops=i * 1e6 + 1, params=i + 1, act=i * 10.0 + 1) for i in range(6)]
+        g = LayerGraph(name="x", layers=layers, profile_batch=2)
+        lo, hi = 2, 5
+        assert g.range_flops_fwd(lo, hi) == pytest.approx(
+            sum(l.flops_fwd for l in layers[lo:hi])
+        )
+        assert g.range_params(lo, hi) == sum(l.params for l in layers[lo:hi])
+        assert g.range_flops_bwd(lo, hi) == pytest.approx(
+            2 * g.range_flops_fwd(lo, hi)
+        )
+
+    def test_invalid_range_rejected(self):
+        g = uniform_model("u", 3, 1e9, 1, 1.0)
+        for lo, hi in [(-1, 2), (0, 4), (2, 2), (3, 1)]:
+            with pytest.raises(IndexError):
+                g.range_flops_fwd(lo, hi)
+
+    def test_boundary_activation(self):
+        layers = [spec(f"l{i}", act=100.0 * (i + 1)) for i in range(3)]
+        g = LayerGraph(name="x", layers=layers, profile_batch=1)
+        assert g.boundary_activation_bytes(0) == 0.0
+        assert g.boundary_activation_bytes(3) == 0.0
+        assert g.boundary_activation_bytes(1) == 100.0
+        assert g.boundary_activation_bytes(2) == 200.0
+        with pytest.raises(IndexError):
+            g.boundary_activation_bytes(4)
+
+    def test_scaled_submodel(self):
+        g = uniform_model("u", 10, 1e9, 5, 1.0)
+        sub = g.scaled(2, 7)
+        assert sub.num_layers == 5
+        assert sub.total_params == 25
+        assert sub.profile_batch == g.profile_batch
+
+    def test_state_bytes_by_optimizer(self):
+        for opt, per in [("adam", 12), ("sgd", 8), ("rmsprop", 8)]:
+            g = uniform_model("u", 2, 1e9, 100, 1.0, optimizer=opt)
+            assert g.optimizer_state_bytes == 200 * per
+
+    def test_prefix_sums_consistent(self):
+        g = uniform_model("u", 8, 2e9, 3, 5.0)
+        total = sum(g.range_flops_fwd(i, i + 1) for i in range(8))
+        assert total == pytest.approx(g.total_flops_fwd)

@@ -1,0 +1,146 @@
+"""Calibration tests: the model zoo matches the paper's Tables I & II."""
+
+import pytest
+
+from repro.models import (
+    BENCHMARK_MODELS,
+    PAPER_FIGURES,
+    bert48,
+    bert_large,
+    bert_layers,
+    get_model,
+    gnmt16,
+    model_names,
+    resnet50,
+    vgg19,
+    xlnet36,
+    amoebanet36,
+)
+from repro.models.graph import FP32
+
+
+class TestRegistry:
+    def test_all_benchmarks_buildable(self):
+        for name in BENCHMARK_MODELS:
+            g = get_model(name)
+            assert g.num_layers > 1
+            assert g.total_params > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("alexnet")
+
+    def test_case_insensitive(self):
+        assert get_model("BERT48").name == get_model("bert48").name
+
+    def test_names_sorted(self):
+        names = model_names()
+        assert names == sorted(names)
+        assert "bert-large" in names
+
+
+class TestParamCalibration:
+    """Parameter counts within 10 % of the paper's Table II."""
+
+    @pytest.mark.parametrize("name", BENCHMARK_MODELS)
+    def test_params_close_to_paper(self, name):
+        g = get_model(name)
+        ref = PAPER_FIGURES[name].params
+        assert g.total_params == pytest.approx(ref, rel=0.10)
+
+    @pytest.mark.parametrize("name", BENCHMARK_MODELS)
+    def test_gradient_bytes_close_to_paper(self, name):
+        ref = PAPER_FIGURES[name].gradient_bytes
+        if ref is None:
+            pytest.skip("not in Table I")
+        g = get_model(name)
+        assert g.total_param_bytes == pytest.approx(ref, rel=0.15)
+
+    def test_profile_batches_match_table2(self):
+        for name in BENCHMARK_MODELS:
+            assert get_model(name).profile_batch == PAPER_FIGURES[name].profile_batch
+
+
+class TestModelShapes:
+    def test_bert48_depth(self):
+        g = bert48()
+        # embedding + 48 encoders + head
+        assert g.num_layers == 50
+        assert g.layers[0].name == "embedding"
+        assert g.layers[-1].name == "head"
+
+    def test_bert_large_is_24_layers(self):
+        assert bert_large().num_layers == 26
+
+    def test_bert_scales_linearly(self):
+        p48 = bert_layers(48).total_params
+        p96 = bert_layers(96).total_params
+        per_layer = (p96 - p48) / 48
+        assert per_layer == pytest.approx(12.6e6, rel=0.05)
+
+    def test_gnmt_enc_dec_ratio(self):
+        g = gnmt16()
+        enc = g.layers[2]  # plain encoder layer
+        dec = g.layers[10]  # plain decoder layer
+        assert dec.flops_fwd / enc.flops_fwd == pytest.approx(1.45, rel=0.01)
+
+    def test_gnmt_even_layer_count_required(self):
+        from repro.models.gnmt import gnmt_layers
+
+        with pytest.raises(ValueError):
+            gnmt_layers(15)
+
+    def test_vgg_weights_concentrated_at_end(self):
+        g = vgg19()
+        fc = [l for l in g.layers if l.name.startswith("fc")]
+        fc_params = sum(l.params for l in fc)
+        # Paper: ~70 % of weights in the fully-connected tail, most in fc6.
+        assert fc_params / g.total_params > 0.70
+        fc6 = next(l for l in g.layers if l.name == "fc6")
+        assert fc6.params / g.total_params > 0.60
+
+    def test_vgg_activations_shrink(self):
+        g = vgg19()
+        first = g.layers[0].activation_out_bytes
+        last_conv = next(l for l in reversed(g.layers) if l.name.startswith("pool"))
+        # Paper: 384 MB -> 3 MB at batch 32, i.e. 12 MB -> ~0.1 MB per sample.
+        assert first == pytest.approx(12.8e6, rel=0.05)
+        assert first / last_conv.activation_out_bytes > 100
+
+    def test_vgg_compute_concentrated_at_front(self):
+        g = vgg19()
+        conv_flops = sum(l.flops_fwd for l in g.layers if l.name.startswith(("conv", "pool")))
+        assert conv_flops / g.total_flops_fwd > 0.95
+
+    def test_resnet_small_params_heavy_compute(self):
+        g = resnet50()
+        # ~100 MB of gradients (Table V discussion) vs multi-GFLOP compute.
+        assert g.total_param_bytes < 0.15e9
+        assert g.total_flops_fwd > 5e9
+
+    def test_xlnet_boundary_activation(self):
+        g = xlnet36()
+        # Two-stream: 2 × 512 × 1024 × 4 B = 4.2 MB/sample (Table I).
+        enc = next(l for l in g.layers if l.name.startswith("encoder"))
+        assert enc.activation_out_bytes == pytest.approx(4.2e6, rel=0.05)
+
+    def test_amoebanet_param_ramp(self):
+        g = amoebanet36()
+        cells = [l for l in g.layers if l.name.startswith("cell")]
+        assert len(cells) == 36
+        last_third = sum(l.params for l in cells[24:])
+        # Paper: the last third of the model holds ~73 % of all parameters.
+        assert last_third / sum(l.params for l in cells) == pytest.approx(0.73, abs=0.05)
+
+    def test_amoebanet_compute_ramp_within_40pct(self):
+        g = amoebanet36()
+        cells = [l for l in g.layers if l.name.startswith("cell")]
+        ratio = cells[-1].flops_fwd / cells[0].flops_fwd
+        assert 1.3 < ratio <= 1.45
+
+    def test_gnmt_boundary_matches_table1(self):
+        g = gnmt16()
+        enc = g.layers[2]
+        # 2 × seq × hidden × 4 B × 64 samples ≈ 26 MB (Table I, round trip
+        # counts both directions; one-way at profile batch is ~13 MB).
+        assert enc.activation_out_bytes * 64 == pytest.approx(26e6, rel=0.15)

@@ -1,0 +1,68 @@
+"""Tests for the pipeline efficiency analysis."""
+
+import pytest
+
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import uniform_model
+from repro.runtime import execute_plan
+from repro.runtime.analysis import analyze, closed_form_efficiency
+
+
+def straight_exec(num_stages=4, m=16, act=1e4):
+    model = uniform_model(
+        "a", num_stages, 9e9, 1_000_000, act, profile_batch=1
+    )
+    cluster = config_b(num_stages)
+    prof = profile_model(model)
+    stages = [Stage(i, i + 1, (cluster.device(i),)) for i in range(num_stages)]
+    plan = ParallelPlan(model, stages, m, m)
+    return execute_plan(prof, cluster, plan, warmup_policy="PB")
+
+
+class TestClosedForm:
+    def test_single_stage_is_perfect(self):
+        assert closed_form_efficiency(1, 8, 0.0) == 1.0
+
+    def test_more_micro_batches_better(self):
+        assert closed_form_efficiency(4, 32, 0.0) > closed_form_efficiency(4, 4, 0.0)
+
+    def test_more_stages_worse(self):
+        assert closed_form_efficiency(8, 16, 0.0) < closed_form_efficiency(2, 16, 0.0)
+
+    def test_comm_ratio_worsens(self):
+        assert closed_form_efficiency(4, 16, 0.5) < closed_form_efficiency(4, 16, 0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            closed_form_efficiency(0, 4, 0.0)
+
+
+class TestAnalyze:
+    def test_breakdown_covers_all_devices(self):
+        report = analyze(straight_exec())
+        assert len(report.devices) == 4
+        assert all(0 < d.utilization <= 1 for d in report.devices)
+
+    def test_measured_tracks_closed_form(self):
+        """With negligible comm, the simulator reproduces 1/(1+(S-1)/M)."""
+        for m in (8, 16, 64):
+            report = analyze(straight_exec(m=m))
+            assert report.measured_efficiency == pytest.approx(
+                report.predicted_efficiency, rel=0.12
+            )
+
+    def test_efficiency_improves_with_m(self):
+        e_small = analyze(straight_exec(m=4)).measured_efficiency
+        e_big = analyze(straight_exec(m=64)).measured_efficiency
+        assert e_big > e_small
+
+    def test_bubble_fraction_complement(self):
+        report = analyze(straight_exec())
+        assert report.bubble_fraction == pytest.approx(1 - report.measured_efficiency)
+
+    def test_summary_renders(self):
+        text = analyze(straight_exec()).summary()
+        assert "measured efficiency" in text
+        assert "gpu:0" in text

@@ -1,0 +1,108 @@
+"""Tests for activation-checkpointing strategies."""
+
+import pytest
+
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import uniform_model
+from repro.runtime import execute_plan
+from repro.runtime.checkpointing import (
+    normalize_strategy,
+    stage_checkpointing,
+)
+
+
+@pytest.fixture
+def setup():
+    model = uniform_model(
+        "u", 9, 9e9, 1_000_000, 2e6, stored_bytes=2e7, profile_batch=2
+    )
+    cluster = config_b(2)
+    prof = profile_model(model)
+    d = cluster.devices
+    plan = ParallelPlan(
+        model, [Stage(0, 4, (d[0],)), Stage(4, 9, (d[1],))], 16, 8
+    )
+    return prof, cluster, plan
+
+
+class TestNormalize:
+    def test_booleans(self):
+        assert normalize_strategy(True) == "boundary"
+        assert normalize_strategy(False) == "none"
+        assert normalize_strategy(None) == "none"
+
+    def test_names_passthrough(self):
+        for s in ("none", "boundary", "sqrt"):
+            assert normalize_strategy(s) == s
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_strategy("everything")
+
+
+class TestStageCheckpointing:
+    def test_none_keeps_everything(self, setup):
+        prof, _, plan = setup
+        ck = stage_checkpointing(prof, plan, 1, "none")
+        assert ck.resident_per_microbatch == prof.stored_bytes(4, 9, plan.device_batch(1))
+        assert ck.transient_backward == 0.0
+        assert ck.extra_backward_time == 0.0
+
+    def test_boundary_keeps_input_only(self, setup):
+        prof, _, plan = setup
+        ck = stage_checkpointing(prof, plan, 1, "boundary")
+        assert ck.resident_per_microbatch == pytest.approx(
+            prof.boundary_bytes(4, plan.micro_batch_size)
+        )
+        assert ck.extra_backward_time == pytest.approx(
+            prof.fwd_time(4, 9, plan.device_batch(1))
+        )
+
+    def test_resident_ordering(self, setup):
+        """none >= sqrt >= boundary in resident bytes per micro-batch."""
+        prof, _, plan = setup
+        none = stage_checkpointing(prof, plan, 1, "none")
+        sqrt = stage_checkpointing(prof, plan, 1, "sqrt")
+        boundary = stage_checkpointing(prof, plan, 1, "boundary")
+        assert none.resident_per_microbatch >= sqrt.resident_per_microbatch
+        assert sqrt.resident_per_microbatch >= boundary.resident_per_microbatch
+
+    def test_sqrt_transient_smaller_than_boundary(self, setup):
+        """The whole point of sqrt(n): rematerialize one segment at a time."""
+        prof, _, plan = setup
+        sqrt = stage_checkpointing(prof, plan, 1, "sqrt")
+        boundary = stage_checkpointing(prof, plan, 1, "boundary")
+        assert sqrt.transient_backward < boundary.transient_backward
+
+
+class TestExecutorIntegration:
+    @pytest.mark.parametrize("strategy", ["boundary", "sqrt"])
+    def test_recompute_slower_smaller(self, setup, strategy):
+        prof, cluster, plan = setup
+        base = execute_plan(prof, cluster, plan, recompute="none")
+        rc = execute_plan(prof, cluster, plan, recompute=strategy)
+        assert rc.iteration_time > base.iteration_time
+        assert rc.max_peak_memory() < base.max_peak_memory()
+
+    def test_recompute_strategies_beat_none(self, setup):
+        prof, cluster, plan = setup
+        peaks = {
+            s: execute_plan(prof, cluster, plan, recompute=s).max_peak_memory()
+            for s in ("none", "boundary", "sqrt")
+        }
+        # Both strategies cut the peak; which wins depends on the in-flight
+        # count K: boundary holds less per micro-batch but rematerializes
+        # the whole stage at once, sqrt holds more checkpoints but bounds
+        # the transient to one segment.  At small K sqrt wins.
+        assert peaks["sqrt"] < peaks["none"]
+        assert peaks["boundary"] < peaks["none"]
+        assert peaks["sqrt"] < peaks["boundary"]
+
+    def test_legacy_bool_still_works(self, setup):
+        prof, cluster, plan = setup
+        old = execute_plan(prof, cluster, plan, recompute=True)
+        new = execute_plan(prof, cluster, plan, recompute="boundary")
+        assert old.iteration_time == pytest.approx(new.iteration_time)
+        assert old.max_peak_memory() == pytest.approx(new.max_peak_memory())

@@ -1,0 +1,202 @@
+"""Integration tests for the pipelined runtime executor."""
+
+import pytest
+
+from repro.cluster import config_a, config_b
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage, single_stage_plan
+from repro.models import bert48, uniform_model
+from repro.runtime import execute_plan
+from repro.runtime.executor import PipelineExecutor
+from repro.runtime.memory import OutOfMemoryError
+
+
+@pytest.fixture
+def model():
+    return uniform_model("u", 8, 9e9, 1_000_000, 1e6, stored_bytes=2e6, profile_batch=2)
+
+
+@pytest.fixture
+def cluster():
+    return config_b(4)
+
+
+def two_stage(model, cluster, m=4, gbs=8, devs=((0,), (1,))):
+    d = cluster.devices
+    half = model.num_layers // 2
+    stages = [
+        Stage(0, half, tuple(d[i] for i in devs[0])),
+        Stage(half, model.num_layers, tuple(d[i] for i in devs[1])),
+    ]
+    return ParallelPlan(model, stages, gbs, m)
+
+
+class TestBasicExecution:
+    def test_runs_and_produces_positive_makespan(self, model, cluster):
+        res = execute_plan(profile_model(model), cluster, two_stage(model, cluster))
+        assert res.iteration_time > 0
+        assert res.throughput > 0
+
+    def test_all_ops_executed(self, model, cluster):
+        plan = two_stage(model, cluster, m=3, gbs=6)
+        res = execute_plan(profile_model(model), cluster, plan)
+        kinds = {}
+        for e in res.trace.events:
+            kinds[e.tags.get("kind")] = kinds.get(e.tags.get("kind"), 0) + 1
+        # 2 stages x 3 micro-batches F and B, 3 sends, 3 sendbacks.
+        assert kinds["F"] == 6
+        assert kinds["B"] == 6
+        assert kinds["send"] == 3
+        assert kinds["sendback"] == 3
+
+    def test_single_stage_dp(self, model, cluster):
+        plan = single_stage_plan(model, cluster.devices, 8, 2)
+        res = execute_plan(profile_model(model), cluster, plan)
+        assert res.iteration_time > 0
+        ar = [e for e in res.trace.events if e.tags.get("kind") == "AR"]
+        assert len(ar) == 1
+
+    def test_no_allreduce_without_replication(self, model, cluster):
+        res = execute_plan(profile_model(model), cluster, two_stage(model, cluster))
+        assert not [e for e in res.trace.events if e.tags.get("kind") == "AR"]
+
+    def test_replicated_stage_has_allreduce(self, model, cluster):
+        plan = two_stage(model, cluster, devs=((0, 1), (2,)))
+        res = execute_plan(profile_model(model), cluster, plan)
+        ar = [e for e in res.trace.events if e.tags.get("kind") == "AR"]
+        assert len(ar) == 1
+        # AllReduce is the last thing touching stage 0's gradient state.
+        b_end = max(e.end for e in res.trace.events if e.tags.get("kind") == "B" and e.tags["stage"] == 0)
+        assert ar[0].start >= b_end
+
+
+class TestDependencyOrdering:
+    def test_forward_flows_downstream(self, model, cluster):
+        res = execute_plan(profile_model(model), cluster, two_stage(model, cluster))
+        for mb in range(4):
+            f0 = res.trace.find(f"F/s0/m{mb}/r0")
+            snd = res.trace.find(f"send/s0/m{mb}")
+            f1 = res.trace.find(f"F/s1/m{mb}/r0")
+            assert f0.end <= snd.start + 1e-12
+            assert snd.end <= f1.start + 1e-12
+
+    def test_backward_flows_upstream(self, model, cluster):
+        res = execute_plan(profile_model(model), cluster, two_stage(model, cluster))
+        for mb in range(4):
+            b1 = res.trace.find(f"B/s1/m{mb}/r0")
+            back = res.trace.find(f"sendback/s0/m{mb}")
+            b0 = res.trace.find(f"B/s0/m{mb}/r0")
+            assert b1.end <= back.start + 1e-12
+            assert back.end <= b0.start + 1e-12
+
+    def test_dapple_first_stage_interleaves_early_backward(self, model, cluster):
+        # With the DAPPLE schedule, B0 on stage 0 must run before the last
+        # forward — the early-backward property (paper Fig. 3b).
+        plan = two_stage(model, cluster, m=6, gbs=12)
+        res = execute_plan(profile_model(model), cluster, plan, schedule="dapple")
+        b0 = res.trace.find("B/s0/m0/r0")
+        f_last = res.trace.find("F/s0/m5/r0")
+        assert b0.end <= f_last.start + 1e-12
+
+    def test_gpipe_no_early_backward(self, model, cluster):
+        plan = two_stage(model, cluster, m=6, gbs=12)
+        res = execute_plan(profile_model(model), cluster, plan, schedule="gpipe")
+        b0 = res.trace.find("B/s0/m0/r0")
+        f_last = res.trace.find("F/s0/m5/r0")
+        assert f_last.end <= b0.start + 1e-12
+
+
+class TestMemoryBehaviour:
+    def test_dapple_peak_flat_in_m(self, model, cluster):
+        prof = profile_model(model)
+        peaks = []
+        for m in (4, 8, 16):
+            plan = two_stage(model, cluster, m=m, gbs=2 * m)
+            res = execute_plan(prof, cluster, plan, schedule="dapple")
+            peaks.append(res.max_peak_memory())
+        assert peaks[0] == pytest.approx(peaks[1], rel=1e-6)
+        assert peaks[1] == pytest.approx(peaks[2], rel=1e-6)
+
+    def test_gpipe_peak_grows_with_m(self, model, cluster):
+        prof = profile_model(model)
+        peaks = []
+        for m in (4, 8, 16):
+            plan = two_stage(model, cluster, m=m, gbs=2 * m)
+            res = execute_plan(prof, cluster, plan, schedule="gpipe")
+            peaks.append(res.max_peak_memory())
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_dapple_never_exceeds_gpipe_peak(self, model, cluster):
+        prof = profile_model(model)
+        plan = two_stage(model, cluster, m=8, gbs=16)
+        da = execute_plan(prof, cluster, plan, schedule="dapple")
+        gp = execute_plan(prof, cluster, plan, schedule="gpipe")
+        assert da.max_peak_memory() <= gp.max_peak_memory() + 1e-9
+
+    def test_memory_returns_to_persistent(self, model, cluster):
+        plan = two_stage(model, cluster)
+        res = execute_plan(profile_model(model), cluster, plan)
+        for i, stage in enumerate(plan.stages):
+            for d in stage.devices:
+                final = res.memory.final(d.resource_key)
+                assert final == pytest.approx(
+                    PipelineExecutor(
+                        profile_model(model), cluster, plan
+                    ).stage_mem[i].persistent_bytes
+                )
+
+    def test_gpipe_oom_raises(self):
+        m = bert48()
+        c = config_b(2)
+        prof = profile_model(m)
+        plan = ParallelPlan(m, [Stage(0, 25, (c.device(0),)), Stage(25, 50, (c.device(1),))], 64, 32)
+        with pytest.raises(OutOfMemoryError):
+            execute_plan(prof, c, plan, schedule="gpipe")
+        # DAPPLE handles the same setting by bounding in-flight batches.
+        res = execute_plan(prof, c, plan, schedule="dapple")
+        assert res.max_peak_memory() < 16 * 2**30
+
+
+class TestRecompute:
+    def test_recompute_slower_but_smaller(self, model, cluster):
+        prof = profile_model(model)
+        plan = two_stage(model, cluster, m=8, gbs=16)
+        base = execute_plan(prof, cluster, plan, recompute=False)
+        rc = execute_plan(prof, cluster, plan, recompute=True)
+        assert rc.iteration_time > base.iteration_time
+        assert rc.max_peak_memory() < base.max_peak_memory()
+
+    def test_recompute_overhead_about_one_forward(self, model, cluster):
+        prof = profile_model(model)
+        plan = two_stage(model, cluster, m=1, gbs=2)
+        base = execute_plan(prof, cluster, plan, recompute=False)
+        rc = execute_plan(prof, cluster, plan, recompute=True)
+        extra = rc.iteration_time - base.iteration_time
+        fwd_total = prof.fwd_time(0, 8, 2.0)
+        assert extra == pytest.approx(fwd_total, rel=0.05)
+
+
+class TestSchedulePolicies:
+    def test_pb_at_least_as_fast_when_comm_heavy(self):
+        # Big activations relative to compute: PB's extra warm-up batches
+        # keep the pipeline fed (paper Table IV: GNMT +31%).
+        m = uniform_model("comm", 8, 2e9, 1000, 4e7, stored_bytes=4e7, profile_batch=2)
+        c = config_b(4)
+        prof = profile_model(m)
+        d = c.devices
+        stages = [Stage(0, 2, (d[0],)), Stage(2, 4, (d[1],)), Stage(4, 6, (d[2],)), Stage(6, 8, (d[3],))]
+        plan = ParallelPlan(m, stages, 32, 16)
+        pa = execute_plan(prof, c, plan, warmup_policy="PA")
+        pb = execute_plan(prof, c, plan, warmup_policy="PB")
+        assert pb.iteration_time <= pa.iteration_time * 1.001
+
+    def test_invalid_schedule_name(self, model, cluster):
+        with pytest.raises(ValueError):
+            execute_plan(profile_model(model), cluster, two_stage(model, cluster), schedule="zigzag")
+
+
+class TestUtilization:
+    def test_utilizations_between_0_and_1(self, model, cluster):
+        res = execute_plan(profile_model(model), cluster, two_stage(model, cluster, m=8, gbs=16))
+        for v in res.device_utilization().values():
+            assert 0.0 < v <= 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for the stage memory model."""
+
+import pytest
+
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import amoebanet36, uniform_model
+from repro.runtime.memory import MemoryModel, OutOfMemoryError, StageMemory
+
+
+def plan_for(model, cluster, split=None, m=4, gbs=8):
+    d = cluster.devices
+    if split is None:
+        stages = [Stage(0, model.num_layers, tuple(d))]
+    else:
+        stages = [Stage(0, split, (d[0],)), Stage(split, model.num_layers, (d[1],))]
+    return ParallelPlan(model, stages, gbs, m)
+
+
+class TestStageMemory:
+    def _sm(self, persistent=4.0, full=2.0, ckpt=0.5, cap=16.0, rc=False):
+        return StageMemory(
+            persistent_bytes=persistent,
+            full_activation_bytes=full,
+            checkpoint_bytes=ckpt,
+            capacity_bytes=cap,
+            recompute=rc,
+        )
+
+    def test_per_microbatch_without_recompute(self):
+        assert self._sm().per_microbatch_bytes == 2.0
+        assert self._sm().transient_backward_bytes == 0.0
+
+    def test_per_microbatch_with_recompute(self):
+        sm = self._sm(rc=True)
+        assert sm.per_microbatch_bytes == 0.5
+        assert sm.transient_backward_bytes == 1.5
+
+    def test_max_resident(self):
+        # (16 - 4) / 2 = 6 micro-batches.
+        assert self._sm().max_resident_micro_batches() == 6
+
+    def test_max_resident_with_recompute_higher(self):
+        sm = self._sm(rc=True)
+        # (16 - 4 - 1.5) / 0.5 = 21.
+        assert sm.max_resident_micro_batches() == 21
+
+    def test_zero_when_persistent_exceeds_capacity(self):
+        assert self._sm(persistent=17.0).max_resident_micro_batches() == 0
+
+    def test_peak_bytes(self):
+        sm = self._sm()
+        assert sm.peak_bytes(3) == 4.0 + 3 * 2.0
+        rc = self._sm(rc=True)
+        assert rc.peak_bytes(3) == 4.0 + 3 * 0.5 + 1.5
+
+
+class TestMemoryModel:
+    def test_recompute_reduces_per_mb(self):
+        m = uniform_model("u", 6, 1e9, 1_000_000, 1e7, stored_bytes=5e7, profile_batch=2)
+        c = config_b(2)
+        prof = profile_model(m)
+        plan = plan_for(m, c, split=3)
+        base = MemoryModel(prof, plan, recompute=False).stage_memory(1)
+        rc = MemoryModel(prof, plan, recompute=True).stage_memory(1)
+        assert rc.per_microbatch_bytes < base.per_microbatch_bytes
+        assert rc.max_resident_micro_batches() >= base.max_resident_micro_batches()
+
+    def test_checkpoint_is_boundary_activation(self):
+        m = uniform_model("u", 6, 1e9, 1000, 2e6, stored_bytes=1e7, profile_batch=2)
+        c = config_b(2)
+        prof = profile_model(m)
+        plan = plan_for(m, c, split=3, m=4, gbs=8)
+        sm = MemoryModel(prof, plan, recompute=True).stage_memory(1)
+        # Stage 1's checkpoint = boundary activation at split 3, one
+        # micro-batch (2 samples), one replica.
+        assert sm.checkpoint_bytes == pytest.approx(2e6 * 2)
+
+    def test_oom_detection(self):
+        m = amoebanet36()
+        c = config_b(1)
+        prof = profile_model(m)
+        plan = ParallelPlan(m, [Stage(0, m.num_layers, (c.device(0),))], 1, 1)
+        with pytest.raises(OutOfMemoryError):
+            MemoryModel(prof, plan).max_in_flight()
+
+    def test_amoebanet_fits_on_two_devices(self):
+        # Paper: "we extend to two V100s where batch size = 1 just works".
+        m = amoebanet36()
+        c = config_b(2)
+        prof = profile_model(m)
+        # Split chosen near the planner's balance point.
+        plan = ParallelPlan(
+            m, [Stage(0, 26, (c.device(0),)), Stage(26, 38, (c.device(1),))], 1, 1
+        )
+        d = MemoryModel(prof, plan, recompute=True).max_in_flight()
+        assert all(x >= 1 for x in d)

@@ -1,0 +1,78 @@
+"""Tests for straggler (slow-device) injection."""
+
+import pytest
+
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import uniform_model
+from repro.runtime import execute_plan
+
+
+@pytest.fixture
+def setup():
+    model = uniform_model("u", 8, 9e9, 1_000_000, 1e6, profile_batch=2)
+    cluster = config_b(4)
+    prof = profile_model(model)
+    return model, cluster, prof
+
+
+def replicated_plan(model, cluster, m=8):
+    d = cluster.devices
+    return ParallelPlan(
+        model,
+        [Stage(0, 4, (d[0], d[1])), Stage(4, 8, (d[2], d[3]))],
+        2 * m,
+        m,
+    )
+
+
+class TestStragglerInjection:
+    def test_no_slowdown_is_baseline(self, setup):
+        model, cluster, prof = setup
+        plan = replicated_plan(model, cluster)
+        base = execute_plan(prof, cluster, plan)
+        same = execute_plan(prof, cluster, plan, device_slowdown={})
+        assert base.iteration_time == pytest.approx(same.iteration_time)
+
+    def test_one_straggler_slows_whole_pipeline(self, setup):
+        """Synchronous slicing: a single 2x-slow replica gates every
+        micro-batch of its stage (the tail effect of sync training)."""
+        model, cluster, prof = setup
+        plan = replicated_plan(model, cluster)
+        base = execute_plan(prof, cluster, plan)
+        slow = execute_plan(prof, cluster, plan, device_slowdown={0: 2.0})
+        assert slow.iteration_time > base.iteration_time * 1.3
+
+    def test_straggler_on_light_stage_hides_partially(self, setup):
+        model, cluster, prof = setup
+        d = cluster.devices
+        # Stage 1 is 3x lighter; a straggler there hides in stage 0's shadow.
+        plan = ParallelPlan(
+            model, [Stage(0, 6, (d[0], d[1])), Stage(6, 8, (d[2], d[3]))], 16, 8
+        )
+        base = execute_plan(prof, cluster, plan).iteration_time
+        slow_heavy = execute_plan(
+            prof, cluster, plan, device_slowdown={0: 1.5}
+        ).iteration_time
+        slow_light = execute_plan(
+            prof, cluster, plan, device_slowdown={2: 1.5}
+        ).iteration_time
+        assert slow_light - base < slow_heavy - base
+
+    def test_slowdown_below_one_rejected(self, setup):
+        model, cluster, prof = setup
+        plan = replicated_plan(model, cluster)
+        with pytest.raises(ValueError):
+            execute_plan(prof, cluster, plan, device_slowdown={0: 0.5})
+
+    def test_uniform_slowdown_scales_iteration(self, setup):
+        model, cluster, prof = setup
+        plan = replicated_plan(model, cluster)
+        base = execute_plan(prof, cluster, plan)
+        all_slow = execute_plan(
+            prof, cluster, plan, device_slowdown={i: 2.0 for i in range(4)}
+        )
+        # Compute doubles; comm unchanged — so between 1x and 2x.
+        ratio = all_slow.iteration_time / base.iteration_time
+        assert 1.5 < ratio <= 2.01

@@ -1,0 +1,55 @@
+"""Tests for Chrome trace-event export."""
+
+import json
+
+from repro.sim import Op, Simulator, TaskGraph
+from repro.sim.chrome_trace import export_chrome_trace, trace_to_events
+
+
+def _run_small():
+    g = TaskGraph()
+    g.add(Op("F/s0/m0", 1.0, resources=("gpu:0",), tags={"kind": "F", "stage": 0, "mb": 0}))
+    g.add(Op("send/s0/m0", 0.5, resources=("nic-out:0",), tags={"kind": "send", "mb": 0}))
+    g.add(Op("B/s0/m0", 2.0, resources=("gpu:0",), tags={"kind": "B", "stage": 0, "mb": 0}))
+    g.add_dep("F/s0/m0", "send/s0/m0")
+    g.add_dep("send/s0/m0", "B/s0/m0")
+    return Simulator(g).run()
+
+
+class TestTraceToEvents:
+    def test_complete_events_emitted(self):
+        events = trace_to_events(_run_small().trace)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 3
+        names = {e["name"] for e in xs}
+        assert names == {"F/s0/m0", "send/s0/m0", "B/s0/m0"}
+
+    def test_thread_metadata_per_resource(self):
+        events = trace_to_events(_run_small().trace)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {"gpu:0", "nic-out:0"}
+
+    def test_gpus_sorted_before_links(self):
+        events = trace_to_events(_run_small().trace)
+        metas = sorted((e["tid"], e["args"]["name"]) for e in events if e["ph"] == "M")
+        assert metas[0][1] == "gpu:0"
+
+    def test_timestamps_scaled_to_us(self):
+        events = trace_to_events(_run_small().trace)
+        b = next(e for e in events if e.get("name") == "B/s0/m0")
+        assert b["ts"] == 1.5e6
+        assert b["dur"] == 2.0e6
+
+    def test_tags_in_args(self):
+        events = trace_to_events(_run_small().trace)
+        f = next(e for e in events if e.get("name") == "F/s0/m0")
+        assert f["args"] == {"kind": "F", "stage": 0, "mb": 0}
+
+
+class TestExport:
+    def test_file_is_valid_json(self, tmp_path):
+        path = export_chrome_trace(_run_small().trace, tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) >= 3

@@ -1,0 +1,82 @@
+"""Unit tests for traces and memory timelines."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import MemoryTimeline, Trace, TraceEvent, PHASE_END, PHASE_START
+
+
+class TestMemoryTimeline:
+    def test_empty_device(self):
+        tl = MemoryTimeline()
+        assert tl.peak("gpu:0") == 0.0
+        assert tl.usage_at("gpu:0", 10.0) == 0.0
+
+    def test_single_alloc(self):
+        tl = MemoryTimeline()
+        tl.record("d", 1.0, 64.0)
+        assert tl.peak("d") == 64.0
+        assert tl.usage_at("d", 0.5) == 0.0
+        assert tl.usage_at("d", 1.0) == 64.0
+        assert tl.usage_at("d", 5.0) == 64.0
+
+    def test_alloc_free_cycle(self):
+        tl = MemoryTimeline()
+        tl.record("d", 0.0, 10.0)
+        tl.record("d", 1.0, 20.0)
+        tl.record("d", 2.0, -10.0)
+        assert tl.peak("d") == 30.0
+        assert tl.usage_at("d", 2.0) == 20.0
+        assert tl.final("d") == 20.0
+
+    def test_phase_ordering_at_equal_time(self):
+        tl = MemoryTimeline()
+        tl.record("d", 0.0, 100.0, PHASE_START)
+        tl.record("d", 1.0, -100.0, PHASE_END)
+        tl.record("d", 1.0, 100.0, PHASE_START)
+        # End (free) applies before start (alloc) at t=1 -> peak stays 100.
+        assert tl.peak("d") == 100.0
+
+    def test_curve_sampling(self):
+        tl = MemoryTimeline()
+        tl.record("d", 0.0, 10.0)
+        tl.record("d", 5.0, 10.0)
+        t, u = tl.curve("d", num_points=11, until=10.0)
+        assert len(t) == 11
+        assert u[0] == 10.0
+        assert u[-1] == 20.0
+        assert np.all(np.diff(u) >= 0)
+
+    def test_devices_sorted(self):
+        tl = MemoryTimeline()
+        tl.record("b", 0.0, 1.0)
+        tl.record("a", 0.0, 1.0)
+        assert tl.devices() == ["a", "b"]
+
+    def test_cache_invalidated_on_new_record(self):
+        tl = MemoryTimeline()
+        tl.record("d", 0.0, 5.0)
+        assert tl.peak("d") == 5.0
+        tl.record("d", 1.0, 5.0)
+        assert tl.peak("d") == 10.0
+
+
+class TestTrace:
+    def _mk(self, name, start, end, res=("r",)):
+        return TraceEvent(name=name, start=start, end=end, resources=tuple(res))
+
+    def test_makespan_empty(self):
+        assert Trace().makespan() == 0.0
+
+    def test_by_resource_sorted(self):
+        tr = Trace()
+        tr.add(self._mk("b", 2.0, 3.0))
+        tr.add(self._mk("a", 0.0, 1.0))
+        tr.add(self._mk("c", 1.0, 2.0, res=("other",)))
+        assert [e.name for e in tr.by_resource("r")] == ["a", "b"]
+
+    def test_busy_time(self):
+        tr = Trace()
+        tr.add(self._mk("a", 0.0, 1.5))
+        tr.add(self._mk("b", 2.0, 3.0))
+        assert tr.busy_time("r") == pytest.approx(2.5)

@@ -1,0 +1,97 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestModels:
+    def test_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bert48", "gnmt16", "vgg19", "amoebanet36"):
+            assert name in out
+
+
+class TestPlan:
+    def test_plan_resnet_is_dp(self, capsys):
+        assert main(["plan", "--model", "resnet50", "--config", "A", "--gbs", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "plan    : DP" in out
+
+    def test_plan_save_and_run(self, capsys, tmp_path):
+        plan_file = str(tmp_path / "plan.json")
+        assert main([
+            "plan", "--model", "gnmt16", "--config", "A", "--gbs", "1024",
+            "--save", plan_file,
+        ]) == 0
+        data = json.loads(open(plan_file).read())
+        assert data["model"] == "GNMT-16"
+        capsys.readouterr()
+        assert main([
+            "run", "--model", "gnmt16", "--config", "A", "--gbs", "1024",
+            "--plan", plan_file,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "iteration" in out
+        assert "samples/s" in out
+
+    def test_pipeline_only_flag(self, capsys):
+        assert main([
+            "plan", "--model", "resnet50", "--config", "A", "--gbs", "2048",
+            "--pipeline-only", "--max-stages", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan    : DP" not in out
+
+
+class TestRun:
+    def test_run_with_gantt_and_trace(self, capsys, tmp_path):
+        trace_file = str(tmp_path / "trace.json")
+        assert main([
+            "run", "--model", "gnmt16", "--config", "B", "--gbs", "512",
+            "--gantt", "--trace", trace_file, "--recompute", "sqrt",
+            "--warmup", "PB",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gpu:" in out  # gantt rows
+        payload = json.loads(open(trace_file).read())
+        assert payload["traceEvents"]
+
+    def test_gpipe_schedule_option(self, capsys):
+        assert main([
+            "run", "--model", "gnmt16", "--config", "B", "--gbs", "256",
+            "--schedule", "gpipe",
+        ]) == 0
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        assert main(["compare", "--model", "vgg19", "--config", "C", "--gbs", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "DAPPLE" in out
+        assert "DP + overlap" in out
+        assert "PipeDream" in out
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["experiment", "fig8"]) == 0
+        assert (tmp_path / "fig8.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])

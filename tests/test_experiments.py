@@ -1,0 +1,69 @@
+"""Unit tests of the cheap experiment modules and reporting helpers.
+
+The full reproductions run under ``benchmarks/``; here we verify the
+structure and fast invariants so a plain ``pytest tests/`` exercises the
+experiment code paths too.
+"""
+
+import pytest
+
+from repro.experiments import fig7, fig8, table1, table2
+from repro.experiments.reporting import format_table, write_result
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "22"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(l) == len(lines[1]) for l in lines[2:])
+
+    def test_format_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_write_result(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_result("unit_test", "hello")
+        assert path.read_text() == "hello\n"
+        assert "unit_test" in capsys.readouterr().out
+
+
+class TestTable1:
+    def test_rows_structure(self):
+        rows = table1.run()
+        assert len(rows) == 5
+        for r in rows:
+            assert r.gradient_bytes > r.activation_bytes
+        assert "Table I" in table1.format_results(rows)
+
+
+class TestTable2:
+    def test_rows_structure(self):
+        rows = table2.run()
+        assert len(rows) == 6
+        assert all(r.memory_bytes > 0 for r in rows)
+        text = table2.format_results(rows)
+        assert "BERT-48" in text
+
+
+class TestFig7:
+    def test_best_split_is_uneven_at_small_m(self):
+        rows = fig7.run()
+        best = fig7.best_split(rows)
+        assert best.layers_stage0 != best.layers_stage1
+
+    def test_all_splits_covered(self):
+        rows = fig7.run(num_layers=6)
+        assert [r.split for r in rows] == list(range(1, 6))
+
+
+class TestFig8:
+    def test_split_advantage(self):
+        res = fig8.run()
+        assert res.split_advantage > 1.0
+        assert "splitting wins" in fig8.format_results(res)
+
+    def test_custom_parameters(self):
+        res = fig8.run(num_micro_batches=3, t1=5e-3)
+        assert res.split_makespan > 0

@@ -1,0 +1,60 @@
+"""Tests for ASCII Gantt and memory-curve rendering."""
+
+from repro.sim import Op, Simulator, TaskGraph
+from repro.sim.trace import MemoryTimeline
+from repro.viz import render_gantt, render_memory_curve
+
+
+def run_pipeline():
+    g = TaskGraph()
+    g.add(Op("F/s0/m0", 1.0, resources=("gpu:0",), tags={"kind": "F", "mb": 0}))
+    g.add(Op("B/s0/m0", 2.0, resources=("gpu:0",), tags={"kind": "B", "mb": 0}))
+    g.add(Op("F/s1/m0", 1.0, resources=("gpu:1",), tags={"kind": "F", "mb": 0}))
+    g.add(Op("ar", 0.5, resources=("ar:0",), tags={"kind": "AR"}))
+    g.add_dep("F/s0/m0", "F/s1/m0")
+    g.add_dep("F/s1/m0", "B/s0/m0")
+    g.add_dep("B/s0/m0", "ar")
+    return Simulator(g).run()
+
+
+class TestGantt:
+    def test_rows_for_gpus_only_by_default(self):
+        out = render_gantt(run_pipeline().trace, width=40)
+        assert "gpu:0" in out and "gpu:1" in out
+        assert "ar:0" not in out
+
+    def test_explicit_resources(self):
+        out = render_gantt(run_pipeline().trace, width=40, resources=["ar:0"])
+        assert "ar:0" in out
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+
+        assert render_gantt(Trace()) == "(empty trace)"
+
+    def test_forward_digit_and_backward_marker(self):
+        out = render_gantt(run_pipeline().trace, width=40)
+        row0 = next(l for l in out.splitlines() if "gpu:0" in l)
+        assert "0" in row0
+        assert "'" in row0  # backward marker
+
+    def test_fixed_width(self):
+        out = render_gantt(run_pipeline().trace, width=40)
+        for line in out.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+
+class TestMemoryCurve:
+    def test_renders_peak(self):
+        tl = MemoryTimeline()
+        tl.record("gpu:0", 0.0, 2 * 2**30)
+        tl.record("gpu:0", 1.0, 2 * 2**30)
+        out = render_memory_curve(tl, "gpu:0", width=20, height=4)
+        assert "peak 4.00 GiB" in out
+        assert "█" in out
+
+    def test_no_activity(self):
+        tl = MemoryTimeline()
+        out = render_memory_curve(tl, "gpu:9")
+        assert "no memory activity" in out

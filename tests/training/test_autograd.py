@@ -1,0 +1,129 @@
+"""Unit tests for the numpy autograd engine, checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.training.autograd import Tensor, no_grad
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gf = g.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        hi = f(x)
+        flat[i] = old - eps
+        lo = f(x)
+        flat[i] = old
+        gf[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+class TestBasicOps:
+    def test_add_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+        assert np.allclose(b.grad, [1, 1])
+
+    def test_sub_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, [1])
+        assert np.allclose(b.grad, [-1])
+
+    def test_mul_grad(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [4, 5])
+        assert np.allclose(b.grad, [2, 3])
+
+    def test_scalar_mul(self):
+        a = Tensor([2.0], requires_grad=True)
+        (3.0 * a).sum().backward()
+        assert np.allclose(a.grad, [3.0])
+
+    def test_matmul_grad(self):
+        rng = np.random.default_rng(0)
+        a_val = rng.standard_normal((3, 4))
+        w_val = rng.standard_normal((4, 2))
+        a = Tensor(a_val, requires_grad=True)
+        w = Tensor(w_val, requires_grad=True)
+        (a @ w).sum().backward()
+        num = numeric_grad(lambda v: (v @ w_val).sum(), a_val.copy())
+        assert np.allclose(a.grad, num, atol=1e-5)
+        num_w = numeric_grad(lambda v: (a_val @ v).sum(), w_val.copy())
+        assert np.allclose(w.grad, num_w, atol=1e-5)
+
+    def test_relu_grad(self):
+        a = Tensor([-1.0, 0.0, 2.0], requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, [0, 0, 1])
+
+    def test_tanh_grad(self):
+        x_val = np.array([0.3, -0.7])
+        a = Tensor(x_val, requires_grad=True)
+        a.tanh().sum().backward()
+        num = numeric_grad(lambda v: np.tanh(v).sum(), x_val.copy())
+        assert np.allclose(a.grad, num, atol=1e-6)
+
+    def test_mean_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, np.full((2, 3), 1 / 6))
+
+    def test_broadcast_bias(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        assert np.allclose(b.grad, [4, 4, 4])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * Tensor([2.0])).sum().backward()
+        (a * Tensor([3.0])).sum().backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_diamond_reuse(self):
+        # y = a*a + a*a reuses `a` along two paths.
+        a = Tensor([3.0], requires_grad=True)
+        y = a * a + a * a
+        y.sum().backward()
+        assert np.allclose(a.grad, [12.0])
+
+    def test_backward_nonscalar_needs_seed(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * a).backward()
+
+    def test_backward_with_seed(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * a).backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [2.0, 40.0])
+
+    def test_no_grad_blocks_recording(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * Tensor([2.0])
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * a).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(5000):
+            x = x + Tensor([0.0])
+        x.sum().backward()
+        assert np.allclose(a.grad, [1.0])

@@ -1,0 +1,161 @@
+"""Finite-difference tests for the extended autograd ops and layers."""
+
+import numpy as np
+import pytest
+
+from repro.training.autograd import Tensor
+from repro.training.layers import Dropout, Embedding, LayerNorm, Sigmoid
+
+from tests.training.test_autograd import numeric_grad
+
+
+def check_grad(f_tensor, f_np, x_val, atol=1e-5):
+    x = Tensor(x_val.copy(), requires_grad=True)
+    f_tensor(x).sum().backward()
+    num = numeric_grad(lambda v: f_np(v).sum(), x_val.copy())
+    np.testing.assert_allclose(x.grad, num, atol=atol)
+
+
+class TestExtendedOps:
+    def setup_method(self):
+        self.x = np.random.default_rng(0).uniform(0.5, 2.0, (3, 4))
+
+    def test_div(self):
+        b = Tensor(np.full((3, 4), 2.0), requires_grad=True)
+        a = Tensor(self.x, requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((3, 4), 0.5))
+        np.testing.assert_allclose(b.grad, -self.x / 4.0)
+
+    def test_neg(self):
+        a = Tensor(self.x, requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, -np.ones_like(self.x))
+
+    def test_exp(self):
+        check_grad(lambda t: t.exp(), np.exp, self.x)
+
+    def test_log(self):
+        check_grad(lambda t: t.log(), np.log, self.x)
+
+    def test_pow(self):
+        check_grad(lambda t: t.pow(3.0), lambda v: v**3, self.x)
+
+    def test_sqrt(self):
+        check_grad(lambda t: t.sqrt(), np.sqrt, self.x)
+
+    def test_sigmoid(self):
+        check_grad(lambda t: t.sigmoid(), lambda v: 1 / (1 + np.exp(-v)), self.x)
+
+    def test_reshape(self):
+        a = Tensor(self.x, requires_grad=True)
+        a.reshape(12).sum().backward()
+        assert a.grad.shape == (3, 4)
+        np.testing.assert_allclose(a.grad, 1.0)
+
+    def test_getitem_scatter(self):
+        a = Tensor(self.x, requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        expected = np.zeros_like(self.x)
+        expected[0] = 2.0
+        expected[2] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_sum_axis(self):
+        a = Tensor(self.x, requires_grad=True)
+        a.sum_axis(1).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+
+    def test_mean_axis(self):
+        a = Tensor(self.x, requires_grad=True)
+        a.mean_axis(0, keepdims=False).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 / 3)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Tensor(self.x).softmax()
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_grad(self):
+        def np_softmax(v):
+            z = v - v.max(axis=-1, keepdims=True)
+            e = np.exp(z)
+            return e / e.sum(axis=-1, keepdims=True)
+
+        w = np.random.default_rng(1).standard_normal((3, 4))
+        check_grad(
+            lambda t: t.softmax() * Tensor(w),
+            lambda v: np_softmax(v) * w,
+            self.x,
+        )
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 8)) * 5 + 3)
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-4)
+
+    def test_gradients_flow_to_gamma_beta(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.random.default_rng(2).standard_normal((2, 4)), requires_grad=True)
+        ln(x).sum().backward()
+        assert ln.gamma.grad is not None
+        assert ln.beta.grad is not None
+        np.testing.assert_allclose(ln.beta.grad, [2, 2, 2, 2])
+
+    def test_grad_matches_numeric(self):
+        ln = LayerNorm(5)
+        x_val = np.random.default_rng(3).standard_normal((3, 5))
+
+        def f_np(v):
+            mu = v.mean(-1, keepdims=True)
+            var = ((v - mu) ** 2).mean(-1, keepdims=True)
+            return ((v - mu) / np.sqrt(var + 1e-5)).sum()
+
+        x = Tensor(x_val.copy(), requires_grad=True)
+        ln(x).sum().backward()
+        num = numeric_grad(lambda v: f_np(v), x_val.copy())
+        np.testing.assert_allclose(x.grad, num, atol=1e-5)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([1, 3, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[1], out.data[2])
+
+    def test_grad_accumulates_on_repeated_tokens(self):
+        emb = Embedding(10, 4)
+        emb(np.array([5, 5, 2])).sum().backward()
+        np.testing.assert_allclose(emb.table.grad[5], 2.0)
+        np.testing.assert_allclose(emb.table.grad[2], 1.0)
+        np.testing.assert_allclose(emb.table.grad[0], 0.0)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        d = Dropout(0.5)
+        x = Tensor(np.ones((4, 4)))
+        assert d(x) is x
+
+    def test_scaling_preserves_expectation(self):
+        d = Dropout(0.5)
+        d.training = True
+        d.seed = 7
+        x = Tensor(np.ones((1000, 16)))
+        out = d(x)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_same_seed_same_mask(self):
+        d1, d2 = Dropout(0.3), Dropout(0.3)
+        d1.training = d2.training = True
+        d1.seed = d2.seed = 99
+        x = Tensor(np.ones((8, 8)))
+        np.testing.assert_allclose(d1(x).data, d2(x).data)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

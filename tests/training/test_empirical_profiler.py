@@ -1,0 +1,78 @@
+"""Tests for the empirical (wall-clock) profiler bridge."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import config_b
+from repro.core import Planner, profile_model
+from repro.training import Linear, Sequential, Tanh
+from repro.training.empirical_profiler import (
+    _calibrate_flops,
+    measure_model,
+    profile_sequential,
+)
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        Linear(64, 256, rng), Tanh(), Linear(256, 256, rng), Tanh(), Linear(256, 16, rng)
+    )
+
+
+@pytest.fixture
+def sample():
+    return np.random.default_rng(1).standard_normal((32, 64))
+
+
+class TestMeasurement:
+    def test_one_row_per_module(self, model, sample):
+        rows = measure_model(model, sample, repeats=1)
+        assert len(rows) == 5
+        assert all(r.fwd_seconds > 0 and r.bwd_seconds > 0 for r in rows)
+
+    def test_param_counts_match(self, model, sample):
+        rows = measure_model(model, sample, repeats=1)
+        assert rows[0].params == 64 * 256 + 256
+        assert rows[1].params == 0  # Tanh
+        assert sum(r.params for r in rows) == sum(
+            p.data.size for p in model.parameters()
+        )
+
+    def test_activation_bytes_per_sample(self, model, sample):
+        rows = measure_model(model, sample, repeats=1)
+        # First Linear outputs (32, 256) float64 -> 2048 B per sample.
+        assert rows[0].activation_bytes == pytest.approx(256 * 8)
+
+    def test_repeats_validated(self, model, sample):
+        with pytest.raises(ValueError):
+            measure_model(model, sample, repeats=0)
+
+
+class TestProfileSequential:
+    def test_produces_valid_layer_graph(self, model, sample):
+        graph = profile_sequential(model, sample, host_flops=1e10)
+        assert graph.num_layers == 5
+        assert graph.total_params == sum(p.data.size for p in model.parameters())
+        graph._check_range(0, 5)
+
+    def test_plannable(self, model, sample):
+        """The measured graph feeds the planner end to end (Fig. 1 flow)."""
+        graph = profile_sequential(model, sample, host_flops=1e10)
+        prof = profile_model(graph)
+        result = Planner(prof, config_b(2), 64).search()
+        result.plan.validate()
+        assert result.estimate.latency > 0
+
+    def test_heavier_layer_measures_heavier(self, sample):
+        rng = np.random.default_rng(5)
+        model = Sequential(Linear(64, 64, rng), Linear(64, 1024, rng))
+        graph = profile_sequential(model, sample, host_flops=1e10)
+        assert graph.layers[1].flops_fwd > graph.layers[0].flops_fwd
+
+
+class TestCalibration:
+    def test_host_flops_positive_and_sane(self):
+        f = _calibrate_flops(seconds=0.02)
+        assert 1e8 < f < 1e13  # any real machine lands in this band

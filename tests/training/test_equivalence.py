@@ -1,0 +1,169 @@
+"""Gradient-equivalence tests: DAPPLE pipelining preserves exact gradients.
+
+These are the executable version of the paper's §VI-A claim: "all the
+pipeline latency optimizations proposed in this paper give equivalent
+gradients for training when keeping global batch size fixed and thus
+convergence is safely preserved."
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training import (
+    SGD,
+    Adam,
+    Linear,
+    PipelineTrainer,
+    Sequential,
+    Tanh,
+    Tensor,
+    mse_loss,
+    sequential_step_gradients,
+    softmax_cross_entropy,
+)
+
+
+def make_model(seed=0, dims=(6, 12, 12, 12, 3)):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i in range(len(dims) - 1):
+        layers.append(Linear(dims[i], dims[i + 1], rng))
+        if i < len(dims) - 2:
+            layers.append(Tanh())
+    return Sequential(*layers)
+
+
+def make_data(seed=1, n=16, in_dim=6, out_dim=3):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, in_dim)), rng.standard_normal((n, out_dim))
+
+
+def loss_fn(pred, target, normalizer):
+    return mse_loss(pred, Tensor(np.asarray(target)), normalizer=normalizer)
+
+
+def assert_grads_equal(a, b, tol=1e-9):
+    assert len(a) == len(b)
+    for ga, gb in zip(a, b):
+        np.testing.assert_allclose(ga, gb, rtol=tol, atol=tol)
+
+
+class TestGradientEquivalence:
+    def test_two_stage_pipeline_matches_sequential(self):
+        model = make_model()
+        x, y = make_data()
+        ref_loss, ref = sequential_step_gradients(model, x, y, loss_fn)
+        tr = PipelineTrainer(model, split_points=[3], num_micro_batches=4)
+        loss, grads = tr.step_gradients(x, y, loss_fn)
+        assert loss == pytest.approx(ref_loss, rel=1e-12)
+        assert_grads_equal(grads, ref)
+
+    def test_many_micro_batches(self):
+        model = make_model()
+        x, y = make_data(n=32)
+        _, ref = sequential_step_gradients(model, x, y, loss_fn)
+        for m in (1, 2, 8, 16, 32):
+            tr = PipelineTrainer(model, [3], num_micro_batches=m)
+            _, grads = tr.step_gradients(x, y, loss_fn)
+            assert_grads_equal(grads, ref)
+
+    def test_replicated_stage_matches_sequential(self):
+        """Fig. 8a semantics: micro-batch sliced across stage replicas."""
+        model = make_model()
+        x, y = make_data(n=24)
+        _, ref = sequential_step_gradients(model, x, y, loss_fn)
+        tr = PipelineTrainer(model, [3], num_micro_batches=3, replicas=[2, 3])
+        _, grads = tr.step_gradients(x, y, loss_fn)
+        assert_grads_equal(grads, ref)
+
+    def test_three_stage_uneven_split(self):
+        model = make_model()
+        x, y = make_data(n=16)
+        _, ref = sequential_step_gradients(model, x, y, loss_fn)
+        tr = PipelineTrainer(model, [1, 5], num_micro_batches=4, replicas=[1, 2, 1])
+        _, grads = tr.step_gradients(x, y, loss_fn)
+        assert_grads_equal(grads, ref)
+
+    def test_pb_policy_same_gradients(self):
+        model = make_model()
+        x, y = make_data()
+        _, ref = sequential_step_gradients(model, x, y, loss_fn)
+        tr = PipelineTrainer(model, [3], num_micro_batches=4, warmup_policy="PB")
+        _, grads = tr.step_gradients(x, y, loss_fn)
+        assert_grads_equal(grads, ref)
+
+    def test_cross_entropy_task(self):
+        model = make_model(dims=(6, 16, 16, 5))
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((12, 6))
+        labels = rng.integers(0, 5, 12)
+
+        def ce(pred, target, normalizer):
+            return softmax_cross_entropy(pred, target, normalizer=normalizer)
+
+        _, ref = sequential_step_gradients(model, x, labels, ce)
+        tr = PipelineTrainer(model, [2], num_micro_batches=4, replicas=[2, 1])
+        _, grads = tr.step_gradients(x, labels, ce)
+        assert_grads_equal(grads, ref)
+
+    @given(
+        m=st.sampled_from([1, 2, 4, 8]),
+        split=st.integers(min_value=1, max_value=6),
+        r0=st.integers(min_value=1, max_value=3),
+        r1=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_property(self, m, split, r0, r1, seed):
+        """For any split/replication/micro-batching, gradients match."""
+        model = make_model(seed=seed)
+        x, y = make_data(seed=seed + 1, n=24)
+        _, ref = sequential_step_gradients(model, x, y, loss_fn)
+        tr = PipelineTrainer(model, [split], num_micro_batches=m, replicas=[r0, r1])
+        _, grads = tr.step_gradients(x, y, loss_fn)
+        assert_grads_equal(grads, ref, tol=1e-8)
+
+
+class TestTrainingLoop:
+    def test_pipelined_training_identical_to_sequential(self):
+        """Multiple optimizer steps stay bit-comparable to sequential SGD."""
+        seq_model = make_model(seed=5)
+        pipe_model = make_model(seed=5)
+        x, y = make_data(seed=6, n=16)
+
+        seq_opt = SGD(seq_model.parameters(), lr=0.05)
+        pipe_opt = SGD(pipe_model.parameters(), lr=0.05)
+        tr = PipelineTrainer(pipe_model, [3], num_micro_batches=4, replicas=[2, 1])
+
+        for step in range(10):
+            _, g = sequential_step_gradients(seq_model, x, y, loss_fn)
+            seq_opt.step(g)
+            tr.train_step(x, y, loss_fn, pipe_opt)
+            for ps, pp in zip(seq_model.parameters(), pipe_model.parameters()):
+                np.testing.assert_allclose(ps.data, pp.data, rtol=1e-9, atol=1e-9)
+
+    def test_loss_decreases(self):
+        model = make_model(seed=9)
+        x, y = make_data(seed=10, n=32)
+        tr = PipelineTrainer(model, [3], num_micro_batches=4)
+        opt = Adam(model.parameters(), lr=0.01)
+        losses = [tr.train_step(x, y, loss_fn, opt) for _ in range(60)]
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_invalid_batch_split(self):
+        model = make_model()
+        x, y = make_data(n=10)
+        tr = PipelineTrainer(model, [3], num_micro_batches=4)
+        with pytest.raises(ValueError):
+            tr.step_gradients(x, y, loss_fn)
+
+    def test_invalid_splits_rejected(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            PipelineTrainer(model, [5, 2], num_micro_batches=2)
+        with pytest.raises(ValueError):
+            PipelineTrainer(model, [3], num_micro_batches=2, replicas=[1])
+        with pytest.raises(ValueError):
+            PipelineTrainer(model, [3], num_micro_batches=2, replicas=[0, 1])

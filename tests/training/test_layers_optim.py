@@ -1,0 +1,153 @@
+"""Unit tests for layers, losses, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    SGD,
+    Adam,
+    Linear,
+    ReLU,
+    RMSProp,
+    Sequential,
+    Tanh,
+    Tensor,
+    mse_loss,
+    softmax_cross_entropy,
+)
+
+
+def mlp(rng=None, dims=(8, 16, 16, 4)):
+    rng = rng or np.random.default_rng(7)
+    layers = []
+    for i in range(len(dims) - 1):
+        layers.append(Linear(dims[i], dims[i + 1], rng))
+        if i < len(dims) - 2:
+            layers.append(Tanh())
+    return Sequential(*layers)
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        lin = Linear(5, 3)
+        out = lin(Tensor(np.ones((2, 5))))
+        assert out.shape == (2, 3)
+
+    def test_parameters_discovered(self):
+        m = mlp()
+        # 3 Linear layers x (weight, bias)
+        assert len(m.parameters()) == 6
+
+    def test_state_roundtrip(self):
+        m = mlp()
+        state = m.state()
+        for p in m.parameters():
+            p.data += 1.0
+        m.load_state(state)
+        for p, s in zip(m.parameters(), state):
+            assert np.allclose(p.data, s)
+
+    def test_load_state_mismatch(self):
+        m = mlp()
+        with pytest.raises(ValueError):
+            m.load_state([np.zeros(2)])
+
+    def test_slice_shares_parameters(self):
+        m = mlp()
+        sub = m.slice(0, 2)
+        assert sub.modules[0] is m.modules[0]
+
+    def test_slice_bad_range(self):
+        with pytest.raises(IndexError):
+            mlp().slice(2, 2)
+
+    def test_relu_tanh_forward(self):
+        x = Tensor(np.array([[-1.0, 2.0]]))
+        assert np.allclose(ReLU()(x).data, [[0.0, 2.0]])
+        assert np.allclose(Tanh()(x).data, np.tanh([[-1.0, 2.0]]))
+
+
+class TestLosses:
+    def test_mse_matches_manual(self):
+        pred = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        target = Tensor(np.array([[0.0, 0.0]]))
+        loss = mse_loss(pred, target)
+        assert float(loss.data) == pytest.approx((1 + 4) / 2)
+
+    def test_mse_normalizer_splits_exactly(self):
+        rng = np.random.default_rng(1)
+        pred = rng.standard_normal((8, 3))
+        tgt = rng.standard_normal((8, 3))
+        full = mse_loss(Tensor(pred), Tensor(tgt), normalizer=8.0)
+        halves = sum(
+            float(mse_loss(Tensor(pred[i : i + 4]), Tensor(tgt[i : i + 4]), normalizer=8.0).data)
+            for i in (0, 4)
+        )
+        assert halves == pytest.approx(float(full.data))
+
+    def test_cross_entropy_grad_matches_softmax_minus_onehot(self):
+        logits_val = np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        logits = Tensor(logits_val, requires_grad=True)
+        labels = np.array([0, 2])
+        loss = softmax_cross_entropy(logits, labels)
+        loss.backward()
+        z = logits_val - logits_val.max(axis=1, keepdims=True)
+        probs = np.exp(z) / np.exp(z).sum(axis=1, keepdims=True)
+        one_hot = np.eye(3)[labels]
+        assert np.allclose(logits.grad, (probs - one_hot) / 2)
+
+    def test_cross_entropy_positive(self):
+        logits = Tensor(np.zeros((4, 5)), requires_grad=True)
+        loss = softmax_cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert float(loss.data) == pytest.approx(np.log(5))
+
+
+class TestOptimizers:
+    def _quadratic_converges(self, opt_cls, **kw):
+        # Minimize ||p||^2 with each optimizer.
+        p = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = opt_cls([p], **kw)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.linalg.norm(p.data) < 0.2
+
+    def test_sgd_converges(self):
+        self._quadratic_converges(SGD, lr=0.05, momentum=0.9)
+
+    def test_adam_converges(self):
+        self._quadratic_converges(Adam, lr=0.1)
+
+    def test_rmsprop_converges(self):
+        self._quadratic_converges(RMSProp, lr=0.05)
+
+    def test_explicit_grads_path(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0, momentum=0.0)
+        opt.step([np.array([0.5])])
+        assert np.allclose(p.data, [0.5])
+
+    def test_grad_count_mismatch(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            opt.step([np.array([1.0]), np.array([1.0])])
+
+    def test_missing_grad_rejected(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            opt.step()
+
+    def test_bad_lr(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+
+    def test_adam_bias_correction_first_step(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        opt.step([np.array([1.0])])
+        # First Adam step moves by ~lr regardless of gradient scale.
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-6)

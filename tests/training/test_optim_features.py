@@ -1,0 +1,84 @@
+"""Tests for optimizer extras: weight decay and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.training import SGD, Adam, RMSProp, Tensor, clip_grad_norm
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        g = [np.array([3.0, 4.0])]  # norm 5
+        norm = clip_grad_norm(g, 10.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(g[0], [3.0, 4.0])
+
+    def test_clips_to_max_norm(self):
+        g = [np.array([3.0, 4.0])]
+        norm = clip_grad_norm(g, 1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(g[0]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_tensors(self):
+        g = [np.array([3.0]), np.array([4.0])]
+        clip_grad_norm(g, 1.0)
+        total = np.sqrt(sum(float((x * x).sum()) for x in g))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([np.array([1.0])], 0.0)
+
+    def test_preserves_equivalence(self):
+        """Clipping the reduced gradients keeps pipeline == sequential."""
+        from repro.training import (
+            Linear,
+            PipelineTrainer,
+            Sequential,
+            Tanh,
+            mse_loss,
+            sequential_step_gradients,
+        )
+
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 8, rng), Tanh(), Linear(8, 2, rng))
+        x = rng.standard_normal((8, 4))
+        y = rng.standard_normal((8, 2))
+
+        def loss_fn(pred, target, normalizer):
+            return mse_loss(pred, Tensor(np.asarray(target)), normalizer=normalizer)
+
+        _, ref = sequential_step_gradients(model, x, y, loss_fn)
+        tr = PipelineTrainer(model, [1], num_micro_batches=2)
+        _, grads = tr.step_gradients(x, y, loss_fn)
+        clip_grad_norm(ref, 0.5)
+        clip_grad_norm(grads, 0.5)
+        for a, b in zip(grads, ref):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestWeightDecay:
+    @pytest.mark.parametrize("opt_cls", [SGD, Adam, RMSProp])
+    def test_decay_shrinks_weights(self, opt_cls):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = opt_cls([p], lr=0.1, weight_decay=0.1)
+        opt.step([np.array([0.0])])
+        assert abs(p.data[0]) < 10.0
+
+    def test_zero_decay_is_noop(self):
+        p1 = Tensor(np.array([10.0]), requires_grad=True)
+        p2 = Tensor(np.array([10.0]), requires_grad=True)
+        SGD([p1], lr=0.1, momentum=0.0).step([np.array([1.0])])
+        SGD([p2], lr=0.1, momentum=0.0, weight_decay=0.0).step([np.array([1.0])])
+        np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_negative_decay_rejected(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, weight_decay=-1.0)
+
+    def test_decoupled_decay_magnitude(self):
+        # One step, zero gradient: w' = w(1 - lr*wd).
+        p = Tensor(np.array([2.0]), requires_grad=True)
+        SGD([p], lr=0.5, momentum=0.0, weight_decay=0.2).step([np.array([0.0])])
+        assert p.data[0] == pytest.approx(2.0 * (1 - 0.5 * 0.2))

@@ -1,0 +1,130 @@
+"""Tests for the numerical transformer blocks, including pipeline equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.training import Tensor, mse_loss, sequential_step_gradients
+from repro.training.pipeline_trainer import PipelineTrainer
+from repro.training.transformer import (
+    FeedForward,
+    MultiHeadSelfAttention,
+    TransformerBlock,
+    small_transformer,
+)
+from tests.training.test_autograd import numeric_grad
+
+
+HIDDEN, HEADS, SEQ = 16, 4, 4
+
+
+def tokens(batch_seqs: int, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((batch_seqs * SEQ, HIDDEN))
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(HIDDEN, HEADS, SEQ)
+        out = attn(Tensor(tokens(3)))
+        assert out.shape == (3 * SEQ, HIDDEN)
+
+    def test_window_locality(self):
+        """Attention never crosses sequence windows: perturbing window 1
+        leaves window 0's output untouched."""
+        attn = MultiHeadSelfAttention(HIDDEN, HEADS, SEQ)
+        x = tokens(2)
+        base = attn(Tensor(x)).data
+        x2 = x.copy()
+        x2[SEQ:] += 1.0
+        out2 = attn(Tensor(x2)).data
+        np.testing.assert_allclose(out2[:SEQ], base[:SEQ])
+        assert not np.allclose(out2[SEQ:], base[SEQ:])
+
+    def test_grad_matches_numeric(self):
+        attn = MultiHeadSelfAttention(HIDDEN, HEADS, SEQ)
+        x_val = tokens(1, seed=3)
+
+        def forward_np(v):
+            return attn(Tensor(v)).data
+
+        x = Tensor(x_val.copy(), requires_grad=True)
+        attn(x).sum().backward()
+        num = numeric_grad(lambda v: forward_np(v).sum(), x_val.copy(), eps=1e-6)
+        np.testing.assert_allclose(x.grad, num, atol=1e-5)
+
+    def test_bad_hidden_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3, SEQ)
+
+    def test_bad_token_count(self):
+        attn = MultiHeadSelfAttention(HIDDEN, HEADS, SEQ)
+        with pytest.raises(ValueError):
+            attn(Tensor(np.zeros((SEQ + 1, HIDDEN))))
+
+
+class TestBlocks:
+    def test_feedforward_shape(self):
+        ff = FeedForward(HIDDEN)
+        assert ff(Tensor(tokens(2))).shape == (2 * SEQ, HIDDEN)
+
+    def test_block_residuals_preserve_shape(self):
+        block = TransformerBlock(HIDDEN, HEADS, SEQ)
+        assert block(Tensor(tokens(2))).shape == (2 * SEQ, HIDDEN)
+
+    def test_parameters_discovered(self):
+        block = TransformerBlock(HIDDEN, HEADS, SEQ)
+        # 4 attn linears + 2 ff linears -> 12 tensors, + 2 layernorms -> 4.
+        assert len(block.parameters()) == 16
+
+    def test_stack_trains(self):
+        from repro.training import Adam
+
+        model = small_transformer(2, HIDDEN, HEADS, SEQ, out_dim=2)
+        rng = np.random.default_rng(5)
+        x = tokens(4, seed=5)
+        y = rng.standard_normal((4 * SEQ, 2))
+
+        def loss_fn(pred, target, normalizer):
+            return mse_loss(pred, Tensor(np.asarray(target)), normalizer=normalizer)
+
+        opt = Adam(model.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(30):
+            model.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y, float(len(x)))
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] * 0.8
+
+
+class TestTransformerPipelineEquivalence:
+    """The paper's workload family under DAPPLE semantics: exact gradients."""
+
+    def _loss(self, pred, target, normalizer):
+        return mse_loss(pred, Tensor(np.asarray(target)), normalizer=normalizer)
+
+    def test_pipelined_transformer_matches_sequential(self):
+        model = small_transformer(4, HIDDEN, HEADS, SEQ, out_dim=3)
+        rng = np.random.default_rng(9)
+        x = tokens(8, seed=9)  # 8 sequences of SEQ tokens
+        y = rng.standard_normal((8 * SEQ, 3))
+        _, ref = sequential_step_gradients(model, x, y, self._loss)
+        # Micro-batches of 2 sequences each (slicing at window boundaries).
+        tr = PipelineTrainer(model, split_points=[2], num_micro_batches=4)
+        _, grads = tr.step_gradients(x, y, self._loss)
+        for a, b in zip(grads, ref):
+            np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9)
+
+    def test_replicated_transformer_stage(self):
+        model = small_transformer(2, HIDDEN, HEADS, SEQ, out_dim=3)
+        rng = np.random.default_rng(11)
+        x = tokens(8, seed=11)
+        y = rng.standard_normal((8 * SEQ, 3))
+        _, ref = sequential_step_gradients(model, x, y, self._loss)
+        # Stage 0 replicated 2-way: each replica gets 1 sequence per
+        # micro-batch (window-aligned slicing).
+        tr = PipelineTrainer(model, [1], num_micro_batches=4, replicas=[2, 1])
+        _, grads = tr.step_gradients(x, y, self._loss)
+        for a, b in zip(grads, ref):
+            np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9)
