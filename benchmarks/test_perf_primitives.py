@@ -6,9 +6,12 @@ simulator's event throughput, latency-model evaluation speed, planner
 search time, and the gradient-equivalent pipeline trainer.
 """
 
+import pathlib
+import time
+
 import numpy as np
 
-from repro.core import Planner, profile_model
+from repro.core import Planner, PlannerConfig, profile_model
 from repro.core.latency import evaluate_plan
 from repro.core.plan import ParallelPlan, Stage
 from repro.core.scheduler import dapple_schedule
@@ -56,6 +59,50 @@ def test_planner_search_vgg_config_c(benchmark):
         lambda: Planner(prof, clu, 2048).search(), rounds=1, iterations=1
     )
     assert res.plan is not None
+
+
+def test_planner_search_vgg_config_c_scalar(benchmark):
+    """The reference scalar path, kept measurable for before/after deltas."""
+    prof = profile("vgg19")
+    clu = cluster("C")
+    res = benchmark.pedantic(
+        lambda: Planner(
+            prof, clu, 2048, PlannerConfig(use_fast_scan=False)
+        ).search(),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.plan is not None
+
+
+def test_planner_search_bert48_before_after():
+    """BERT-48 / Config A: scalar vs vectorized search, recorded to
+    ``results/perf_planner.txt`` so the speedup is tracked in-repo."""
+    prof = profile("bert48")
+    clu = cluster("A")
+    gbs = 64
+
+    t0 = time.perf_counter()
+    scalar = Planner(prof, clu, gbs, PlannerConfig(use_fast_scan=False)).search()
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast = Planner(prof, clu, gbs, PlannerConfig(use_fast_scan=True)).search()
+    t_fast = time.perf_counter() - t0
+
+    assert fast.estimate.latency == scalar.estimate.latency
+    assert fast.plan.notation == scalar.plan.notation
+
+    out = pathlib.Path(__file__).resolve().parent.parent / "results" / "perf_planner.txt"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        "planner search, BERT-48 on Config A (16 GPUs), GBS=64\n"
+        f"before (scalar evaluate_plan loop) : {t_scalar * 1e3:9.1f} ms\n"
+        f"after  (vectorized scan_completions): {t_fast * 1e3:9.1f} ms\n"
+        f"speedup                             : {t_scalar / t_fast:9.1f}x\n"
+        f"plan                                : {fast.plan.notation} "
+        f"({fast.plan.split_notation}), latency {fast.estimate.latency * 1e3:.2f} ms\n"
+    )
+    assert t_fast < t_scalar
 
 
 def test_executor_two_stage_pipeline(benchmark):

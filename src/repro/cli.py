@@ -30,7 +30,8 @@ from repro.runtime.memory import OutOfMemoryError
 
 EXPERIMENTS = [
     "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "fig3", "fig4", "fig7", "fig8", "fig12", "fig14", "convergence", "bandwidth_sweep",
+    "fig3", "fig4", "fig7", "fig8", "fig12", "fig13", "fig14", "convergence",
+    "bandwidth_sweep",
 ]
 
 
@@ -186,6 +187,7 @@ def cmd_compare(args) -> int:
 def cmd_experiment(args) -> int:
     """``repro experiment``: regenerate paper tables/figures into results/."""
     import importlib
+    import inspect
 
     from repro.experiments.reporting import write_result
 
@@ -193,7 +195,11 @@ def cmd_experiment(args) -> int:
     for name in names:
         mod = importlib.import_module(f"repro.experiments.{name}")
         print(f"running {name} ...", flush=True)
-        result = mod.run()
+        # Sweep-able drivers accept a worker count; legacy ones stay serial.
+        kwargs = {}
+        if "jobs" in inspect.signature(mod.run).parameters:
+            kwargs["jobs"] = args.jobs or None  # 0 → auto (all cores but one)
+        result = mod.run(**kwargs)
         write_result(name, mod.format_results(result))
     return 0
 
@@ -230,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=EXPERIMENTS + ["all"])
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep-able experiments (fig12/fig13/fig14/"
+        "table7); 0 = all cores but one",
+    )
     return parser
 
 

@@ -71,9 +71,12 @@ def transfer_time(
     if {d.global_id for d in senders} == {d.global_id for d in receivers}:
         return 0.0
 
+    # Per-machine NIC pressure is counted in *flows* and converted to bytes
+    # with one multiply (``count * flow``) — a single canonical rounding that
+    # the planner's vectorized completion scanner reproduces exactly.
     flow = nbytes / (len(senders) * len(receivers))
-    out_bytes: dict[int, float] = defaultdict(float)
-    in_bytes: dict[int, float] = defaultdict(float)
+    out_flows: dict[int, int] = defaultdict(int)
+    in_flows: dict[int, int] = defaultdict(int)
     intra_max = 0.0
     any_inter = False
     for s in senders:
@@ -84,15 +87,16 @@ def transfer_time(
                 m = cluster.machines[s.machine_id]
                 intra_max = max(intra_max, m.intra_lat + flow / m.intra_bw)
             else:
-                out_bytes[s.machine_id] += flow
-                in_bytes[r.machine_id] += flow
+                out_flows[s.machine_id] += 1
+                in_flows[r.machine_id] += 1
                 any_inter = True
 
     inter_max = 0.0
     if any_inter:
-        worst_volume = max(
-            max(out_bytes.values(), default=0.0), max(in_bytes.values(), default=0.0)
+        worst_count = max(
+            max(out_flows.values(), default=0), max(in_flows.values(), default=0)
         )
+        worst_volume = worst_count * flow
         inter_max = cluster.inter.latency + worst_volume / cluster.inter.bandwidth
 
     reshaping = split_concat_overhead(

@@ -11,7 +11,12 @@ from repro.core.placement import (
     scatter_first,
     POLICIES,
 )
-from repro.core.fast_scan import best_two_stage_split, scan_two_stage
+from repro.core.fast_scan import (
+    CompletionScanner,
+    ScanResult,
+    best_two_stage_split,
+    scan_two_stage,  # deprecated: the empty-prefix case of CompletionScanner
+)
 from repro.core.planner import Planner, PlannerConfig, plan_best
 from repro.core.scheduler import (
     MicroBatchTask,
@@ -40,6 +45,8 @@ __all__ = [
     "Planner",
     "PlannerConfig",
     "plan_best",
+    "CompletionScanner",
+    "ScanResult",
     "best_two_stage_split",
     "scan_two_stage",
     "MicroBatchTask",

@@ -1,150 +1,502 @@
-"""Vectorized two-stage plan scanning.
+"""Vectorized completion scanning for the planner's DP search.
 
-The planner's inner loop evaluates ``L(j)`` for every split point ``j`` of
-a candidate device assignment.  For two-stage plans every cost term is an
-affine function of prefix sums over layers, so the whole scan vectorizes:
-one numpy pass evaluates all ``N−1`` splits at once — the same latencies
-``evaluate_plan`` computes one by one, typically ~50× faster.
+The planner's inner loop scores the *completion* of a transition
+``TPL(j, used) → TPL(j2, used + alloc)``: a plan made of the state's frozen
+prefix stages, one new stage covering layers ``[j, j2)`` on the allocated
+group, and a tail stage covering ``[j2, N)`` on the remaining free devices.
+Every cost term of that plan is affine in the profile's layer prefix sums,
+so for a fixed ``(state, allocation)`` the scan over all splits ``j2``
+vectorizes — and allocations only differ per-row, so the whole
+``(allocation row, split)`` grid evaluates in one numpy pass.
 
-The decomposition mirrors :mod:`repro.core.latency` exactly:
+:class:`CompletionScanner` implements that kernel with two guarantees:
 
-* compute stages: ``F/B`` from the profile's prefix arrays;
-* the communication stage: an elementwise ``max`` of two affine functions
-  of the boundary bytes (intra-machine NVLink term vs per-NIC aggregate
-  Ethernet term) plus affine split/concat reshaping;
-* AllReduce: ``min`` of the flat-ring and hierarchical affine costs;
-* pivot selection (eq. 3) and ``L = Tw + Ts + Te`` evaluated with
-  ``np.where`` over the three extended stages.
+* **Bit-identical latencies.**  Both :mod:`repro.core.latency` and this
+  module compute every range-sum as a difference of left-to-right running
+  prefix sums (``np.cumsum`` order), and :func:`repro.cluster.transfer
+  .transfer_time` converts per-NIC flow counts to bytes with one canonical
+  multiply — so the vectorized mirror performs the *same IEEE-754 operation
+  sequence* as the scalar model and reproduces its latencies exactly, not
+  just approximately.  ``tests/core/test_planner_equivalence.py`` holds the
+  planner to that contract across the model zoo.
+* **Memoized coefficients.**  Transfer and AllReduce costs depend on the
+  device groups only through a small coefficient record (flow counts, link
+  specs, ring sizes).  Those records — and per-``(layer_lo, layer_hi)``
+  persistent-memory terms — are cached on the scanner, so repeated states
+  stop recomputing identical terms.
 
-``tests/core/test_fast_scan.py`` asserts bit-level agreement with
-``evaluate_plan`` across models, clusters and group shapes.
+The legacy two-stage entry points (:func:`scan_two_stage`,
+:func:`best_two_stage_split`) remain as thin wrappers over the general
+kernel; ``scan_two_stage``'s call shape is deprecated.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro.cluster.collectives import allreduce_time
 from repro.cluster.device import Device
-from repro.cluster.topology import Cluster, LinkSpec
-from repro.cluster.transfer import COPY_BANDWIDTH, COPY_LAUNCH_OVERHEAD
+from repro.cluster.topology import Cluster
+from repro.cluster.transfer import COPY_BANDWIDTH, COPY_LAUNCH_OVERHEAD, transfer_time
 from repro.core.profiler import ModelProfile
+from repro.models.graph import FP32, GRAD_BYTES_PER_PARAM, OPTIMIZER_STATE_BYTES
+
+
+# --------------------------------------------------------------------------- #
+# Cost coefficients (memoized per device-group identity)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _TransferCoef:
+    """Group-dependent constants of ``transfer_time`` for one (src, dst) pair.
+
+    ``transfer_time`` depends on the byte count only through a handful of
+    affine terms; everything else (flow counts, link specs, fan-in/out) is a
+    function of the two device groups and is captured here once.
+    """
+
+    identical: bool  # sender ids == receiver ids → zero-cost transfer
+    n_flows: int
+    intra_links: tuple[tuple[float, float], ...]  # distinct (lat, bw) pairs
+    worst_count: int  # max per-NIC flow count; 0 → no inter-machine flow
+    inter_lat: float
+    inter_bw: float
+    n_senders: int
+    n_receivers: int
 
 
 @dataclass(frozen=True)
-class _Affine:
-    """``f(bytes) = const + slope · bytes`` (with f(0) = 0 handled by callers)."""
+class _AllreduceCoef:
+    """Group-dependent constants of ``allreduce_time`` (ring sizes, links)."""
 
-    const: float
-    slope: float
-
-    def __call__(self, nbytes: np.ndarray) -> np.ndarray:
-        return self.const + self.slope * np.asarray(nbytes, dtype=float)
-
-
-def _transfer_affine(
-    cluster: Cluster, senders: Sequence[Device], receivers: Sequence[Device]
-) -> tuple[_Affine, _Affine, _Affine]:
-    """(intra, inter, reshaping) affine components of ``transfer_time``."""
-    senders = list(senders)
-    receivers = list(receivers)
-    n_flows = len(senders) * len(receivers)
-
-    intra_lat = 0.0
-    intra_slope = 0.0
-    out_counts: dict[int, int] = {}
-    in_counts: dict[int, int] = {}
-    for s in senders:
-        for r in receivers:
-            if s.global_id == r.global_id:
-                continue
-            if cluster.same_machine(s, r):
-                m = cluster.machines[s.machine_id]
-                intra_lat = max(intra_lat, m.intra_lat)
-                intra_slope = max(intra_slope, 1.0 / (n_flows * m.intra_bw))
-            else:
-                out_counts[s.machine_id] = out_counts.get(s.machine_id, 0) + 1
-                in_counts[r.machine_id] = in_counts.get(r.machine_id, 0) + 1
-
-    worst = max(
-        max(out_counts.values(), default=0), max(in_counts.values(), default=0)
-    )
-    if worst:
-        inter = _Affine(
-            cluster.inter.latency, worst / (n_flows * cluster.inter.bandwidth)
-        )
-    else:
-        inter = _Affine(0.0, 0.0)
-    intra = _Affine(intra_lat, intra_slope) if intra_slope else _Affine(0.0, 0.0)
-
-    reshape_const = 0.0
-    reshape_slope = 0.0
-    if len(receivers) > 1:
-        reshape_const += COPY_LAUNCH_OVERHEAD
-        reshape_slope += 1.0 / (len(senders) * COPY_BANDWIDTH)
-    if len(senders) > 1:
-        reshape_const += COPY_LAUNCH_OVERHEAD
-        reshape_slope += 1.0 / (len(receivers) * COPY_BANDWIDTH)
-    return intra, inter, _Affine(reshape_const, reshape_slope)
+    n: int
+    single_machine: bool
+    intra_lat: float
+    intra_bw: float
+    inter_lat: float
+    inter_bw: float
+    max_local: int
+    n_machines: int
 
 
-def _transfer_vec(
-    cluster: Cluster,
-    senders: Sequence[Device],
-    receivers: Sequence[Device],
-    nbytes: np.ndarray,
-) -> np.ndarray:
-    if {d.global_id for d in senders} == {d.global_id for d in receivers}:
-        return np.zeros_like(np.asarray(nbytes, dtype=float))
-    intra, inter, reshape = _transfer_affine(cluster, senders, receivers)
-    t = np.maximum(intra(nbytes), inter(nbytes)) + reshape(nbytes)
-    return np.where(np.asarray(nbytes) > 0, t, 0.0)
-
-
-def _allreduce_vec(
-    cluster: Cluster, devices: Sequence[Device], nbytes: np.ndarray
-) -> np.ndarray:
-    """Vectorized ``allreduce_time`` (exactly the scalar selection logic)."""
-    devices = list(devices)
-    n = len(devices)
-    nbytes = np.asarray(nbytes, dtype=float)
-    if n <= 1:
+def _apply_transfer(c: _TransferCoef, nbytes: np.ndarray) -> np.ndarray:
+    """Vectorized ``transfer_time`` — the scalar op sequence, elementwise."""
+    if c.identical:
         return np.zeros_like(nbytes)
-    if not cluster.spans_machines(devices):
-        m = cluster.machines[devices[0].machine_id]
-        link = LinkSpec("intra", m.intra_bw, m.intra_lat)
-        t = (
-            2.0 * (n - 1) / n * nbytes / link.bandwidth
-            + 2.0 * (n - 1) * link.latency
+    flow = nbytes / c.n_flows
+    intra_max = 0.0
+    for lat, bw in c.intra_links:
+        intra_max = np.maximum(intra_max, lat + flow / bw)
+    if c.worst_count:
+        inter_max = c.inter_lat + (c.worst_count * flow) / c.inter_bw
+    else:
+        inter_max = 0.0
+    reshaping = 0.0
+    if c.n_receivers > 1:
+        reshaping = COPY_LAUNCH_OVERHEAD + (nbytes / c.n_senders) / COPY_BANDWIDTH
+    if c.n_senders > 1:
+        reshaping = reshaping + (
+            COPY_LAUNCH_OVERHEAD + (nbytes / c.n_receivers) / COPY_BANDWIDTH
         )
+    t = np.maximum(intra_max, inter_max) + reshaping
+    return np.where(nbytes > 0, t, 0.0)
+
+
+def _apply_allreduce(c: _AllreduceCoef, nbytes: np.ndarray) -> np.ndarray:
+    """Vectorized ``allreduce_time`` — the scalar op sequence, elementwise."""
+    if c.n <= 1:
+        return np.zeros_like(nbytes)
+
+    def ring(nb: np.ndarray, n: int, bw: float, lat: float) -> np.ndarray:
+        volume = 2.0 * (n - 1) / n * nb
+        return volume / bw + 2.0 * (n - 1) * lat
+
+    if c.single_machine:
+        t = ring(nbytes, c.n, c.intra_bw, c.intra_lat)
         return np.where(nbytes > 0, t, 0.0)
-    flat = (
-        2.0 * (n - 1) / n * nbytes / cluster.inter.bandwidth
-        + 2.0 * (n - 1) * cluster.inter.latency
-    )
-    # Hierarchical: intra ring over max-local + inter ring over machines.
-    per_machine: dict[int, int] = {}
-    for d in devices:
-        per_machine[d.machine_id] = per_machine.get(d.machine_id, 0) + 1
-    n_mach = len(per_machine)
-    max_local = max(per_machine.values())
-    hier = np.zeros_like(nbytes)
-    if max_local > 1:
-        m = cluster.machines[devices[0].machine_id]
-        hier += (
-            2.0 * (max_local - 1) / max_local * nbytes / m.intra_bw
-            + 2.0 * (max_local - 1) * m.intra_lat
-        )
-    if n_mach > 1:
-        hier += (
-            2.0 * (n_mach - 1) / n_mach * nbytes / cluster.inter.bandwidth
-            + 2.0 * (n_mach - 1) * cluster.inter.latency
-        )
+    flat = ring(nbytes, c.n, c.inter_bw, c.inter_lat)
+    hier = 0.0
+    if c.max_local > 1:
+        hier = hier + ring(nbytes, c.max_local, c.intra_bw, c.intra_lat)
+    if c.n_machines > 1:
+        hier = hier + ring(nbytes, c.n_machines, c.inter_bw, c.inter_lat)
     return np.where(nbytes > 0, np.minimum(flat, hier), 0.0)
 
 
+# --------------------------------------------------------------------------- #
+# Scan result
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScanResult:
+    """All completions of one ``(state, allocations)`` transition batch.
+
+    ``latency[r, k]`` is the (stage-overhead-penalized) analytical latency
+    of the plan that puts layers ``[j, splits[k])`` on allocation row ``r``
+    and ``[splits[k], N)`` on that row's free tail — ``inf`` where the
+    candidate was filtered (memory-infeasible or below ``min_stages``).
+    """
+
+    splits: np.ndarray  # (J,) candidate j2 values
+    latency: np.ndarray  # (R, J)
+    feasible: np.ndarray  # (R, J) memory-feasibility mask (all-True if unchecked)
+    evaluated: int
+    infeasible: int
+
+
+class CompletionScanner:
+    """Scores all ``(allocation, split)`` completions of a planner state.
+
+    One scanner is built per search (per ``(profile, cluster)``); its
+    coefficient caches persist across states so device groups that recur —
+    which is almost all of them, since placement policies draw from a small
+    set of shapes — pay the group analysis once.
+    """
+
+    def __init__(self, profile: ModelProfile, cluster: Cluster):
+        self.profile = profile
+        self.cluster = cluster
+        self._tcoef: dict[tuple, _TransferCoef] = {}
+        self._acoef: dict[tuple, _AllreduceCoef] = {}
+        self._caps: dict[tuple, float] = {}
+        self._persistent: dict[tuple[int, int], float] = {}
+        self._p2p: dict[tuple, float] = {}
+        self._ar_scalar: dict[tuple, float] = {}
+
+    # ---------------------------- coefficients ---------------------------- #
+    def _transfer_coef(
+        self, senders: Sequence[Device], receivers: Sequence[Device]
+    ) -> _TransferCoef:
+        key = (
+            tuple(d.global_id for d in senders),
+            tuple(d.global_id for d in receivers),
+        )
+        coef = self._tcoef.get(key)
+        if coef is not None:
+            return coef
+        cluster = self.cluster
+        identical = set(key[0]) == set(key[1])
+        intra_links: dict[tuple[float, float], None] = {}
+        out_flows: dict[int, int] = {}
+        in_flows: dict[int, int] = {}
+        for s in senders:
+            for r in receivers:
+                if s.global_id == r.global_id:
+                    continue
+                if cluster.same_machine(s, r):
+                    m = cluster.machines[s.machine_id]
+                    intra_links[(m.intra_lat, m.intra_bw)] = None
+                else:
+                    out_flows[s.machine_id] = out_flows.get(s.machine_id, 0) + 1
+                    in_flows[r.machine_id] = in_flows.get(r.machine_id, 0) + 1
+        worst = max(max(out_flows.values(), default=0), max(in_flows.values(), default=0))
+        coef = _TransferCoef(
+            identical=identical,
+            n_flows=len(senders) * len(receivers),
+            intra_links=tuple(intra_links),
+            worst_count=worst,
+            inter_lat=cluster.inter.latency,
+            inter_bw=cluster.inter.bandwidth,
+            n_senders=len(senders),
+            n_receivers=len(receivers),
+        )
+        self._tcoef[key] = coef
+        return coef
+
+    def _allreduce_coef(self, devices: Sequence[Device]) -> _AllreduceCoef:
+        key = tuple(d.global_id for d in devices)
+        coef = self._acoef.get(key)
+        if coef is not None:
+            return coef
+        cluster = self.cluster
+        m = cluster.machines[devices[0].machine_id]
+        per_machine: dict[int, int] = {}
+        for d in devices:
+            per_machine[d.machine_id] = per_machine.get(d.machine_id, 0) + 1
+        coef = _AllreduceCoef(
+            n=len(devices),
+            single_machine=not cluster.spans_machines(devices),
+            intra_lat=m.intra_lat,
+            intra_bw=m.intra_bw,
+            inter_lat=cluster.inter.latency,
+            inter_bw=cluster.inter.bandwidth,
+            max_local=max(per_machine.values()),
+            n_machines=len(per_machine),
+        )
+        self._acoef[key] = coef
+        return coef
+
+    def _min_capacity(self, devices: Sequence[Device]) -> float:
+        key = tuple(d.global_id for d in devices)
+        cap = self._caps.get(key)
+        if cap is None:
+            cap = min(d.spec.memory_bytes for d in devices)
+            self._caps[key] = cap
+        return cap
+
+    def _persistent_bytes(self, lo: int, hi: int) -> float:
+        """Optimizer state + gradient buffer of layers [lo, hi), memoized."""
+        val = self._persistent.get((lo, hi))
+        if val is None:
+            params = self.profile.param_bytes(lo, hi)
+            val = self.profile.state_bytes(lo, hi) + params / FP32 * GRAD_BYTES_PER_PARAM
+            self._persistent[(lo, hi)] = val
+        return val
+
+    def _p2p_time(
+        self, nbytes: float, senders: Sequence[Device], receivers: Sequence[Device]
+    ) -> float:
+        key = (
+            nbytes,
+            tuple(d.global_id for d in senders),
+            tuple(d.global_id for d in receivers),
+        )
+        t = self._p2p.get(key)
+        if t is None:
+            t = transfer_time(self.cluster, nbytes, senders, receivers)
+            self._p2p[key] = t
+        return t
+
+    def _allreduce_scalar(self, nbytes: float, devices: Sequence[Device]) -> float:
+        key = (nbytes, tuple(d.global_id for d in devices))
+        t = self._ar_scalar.get(key)
+        if t is None:
+            t = allreduce_time(nbytes, self.cluster, devices)
+            self._ar_scalar[key] = t
+        return t
+
+    # ------------------------------- kernel -------------------------------- #
+    def scan_completions(
+        self,
+        j_lo: int,
+        prefix: Sequence,
+        groups: Sequence[Sequence[Device]],
+        tails: Sequence[Sequence[Device]],
+        *,
+        global_batch_size: int,
+        num_micro_batches: int,
+        enforce_memory: bool = True,
+        min_stages: int = 1,
+        stage_overhead_frac: float = 0.0,
+    ) -> ScanResult:
+        """Score every completion of a state in one numpy pass.
+
+        ``prefix`` is the state's frozen stage tuple (layers ``[0, j_lo)``);
+        row ``r`` places the new stage ``[j_lo, j2)`` on ``groups[r]`` and
+        the tail ``[j2, N)`` on ``tails[r]``, for every split
+        ``j2 ∈ (j_lo, N)``.  Finite entries of the returned latency matrix
+        are bit-identical to ``evaluate_plan(...).latency · penalty`` on the
+        corresponding :class:`~repro.core.plan.ParallelPlan`.
+        """
+        prof = self.profile
+        n = prof.num_layers
+        m = num_micro_batches
+        mbs = global_batch_size / m
+        P = len(prefix)
+        S = P + 2  # prefix + new + tail computation stages
+        E = 2 * S - 1  # extended stages: comp/comm interleaved
+        R = len(groups)
+        splits = np.arange(j_lo + 1, n)
+        J = splits.size
+        if R == 0 or J == 0:
+            empty = np.empty((R, J))
+            return ScanResult(splits, empty, np.ones((R, J), dtype=bool), 0, 0)
+
+        fp, bp = prof.fwd_prefix, prof.bwd_prefix
+        pp, sp = prof.param_bytes_prefix, prof.stored_prefix
+        ovh = prof.graph.fixed_overhead_fwd
+
+        # Per-split layer-range aggregates (shared by all rows).
+        d_fwd = fp[splits] - fp[j_lo]
+        d_bwd = bp[splits] - bp[j_lo]
+        d_par = pp[splits] - pp[j_lo]
+        d_sto = sp[splits] - sp[j_lo]
+        span_new = splits - j_lo
+        t_fwd = fp[n] - fp[splits]
+        t_bwd = bp[n] - bp[splits]
+        t_par = pp[n] - pp[splits]
+        t_sto = sp[n] - sp[splits]
+        span_tail = n - splits
+        nbytes = prof.boundary_bytes_array(splits, mbs)
+
+        FWD = np.empty((E, R, J))
+        BWD = np.empty((E, R, J))
+        AR = np.zeros((E, R, J))
+
+        # Prefix stages: j2-independent scalar constants (rows share them).
+        ar_nonzero: list[int] = []
+        for i, st in enumerate(prefix):
+            b = mbs / len(st.devices)
+            k = 2 * i
+            FWD[k] = prof.fwd_time(st.layer_lo, st.layer_hi, b)
+            BWD[k] = prof.bwd_time(st.layer_lo, st.layer_hi, b)
+            if len(st.devices) > 1:
+                ar = self._allreduce_scalar(
+                    prof.param_bytes(st.layer_lo, st.layer_hi), st.devices
+                )
+                if ar != 0.0:
+                    AR[k] = ar
+                    ar_nonzero.append(k)
+            if i + 1 < P:
+                nb = prof.boundary_bytes(st.layer_hi, mbs)
+                nxt = prefix[i + 1]
+                FWD[k + 1] = self._p2p_time(nb, st.devices, nxt.devices)
+                BWD[k + 1] = self._p2p_time(nb, nxt.devices, st.devices)
+
+        # Communication prefix → new stage: j2-independent but row-dependent.
+        if P:
+            nb_prev = prof.boundary_bytes(j_lo, mbs)
+            prev = prefix[-1].devices
+            FWD[2 * P - 1] = np.array(
+                [self._p2p_time(nb_prev, prev, g) for g in groups]
+            )[:, None]
+            BWD[2 * P - 1] = np.array(
+                [self._p2p_time(nb_prev, g, prev) for g in groups]
+            )[:, None]
+
+        # New stage (index E-3) and tail stage (index E-1): per-row batches.
+        b_new = np.array([mbs / len(g) for g in groups])
+        b_tail = np.array([mbs / len(t) for t in tails])
+        FWD[E - 3] = d_fwd[None, :] * b_new[:, None] + span_new * ovh
+        BWD[E - 3] = d_bwd[None, :] * b_new[:, None] + span_new * ovh
+        FWD[E - 1] = t_fwd[None, :] * b_tail[:, None] + span_tail * ovh
+        BWD[E - 1] = t_bwd[None, :] * b_tail[:, None] + span_tail * ovh
+
+        # Gradient AllReduce for replicated new/tail stages; rows with the
+        # same coefficient record share one evaluation.
+        vec_cache: dict[tuple, np.ndarray] = {}
+
+        def cached(coef, arr: np.ndarray, fn) -> np.ndarray:
+            key = (coef, id(arr))
+            out = vec_cache.get(key)
+            if out is None:
+                out = fn(coef, arr)
+                vec_cache[key] = out
+            return out
+
+        any_new_rep = any_tail_rep = False
+        for r in range(R):
+            if len(groups[r]) > 1:
+                AR[E - 3, r] = cached(self._allreduce_coef(groups[r]), d_par, _apply_allreduce)
+                any_new_rep = True
+            if len(tails[r]) > 1:
+                AR[E - 1, r] = cached(self._allreduce_coef(tails[r]), t_par, _apply_allreduce)
+                any_tail_rep = True
+
+        # Communication new → tail (index E-2): depends on j2 through bytes.
+        for r in range(R):
+            FWD[E - 2, r] = cached(self._transfer_coef(groups[r], tails[r]), nbytes, _apply_transfer)
+            BWD[E - 2, r] = cached(self._transfer_coef(tails[r], groups[r]), nbytes, _apply_transfer)
+
+        # Pivot walk (eq. 3), vectorized over the (R, J) grid: mirror
+        # find_pivot's descending scan with running prefix sums.
+        m1 = max(m - 1, 0)
+        FB = FWD + BWD
+        TS = m1 * FB
+        FBC = np.cumsum(FB, axis=0)  # inclusive; exclusive[k] = FBC[k-1]
+        q = np.full((R, J), E - 1, dtype=np.int64)
+        ts_q = TS[E - 1].copy()
+        for s in range(E - 2, -1, -1):
+            between = np.take_along_axis(FBC, (q - 1)[None], axis=0)[0] - FBC[s]
+            move = TS[s] > ts_q + between
+            q = np.where(move, s, q)
+            ts_q = np.where(move, TS[s], ts_q)
+
+        FWC = np.cumsum(FWD, axis=0)
+        tw = np.take_along_axis(FWC, q[None], axis=0)[0]
+
+        # Ending (eq. 1): max over stages of AR_s ± backward sums around the
+        # pivot.  Stages with AR = 0 and s ≤ q are exactly dominated by the
+        # s = 0 term (their sum is a sub-range of its sum minus nothing
+        # positive), and zero-AR stages with s > q contribute ≤ 0, so the max
+        # only needs s = 0 plus the stages that can carry a nonzero AR.
+        BC = np.cumsum(BWD, axis=0)
+        bc_q = np.take_along_axis(BC, q[None], axis=0)[0]  # Σ B[0..q]
+        bc_qm1 = np.where(
+            q > 0, np.take_along_axis(BC, np.maximum(q - 1, 0)[None], axis=0)[0], 0.0
+        )
+        cand = set(ar_nonzero)
+        cand.add(0)
+        if any_new_rep:
+            cand.add(E - 3)
+        if any_tail_rep:
+            cand.add(E - 1)
+        ending = np.zeros((R, J))
+        for s in sorted(cand):
+            bcs = BC[s - 1] if s > 0 else 0.0
+            le_term = AR[s] + (bc_q - bcs)
+            if s > 0:
+                gt_term = AR[s] - (BC[s - 1] - bc_qm1)
+                term = np.where(s <= q, le_term, gt_term)
+            else:
+                term = le_term
+            ending = np.maximum(ending, term)
+
+        lat = tw + ts_q + ending
+        penalty = 1.0 + stage_overhead_frac * (S - 1)
+        if penalty != 1.0:
+            lat = lat * penalty
+
+        evaluated = R * J
+        infeasible = 0
+        feasible = np.ones((R, J), dtype=bool)
+        if S < min_stages:
+            lat = np.full((R, J), np.inf)
+        elif enforce_memory:
+            feasible = self._memory_feasible(
+                prefix, groups, tails, S, m, mbs, b_new, b_tail,
+                d_par, d_sto, t_par, t_sto, splits,
+            )
+            infeasible = int(feasible.size - int(feasible.sum()))
+            if infeasible:
+                lat = np.where(feasible, lat, np.inf)
+        return ScanResult(splits, lat, feasible, evaluated, infeasible)
+
+    def _memory_feasible(
+        self,
+        prefix,
+        groups,
+        tails,
+        S: int,
+        m: int,
+        mbs: float,
+        b_new: np.ndarray,
+        b_tail: np.ndarray,
+        d_par: np.ndarray,
+        d_sto: np.ndarray,
+        t_par: np.ndarray,
+        t_sto: np.ndarray,
+        splits: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ``Planner.plan_fits_memory`` over the (R, J) grid.
+
+        Planner-generated completions place disjoint device sets per stage,
+        so per-device demand is just that stage's demand and the per-stage
+        check reduces to ``demand ≤ min(capacity over the group)``.
+        """
+        prof = self.profile
+        per_param = OPTIMIZER_STATE_BYTES[prof.graph.optimizer]
+        for i, st in enumerate(prefix):
+            demand = self._persistent_bytes(st.layer_lo, st.layer_hi) + min(
+                S - i, m
+            ) * prof.stored_bytes(st.layer_lo, st.layer_hi, mbs / len(st.devices))
+            if demand > self._min_capacity(st.devices):
+                return np.zeros((len(groups), splits.size), dtype=bool)
+
+        pers_new = d_par / FP32 * per_param + d_par / FP32 * GRAD_BYTES_PER_PARAM
+        pers_tail = t_par / FP32 * per_param + t_par / FP32 * GRAD_BYTES_PER_PARAM
+        demand_new = pers_new[None, :] + min(2, m) * (d_sto[None, :] * b_new[:, None])
+        demand_tail = pers_tail[None, :] + 1 * (t_sto[None, :] * b_tail[:, None])
+        caps_new = np.array([self._min_capacity(g) for g in groups])
+        caps_tail = np.array([self._min_capacity(t) for t in tails])
+        return (demand_new <= caps_new[:, None]) & (demand_tail <= caps_tail[:, None])
+
+
+# --------------------------------------------------------------------------- #
+# Legacy two-stage entry points
+# --------------------------------------------------------------------------- #
 def scan_two_stage(
     profile: ModelProfile,
     cluster: Cluster,
@@ -155,84 +507,33 @@ def scan_two_stage(
 ) -> np.ndarray:
     """Latency ``L(j)`` of the two-stage plan for every split ``j=1..N−1``.
 
-    Equivalent to building each :class:`~repro.core.plan.ParallelPlan` and
-    calling :func:`~repro.core.latency.evaluate_plan`, in one numpy pass.
+    .. deprecated::
+        ``scan_two_stage`` is the empty-prefix special case of
+        :meth:`CompletionScanner.scan_completions`; call that instead.
     """
-    n = profile.num_layers
-    m = num_micro_batches
-    mbs = global_batch_size / m
-    r0, r1 = len(group0), len(group1)
-    b0, b1 = mbs / r0, mbs / r1
-    ovh = profile.graph.fixed_overhead_fwd
-
-    j = np.arange(1, n)
-    fwd_pref = profile.fwd_prefix
-    bwd_pref = profile.bwd_prefix
-    par_pref = profile.param_bytes_prefix
-
-    f0 = fwd_pref[j] * b0 + j * ovh
-    b0_t = bwd_pref[j] * b0 + j * ovh
-    f1 = (fwd_pref[n] - fwd_pref[j]) * b1 + (n - j) * ovh
-    b1_t = (bwd_pref[n] - bwd_pref[j]) * b1 + (n - j) * ovh
-
-    act = np.array([profile.graph.boundary_activation_bytes(int(x)) for x in j])
-    nbytes = act * mbs
-    fc = _transfer_vec(cluster, group0, group1, nbytes)
-    bc = _transfer_vec(cluster, group1, group0, nbytes)
-
-    ar0 = (
-        _allreduce_vec(cluster, group0, par_pref[j])
-        if r0 > 1
-        else np.zeros_like(f0)
+    warnings.warn(
+        "scan_two_stage is deprecated; use "
+        "CompletionScanner.scan_completions(0, (), [group0], [group1], ...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    ar1 = (
-        _allreduce_vec(cluster, group1, par_pref[n] - par_pref[j])
-        if r1 > 1
-        else np.zeros_like(f1)
+    return _two_stage_latencies(
+        profile, cluster, global_batch_size, group0, group1, num_micro_batches
     )
 
-    # Extended stages: 0 = comp0, 1 = comm, 2 = comp1 (eq. 3 pivot walk).
-    fb = np.stack([f0 + b0_t, fc + bc, f1 + b1_t])  # (3, N-1)
-    m1 = max(m - 1, 0)
-    ts = m1 * fb
 
-    q = np.full(j.shape, 2)
-    # s = 1 vs current pivot 2: between-sum is empty.
-    q = np.where(ts[1] > ts[2], 1, q)
-    # s = 0 vs current pivot: between-sum covers stages strictly inside.
-    between = np.where(q == 2, fb[1], 0.0)
-    ts_q = np.take_along_axis(ts, q[None, :], axis=0)[0]
-    q = np.where(ts[0] > ts_q + between, 0, q)
-
-    fwd_stack = np.stack([f0, fc, f1])
-    bwd_stack = np.stack([b0_t, bc, b1_t])
-    ar_stack = np.stack([ar0, np.zeros_like(fc), ar1])
-
-    # Tw: cumulative forward through the pivot (inclusive).
-    fwd_cum = np.cumsum(fwd_stack, axis=0)
-    tw = np.take_along_axis(fwd_cum, q[None, :], axis=0)[0]
-    ts_val = m1 * np.take_along_axis(fb, q[None, :], axis=0)[0]
-
-    # Te: max over s of AR_s ± backward sums relative to the pivot.
-    bwd_cum = np.cumsum(bwd_stack, axis=0)  # inclusive prefix over stages
-    upto_q = np.take_along_axis(bwd_cum, q[None, :], axis=0)[0]
-    bwd_at_q = np.take_along_axis(bwd_stack, q[None, :], axis=0)[0]
-    te = np.full(j.shape, -np.inf)
-    for s in range(3):
-        # s <= q: AR_s + sum_{a=s}^{q} B_a.
-        before_s = bwd_cum[s] - bwd_stack[s]
-        le_term = ar_stack[s] + (upto_q - before_s)
-        # s > q: AR_s − sum_{a=q}^{s-1} B_a
-        #      = AR_s − (bwd_cum[s-1] − (bwd_cum[q] − B_q)).
-        if s > 0:
-            sum_q_to_sm1 = bwd_cum[s - 1] - (upto_q - bwd_at_q)
-            gt_term = ar_stack[s] - sum_q_to_sm1
-        else:
-            gt_term = le_term  # s=0 is never > q
-        term = np.where(s <= q, le_term, gt_term)
-        te = np.maximum(te, term)
-
-    return tw + ts_val + te
+def _two_stage_latencies(profile, cluster, gbs, group0, group1, m) -> np.ndarray:
+    scanner = CompletionScanner(profile, cluster)
+    res = scanner.scan_completions(
+        0,
+        (),
+        [tuple(group0)],
+        [tuple(group1)],
+        global_batch_size=gbs,
+        num_micro_batches=m,
+        enforce_memory=False,
+    )
+    return res.latency[0]
 
 
 def best_two_stage_split(
@@ -244,7 +545,7 @@ def best_two_stage_split(
     num_micro_batches: int,
 ) -> tuple[int, float]:
     """Argmin over splits: ``(best_j, best_latency)``."""
-    lat = scan_two_stage(
+    lat = _two_stage_latencies(
         profile, cluster, global_batch_size, group0, group1, num_micro_batches
     )
     idx = int(np.argmin(lat))

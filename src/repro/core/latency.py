@@ -19,6 +19,13 @@ forward/backward transfer times.
 The model is an approximation — it ignores interior bubbles — and the paper
 reports it "works practically very well"; our integration tests check it
 against the discrete-event simulator's ground truth.
+
+Summation convention: every range-sum over extended stages (the pivot walk's
+between-stages term, the ending drain, the warm-up) is computed as a
+difference of left-to-right running prefix sums.  This fixes one canonical
+floating-point association, which lets the vectorized completion scanner
+(:mod:`repro.core.fast_scan`) reproduce these latencies *bit-for-bit* with
+``np.cumsum`` + gathers instead of per-plan Python loops.
 """
 
 from __future__ import annotations
@@ -73,6 +80,20 @@ class PlanEstimate:
     _gbs: int = 0
 
 
+def _running_prefix(vals: list[float]) -> list[float]:
+    """Exclusive left-to-right prefix sums: ``out[k] = vals[0]+…+vals[k-1]``.
+
+    The accumulation order matches ``np.cumsum`` exactly, so scalar and
+    vectorized consumers see bit-identical partial sums.
+    """
+    out = [0.0]
+    acc = 0.0
+    for v in vals:
+        acc = acc + v
+        out.append(acc)
+    return out
+
+
 def find_pivot(costs: StageCosts, num_micro_batches: int) -> int:
     """Choose the pivot stage Q (paper eq. 3).
 
@@ -86,12 +107,13 @@ def find_pivot(costs: StageCosts, num_micro_batches: int) -> int:
     n = costs.num_extended
     q = n - 1
 
-    def t_st(s: int) -> float:
-        return m1 * (costs.fwd[s] + costs.bwd[s])
+    fb = [f + b for f, b in zip(costs.fwd, costs.bwd)]
+    fbc = _running_prefix(fb)
+    ts = [m1 * x for x in fb]
 
     for s in range(n - 2, -1, -1):
-        between = sum(costs.fwd[a] + costs.bwd[a] for a in range(s + 1, q))
-        if t_st(s) > t_st(q) + between:
+        between = fbc[q] - fbc[s + 1]  # Σ fb[s+1 .. q-1]
+        if ts[s] > ts[q] + between:
             q = s
     return q
 
@@ -176,7 +198,8 @@ def evaluate_plan(
     m = plan.num_micro_batches
     q = find_pivot(costs, m)
 
-    warmup = sum(costs.fwd[: q + 1])
+    fc = _running_prefix(costs.fwd)
+    warmup = fc[q + 1]
     steady = (m - 1) * (costs.fwd[q] + costs.bwd[q])
 
     if plan.meta.get("interleaved"):
@@ -214,12 +237,13 @@ def evaluate_plan(
             _gbs=plan.global_batch_size,
         )
 
+    bc = _running_prefix(costs.bwd)
     ending = 0.0
     for s in range(costs.num_extended):
         if s <= q:
-            term = costs.allreduce[s] + sum(costs.bwd[a] for a in range(s, q + 1))
+            term = costs.allreduce[s] + (bc[q + 1] - bc[s])  # Σ B[s..q]
         else:
-            term = costs.allreduce[s] - sum(costs.bwd[a] for a in range(q, s))
+            term = costs.allreduce[s] - (bc[s] - bc[q])  # Σ B[q..s-1]
         ending = max(ending, term)
 
     latency = warmup + steady + ending

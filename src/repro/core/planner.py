@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.cluster.topology import Cluster
+from repro.core.fast_scan import CompletionScanner
 from repro.core.latency import PlanEstimate, evaluate_plan
 from repro.core.placement import allocate
 from repro.core.plan import ParallelPlan, Stage
@@ -71,6 +72,12 @@ class PlannerConfig:
     #: Also consider Megatron-style interleaved virtual-stage candidates
     #: (an extension beyond the paper's single-chunk stages).
     consider_interleaved: bool = False
+    #: Score transitions with the vectorized completion scanner
+    #: (:class:`repro.core.fast_scan.CompletionScanner`) — bit-identical
+    #: plans/latencies to the scalar loop, roughly an order of magnitude
+    #: faster.  False keeps the reference scalar path (used by the
+    #: equivalence suite and available for debugging).
+    use_fast_scan: bool = True
 
 
 @dataclass
@@ -93,12 +100,24 @@ class _State:
 
 
 def _largest_divisor_leq(n: int, cap: int) -> int:
-    """Largest divisor of ``n`` that is ≤ ``cap`` (≥ 1)."""
+    """Largest divisor of ``n`` that is ≤ ``cap`` (≥ 1).
+
+    Enumerates divisor *pairs* ``(d, n // d)`` up to √n — O(√n) instead of
+    the naïve descending scan, which is O(n) when ``cap`` sits just below a
+    large prime gap in the divisor lattice (e.g. ``n = 2·p``).
+    """
     cap = max(1, min(cap, n))
-    for d in range(cap, 0, -1):
+    best = 1
+    d = 1
+    while d * d <= n:
         if n % d == 0:
-            return d
-    return 1
+            if best < d <= cap:
+                best = d
+            e = n // d
+            if best < e <= cap:
+                best = e
+        d += 1
+    return best
 
 
 class Planner:
@@ -120,6 +139,11 @@ class Planner:
         self._mbs_dev = self.config.micro_batch_size or profile.graph.profile_batch
         self._plans_evaluated = 0
         self._infeasible = 0
+        # M is split-independent for multi-stage plans, so the scan kernel
+        # can share it across a whole state's transition batch.
+        self._m_multi = _largest_divisor_leq(
+            self.gbs, max(1, self.gbs // self._mbs_dev)
+        )
 
     # ------------------------------------------------------------------ #
     # Plan completion & evaluation
@@ -283,6 +307,11 @@ class Planner:
             for plan in self.interleaved_plans():
                 consider(plan)
         frontier: list[_State] = [_State(root_latency, 0, zeros, ())]
+        scanner = (
+            CompletionScanner(self.profile, self.cluster)
+            if self.config.use_fast_scan
+            else None
+        )
 
         # Levels advance in j; dedupe on (sorted occupancy, gpus used).
         while frontier:
@@ -290,6 +319,68 @@ class Planner:
             for state in frontier:
                 states_explored += 1
                 free_total = g_total - sum(state.used)
+                if scanner is not None:
+                    # Vectorized path: score the whole (allocation, split)
+                    # grid of this state in one kernel call, then replay the
+                    # scalar loop's insertion order over the result matrix so
+                    # beam contents and tie-breaks stay identical.
+                    if (
+                        self.config.max_stages is not None
+                        and len(state.stages) + 2 > self.config.max_stages
+                    ):
+                        continue
+                    rows = []
+                    for m2 in range(1, free_total):
+                        rows.extend(
+                            allocate(self.cluster, state.used, m2, self.config.policies)
+                        )
+                    if not rows or state.j + 1 >= n:
+                        continue
+                    res = scanner.scan_completions(
+                        state.j,
+                        state.stages,
+                        [p.devices for p in rows],
+                        [tuple(self._free_devices(p.new_used)) for p in rows],
+                        global_batch_size=self.gbs,
+                        num_micro_batches=self._m_multi,
+                        enforce_memory=self.config.enforce_memory,
+                        min_stages=self.config.min_stages,
+                        stage_overhead_frac=self.config.stage_overhead_frac,
+                    )
+                    self._plans_evaluated += res.evaluated
+                    self._infeasible += res.infeasible
+                    lat_rows = res.latency.tolist()
+                    inf = float("inf")
+                    for k in range(len(lat_rows[0])):
+                        j2 = state.j + 1 + k
+                        for r, placed in enumerate(rows):
+                            lat = lat_rows[r][k]
+                            if lat == inf:
+                                continue
+                            key = (
+                                j2,
+                                tuple(sorted(placed.new_used)),
+                                sum(placed.new_used),
+                            )
+                            cur = next_level.get(key)
+                            improves_best = lat < best_latency
+                            wins_slot = cur is None or lat < cur.latency
+                            if not (improves_best or wins_slot):
+                                continue
+                            stages = state.stages + (
+                                Stage(state.j, j2, placed.devices),
+                            )
+                            if improves_best:
+                                best_plan = self.complete(j2, placed.new_used, stages)
+                                best_est = evaluate_plan(
+                                    self.profile, self.cluster, best_plan
+                                )
+                                best_latency = lat
+                            if wins_slot:
+                                next_level[key] = _State(
+                                    lat, j2, placed.new_used, stages
+                                )
+                    continue
                 for j2 in range(state.j + 1, n):
                     for m2 in range(1, free_total):
                         for placed in allocate(

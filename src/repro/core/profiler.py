@@ -50,6 +50,9 @@ class ModelProfile:
     bwd_prefix: np.ndarray = field(repr=False, default=None)
     param_bytes_prefix: np.ndarray = field(repr=False, default=None)
     stored_prefix: np.ndarray = field(repr=False, default=None)
+    #: Per-sample boundary activation bytes for every cut position, so the
+    #: planner's split scans gather all boundaries in one indexing op.
+    boundary_act: np.ndarray = field(repr=False, default=None)
 
     def __post_init__(self) -> None:
         def pref(vals):
@@ -61,6 +64,9 @@ class ModelProfile:
         self.bwd_prefix = pref([l.bwd_time for l in self.layers])
         self.param_bytes_prefix = pref([l.param_bytes for l in self.layers])
         self.stored_prefix = pref([l.stored_bytes for l in self.layers])
+        self.boundary_act = np.array(
+            [self.graph.boundary_activation_bytes(s) for s in range(len(self.layers) + 1)]
+        )
 
     @property
     def num_layers(self) -> int:
@@ -106,6 +112,13 @@ class ModelProfile:
     def boundary_bytes(self, split: int, batch: float) -> float:
         """One-way cross-stage activation traffic for a cut at ``split``."""
         return self.graph.boundary_activation_bytes(split) * batch
+
+    def boundary_bytes_array(self, splits: np.ndarray, batch: float) -> np.ndarray:
+        """Vectorized :meth:`boundary_bytes` over an array of cut positions.
+
+        Bit-identical to the scalar accessor (one gather, one multiply).
+        """
+        return self.boundary_act[np.asarray(splits, dtype=int)] * batch
 
     def state_bytes(self, lo: int, hi: int) -> float:
         """Persistent optimizer bytes (weights + states) of layers [lo, hi)."""

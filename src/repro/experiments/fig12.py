@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.experiments.common import cluster, speedup_arms
 from repro.experiments.reporting import format_table
+from repro.perf import sweep
 
 #: Fig. 12 models and their GBS sweeps.
 FIG12_SWEEPS: dict[str, list[int]] = {
@@ -44,30 +45,34 @@ class Fig12Point:
     hybrid_plan: str
 
 
+def point(model: str, config: str, gbs: int) -> Fig12Point:
+    """One Fig. 12 grid point — module-level so ``sweep`` can fork it."""
+    arms = speedup_arms(model, cluster(config), gbs)
+    return Fig12Point(
+        model=model,
+        config=config,
+        gbs=gbs,
+        dp_no_overlap=arms["dp_no_overlap"],
+        dp_overlap=arms["dp_overlap"],
+        best_hybrid=arms["best_hybrid"],
+        hybrid_plan=str(arms["_hybrid_notation"]),
+    )
+
+
 def run(
     models: list[str] | None = None,
     configs: list[str] | None = None,
     sweeps: dict[str, list[int]] | None = None,
+    jobs: int | None = 1,
 ) -> list[Fig12Point]:
     sweeps = sweeps or FIG12_SWEEPS
-    points = []
-    for name in models or list(sweeps):
-        for cfg in configs or CONFIGS:
-            clu = cluster(cfg)
-            for gbs in sweeps[name]:
-                arms = speedup_arms(name, clu, gbs)
-                points.append(
-                    Fig12Point(
-                        model=name,
-                        config=cfg,
-                        gbs=gbs,
-                        dp_no_overlap=arms["dp_no_overlap"],
-                        dp_overlap=arms["dp_overlap"],
-                        best_hybrid=arms["best_hybrid"],
-                        hybrid_plan=str(arms["_hybrid_notation"]),
-                    )
-                )
-    return points
+    grid = [
+        (name, cfg, gbs)
+        for name in (models or list(sweeps))
+        for cfg in (configs or CONFIGS)
+        for gbs in sweeps[name]
+    ]
+    return sweep(point, grid, jobs=jobs)
 
 
 def format_results(points: list[Fig12Point]) -> str:

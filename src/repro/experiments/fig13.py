@@ -1,0 +1,46 @@
+"""Fig. 13 reproduction: DAPPLE planner vs PipeDream planner, normalized.
+
+Fig. 13 charts the same experiment as Table VII (§VI-F) but normalizes each
+strategy's throughput to the *PipeDream plan executed on the DAPPLE
+runtime*, making the planner advantage directly readable.  The grid points
+are shared with :mod:`repro.experiments.table7` (same rows, same numbers);
+this driver fans them through :func:`repro.perf.sweep` and renders the
+normalized view.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+from repro.experiments.table7 import TABLE7_MODELS, Table7Row, row
+from repro.perf import sweep
+
+
+def run(
+    machine_counts: tuple[int, ...] = (2, 4), jobs: int | None = 1
+) -> list[Table7Row]:
+    grid = [
+        (name, gbs, n_machines)
+        for name, gbs in TABLE7_MODELS.items()
+        for n_machines in machine_counts
+    ]
+    return sweep(row, grid, jobs=jobs)
+
+
+def format_results(rows: list[Table7Row]) -> str:
+    return format_table(
+        ["Model", "cluster", "DAPPLE plan", "PipeDream plan",
+         "PipeDream (norm)", "DAPPLE (norm)"],
+        [
+            [
+                r.model,
+                f"{r.machines}x8",
+                f"{r.dapple_plan} ({r.dapple_split})",
+                r.pipedream_plan,
+                "1.00",
+                f"{r.advantage:.2f}",
+            ]
+            for r in rows
+        ],
+        title="Fig. 13: planner comparison, throughput normalized to the "
+        "PipeDream plan under the DAPPLE runtime",
+    )

@@ -16,8 +16,9 @@ from repro.cluster.configs import NVLINK, ETHERNET_25G
 from repro.cluster.machine import Machine
 from repro.cluster.topology import Cluster
 from repro.core import Planner
-from repro.experiments.common import profile
+from repro.experiments.common import best_simulated_plan, profile
 from repro.experiments.reporting import format_table
+from repro.perf import sweep
 from repro.runtime import execute_plan
 from repro.runtime.dataparallel import dp_iteration_time, single_device_time
 
@@ -59,51 +60,54 @@ class Fig14Point:
     hybrid_plan: str
 
 
+def point(model: str, gbs: int, num_gpus: int) -> Fig14Point:
+    """One Fig. 14 grid point — module-level so ``sweep`` can fork it."""
+    prof = profile(model)
+    t_single = single_device_time(prof, gbs)
+    clu = config_a_scaled(num_gpus)
+    planner = Planner(prof, clu, gbs)
+
+    def dp_speedup(overlap: bool) -> float:
+        from repro.core.plan import single_stage_plan
+
+        m = max(1, gbs // (prof.graph.profile_batch * num_gpus))
+        while gbs % m:
+            m -= 1
+        plan = single_stage_plan(prof.graph, clu.devices, gbs, m)
+        if not planner.plan_fits_memory(plan):
+            return float("nan")
+        res = dp_iteration_time(prof, clu, clu.devices, gbs, overlap=overlap)
+        return t_single / res.iteration_time
+
+    best, ex = best_simulated_plan(model, clu, gbs)
+
+    straight_speedup = None
+    sp = planner.straight_plan()
+    if sp is not None and planner.plan_fits_memory(sp):
+        straight_speedup = t_single / execute_plan(prof, clu, sp).iteration_time
+
+    return Fig14Point(
+        model=model,
+        num_gpus=num_gpus,
+        dp_no_overlap=dp_speedup(False),
+        dp_overlap=dp_speedup(True),
+        best_hybrid=t_single / ex.iteration_time,
+        straight=straight_speedup,
+        hybrid_plan=best.plan.notation,
+    )
+
+
 def run(
     models: dict[str, int] | None = None,
     gpu_counts: tuple[int, ...] = (2, 4, 8, 12, 16),
+    jobs: int | None = 1,
 ) -> list[Fig14Point]:
-    points = []
-    for name, gbs in (models or FIG14_MODELS).items():
-        prof = profile(name)
-        t_single = single_device_time(prof, gbs)
-        for n in gpu_counts:
-            clu = config_a_scaled(n)
-            planner = Planner(prof, clu, gbs)
-
-            def dp_speedup(overlap: bool) -> float:
-                from repro.core.plan import single_stage_plan
-
-                m = max(1, gbs // (prof.graph.profile_batch * n))
-                while gbs % m:
-                    m -= 1
-                plan = single_stage_plan(prof.graph, clu.devices, gbs, m)
-                if not planner.plan_fits_memory(plan):
-                    return float("nan")
-                res = dp_iteration_time(prof, clu, clu.devices, gbs, overlap=overlap)
-                return t_single / res.iteration_time
-
-            from repro.experiments.common import best_simulated_plan
-
-            best, ex = best_simulated_plan(name, clu, gbs)
-
-            straight_speedup = None
-            sp = planner.straight_plan()
-            if sp is not None and planner.plan_fits_memory(sp):
-                straight_speedup = t_single / execute_plan(prof, clu, sp).iteration_time
-
-            points.append(
-                Fig14Point(
-                    model=name,
-                    num_gpus=n,
-                    dp_no_overlap=dp_speedup(False),
-                    dp_overlap=dp_speedup(True),
-                    best_hybrid=t_single / ex.iteration_time,
-                    straight=straight_speedup,
-                    hybrid_plan=best.plan.notation,
-                )
-            )
-    return points
+    grid = [
+        (name, gbs, n)
+        for name, gbs in (models or FIG14_MODELS).items()
+        for n in gpu_counts
+    ]
+    return sweep(point, grid, jobs=jobs)
 
 
 def format_results(points: list[Fig14Point]) -> str:

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines import pipedream_plan_hierarchical as pipedream_plan
-from repro.core import Planner
+from repro.core import Planner, PlannerConfig
 from repro.experiments.common import cluster, profile
 from repro.experiments.reporting import format_table
+from repro.perf import sweep
 from repro.runtime import execute_plan
 from repro.runtime.dataparallel import single_device_time
 from repro.runtime.memory import OutOfMemoryError
@@ -45,58 +46,62 @@ class Table7Row:
         return self.dapple_speedup / self.pipedream_speedup
 
 
-def run(machine_counts: tuple[int, ...] = (2, 4)) -> list[Table7Row]:
-    rows = []
-    for name, gbs in TABLE7_MODELS.items():
-        prof = profile(name)
-        for n_machines in machine_counts:
-            clu = cluster("A", 8 * n_machines)
-            t_single = single_device_time(prof, gbs)
+def row(name: str, gbs: int, n_machines: int) -> Table7Row:
+    """One Table VII / Fig. 13 grid point — module-level so ``sweep`` can fork it."""
+    prof = profile(name)
+    clu = cluster("A", 8 * n_machines)
+    t_single = single_device_time(prof, gbs)
 
-            # The DAPPLE arm considers both the unrestricted winner and the
-            # pipeline-only winner, keeping whichever *measures* faster —
-            # the paper's Table VII strategies are pipelines even where
-            # Table V picks DP (e.g. VGG-19 on Config-A).
-            from repro.core import PlannerConfig
+    # The DAPPLE arm considers both the unrestricted winner and the
+    # pipeline-only winner, keeping whichever *measures* faster —
+    # the paper's Table VII strategies are pipelines even where
+    # Table V picks DP (e.g. VGG-19 on Config-A).
+    candidates = [Planner(prof, clu, gbs).search()]
+    try:
+        candidates.append(
+            Planner(prof, clu, gbs, PlannerConfig(min_stages=2)).search()
+        )
+    except RuntimeError:
+        pass
+    best = None
+    for cand in candidates:
+        ex = execute_plan(prof, clu, cand.plan, warmup_policy="PB")
+        if best is None or ex.iteration_time < best[1].iteration_time:
+            best = (cand, ex)
+    dap, dap_exec = best
 
-            candidates = [Planner(prof, clu, gbs).search()]
-            try:
-                candidates.append(
-                    Planner(prof, clu, gbs, PlannerConfig(min_stages=2)).search()
-                )
-            except RuntimeError:
-                pass
-            best = None
-            for cand in candidates:
-                ex = execute_plan(prof, clu, cand.plan, warmup_policy="PB")
-                if best is None or ex.iteration_time < best[1].iteration_time:
-                    best = (cand, ex)
-            dap, dap_exec = best
+    pd = pipedream_plan(prof, clu, gbs)
+    try:
+        pd_exec = execute_plan(prof, clu, pd.plan, warmup_policy="PB")
+        pd_speedup = t_single / pd_exec.iteration_time
+    except OutOfMemoryError:
+        # PipeDream ignores sync-training memory; fall back to the
+        # analytical estimate to still chart the comparison.
+        from repro.core.latency import evaluate_plan
 
-            pd = pipedream_plan(prof, clu, gbs)
-            try:
-                pd_exec = execute_plan(prof, clu, pd.plan, warmup_policy="PB")
-                pd_speedup = t_single / pd_exec.iteration_time
-            except OutOfMemoryError:
-                # PipeDream ignores sync-training memory; fall back to the
-                # analytical estimate to still chart the comparison.
-                from repro.core.latency import evaluate_plan
+        pd_speedup = t_single / evaluate_plan(prof, clu, pd.plan).latency
 
-                pd_speedup = t_single / evaluate_plan(prof, clu, pd.plan).latency
+    return Table7Row(
+        model=prof.graph.name,
+        machines=n_machines,
+        dapple_plan=dap.plan.notation,
+        dapple_split=dap.plan.split_notation,
+        pipedream_plan=pd.plan.notation,
+        pipedream_bounds=tuple(pd.stage_layer_bounds),
+        dapple_speedup=t_single / dap_exec.iteration_time,
+        pipedream_speedup=pd_speedup,
+    )
 
-            rows.append(
-                Table7Row(
-                    model=prof.graph.name,
-                    machines=n_machines,
-                    dapple_plan=dap.plan.notation,
-                    dapple_split=dap.plan.split_notation,
-                    pipedream_plan=pd.plan.notation,
-                    pipedream_bounds=tuple(pd.stage_layer_bounds),
-                    dapple_speedup=t_single / dap_exec.iteration_time,
-                    pipedream_speedup=pd_speedup,
-                )
-            )
-    return rows
+
+def run(
+    machine_counts: tuple[int, ...] = (2, 4), jobs: int | None = 1
+) -> list[Table7Row]:
+    grid = [
+        (name, gbs, n_machines)
+        for name, gbs in TABLE7_MODELS.items()
+        for n_machines in machine_counts
+    ]
+    return sweep(row, grid, jobs=jobs)
 
 
 def format_results(rows: list[Table7Row]) -> str:

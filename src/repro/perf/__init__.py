@@ -1,0 +1,10 @@
+"""Performance plumbing: parallel experiment sweeps.
+
+The planner itself is vectorized in :mod:`repro.core.fast_scan`; this
+package covers the layer above it — fanning independent experiment grid
+points across worker processes with deterministic result ordering.
+"""
+
+from repro.perf.sweep import default_jobs, sweep
+
+__all__ = ["default_jobs", "sweep"]

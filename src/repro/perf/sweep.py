@@ -1,0 +1,77 @@
+"""Parallel fan-out of independent experiment grid points.
+
+The Fig. 12/13/14 drivers evaluate a grid (model × config × GBS, or model ×
+GPU count) whose points are fully independent: each runs a planner search
+plus a handful of simulator replays and takes seconds.  :func:`sweep` fans
+such a grid across a ``ProcessPoolExecutor`` with two guarantees:
+
+* **Deterministic ordering.**  Results are collected in *submission* order,
+  never completion order, so a parallel run produces byte-identical report
+  output to the serial path (enforced by ``tests/perf/test_sweep.py``).
+* **Graceful fallback.**  ``jobs <= 1``, single-point grids, and platforms
+  where forking workers fails (sandboxed CI) all run serially in-process —
+  same results, no crash.
+
+Workers must be *module-level* functions called with picklable positional
+arguments (strings, ints), because each point re-derives profiles and
+clusters inside the worker via the experiment layer's ``lru_cache``'d
+helpers.  The ``fork`` start method is used where available so workers
+inherit already-warm caches from the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["default_jobs", "sweep"]
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=None``: all cores but one (min 1)."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+def _run_serial(fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+    return [fn(*t) for t in tasks]
+
+
+def sweep(
+    fn: Callable[..., Any],
+    tasks: Iterable[tuple],
+    jobs: int | None = 1,
+) -> list[Any]:
+    """Apply ``fn(*task)`` to every task, optionally across processes.
+
+    Parameters
+    ----------
+    fn:
+        Module-level worker function (must be picklable).
+    tasks:
+        Iterable of positional-argument tuples, one per grid point.
+    jobs:
+        Worker processes; ``None`` → :func:`default_jobs`, ``<= 1`` → serial.
+
+    Returns results **in task order** regardless of completion order.
+    """
+    tasks = [tuple(t) for t in tasks]
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = min(jobs, len(tasks))
+    if jobs <= 1:
+        return _run_serial(fn, tasks)
+
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        context = mp.get_context("fork")
+    except ValueError:  # platform without fork (e.g. Windows): use default
+        context = mp.get_context()
+    try:
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            futures = [pool.submit(fn, *t) for t in tasks]
+            return [f.result() for f in futures]
+    except (OSError, PermissionError):
+        # Process spawn blocked (sandbox, fd limits): fall back to serial.
+        return _run_serial(fn, tasks)

@@ -185,16 +185,18 @@ class Simulator:
             for item in skipped:
                 heapq.heappush(ready, item)
 
-        try_dispatch()
-        total = len(graph)
-        while running:
-            end, _, name = heapq.heappop(running)
-            now = end
+        def _complete(name: str, end: float) -> bool:
+            """Retire one finished op: release resources, settle memory,
+            trace it, and wake successors.  Returns True when the dispatch
+            state may have changed (resources freed or new ops ready) —
+            False means a rescan of the ready heap would be a no-op.
+            """
+            nonlocal completed
             op = graph.op(name)
             pool.release(op.resources, op_ids[name])
             for eff in op.mem_effects:
                 if eff.at_end:
-                    memory.record(eff.device, now, eff.delta, PHASE_END)
+                    memory.record(eff.device, end, eff.delta, PHASE_END)
             trace.add(
                 TraceEvent(
                     name=name,
@@ -205,36 +207,27 @@ class Simulator:
                 )
             )
             completed += 1
+            woke = False
             for succ in graph._succ[name]:
                 pred_left[succ] -= 1
                 if pred_left[succ] == 0:
                     heapq.heappush(ready, (graph.op(succ).priority, next(seq), succ))
+                    woke = True
+            return woke or bool(op.resources)
+
+        try_dispatch()
+        total = len(graph)
+        while running:
+            end, _, name = heapq.heappop(running)
+            now = end
+            changed = _complete(name, now)
             # Also drain any other ops finishing at the same instant before
             # dispatching, so resources freed simultaneously are all visible.
             while running and running[0][0] == now:
-                end2, _, name2 = heapq.heappop(running)
-                op2 = graph.op(name2)
-                pool.release(op2.resources, op_ids[name2])
-                for eff in op2.mem_effects:
-                    if eff.at_end:
-                        memory.record(eff.device, now, eff.delta, PHASE_END)
-                trace.add(
-                    TraceEvent(
-                        name=name2,
-                        start=end2 - op2.duration,
-                        end=end2,
-                        resources=op2.resources,
-                        tags=op2.tags,
-                    )
-                )
-                completed += 1
-                for succ in graph._succ[name2]:
-                    pred_left[succ] -= 1
-                    if pred_left[succ] == 0:
-                        heapq.heappush(
-                            ready, (graph.op(succ).priority, next(seq), succ)
-                        )
-            try_dispatch()
+                _, _, name2 = heapq.heappop(running)
+                changed = _complete(name2, now) or changed
+            if changed:
+                try_dispatch()
 
         if completed != total:
             stuck = [n for n, c in pred_left.items() if c > 0]

@@ -9,6 +9,15 @@ from repro.core.planner import _largest_divisor_leq, plan_best, plan_paper_famil
 from repro.models import uniform_model, vgg19
 
 
+def _largest_divisor_leq_reference(n: int, cap: int) -> int:
+    """The original O(n) descending scan, kept as the property-test oracle."""
+    cap = max(1, min(cap, n))
+    for d in range(cap, 0, -1):
+        if n % d == 0:
+            return d
+    return 1
+
+
 class TestHelpers:
     def test_largest_divisor(self):
         assert _largest_divisor_leq(16, 5) == 4
@@ -16,6 +25,17 @@ class TestHelpers:
         assert _largest_divisor_leq(16, 100) == 16
         assert _largest_divisor_leq(17, 4) == 1
         assert _largest_divisor_leq(12, 0) == 1
+
+    def test_largest_divisor_matches_reference(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=300, deadline=None)
+        @given(st.integers(1, 100_000), st.integers(-5, 100_005))
+        def check(n, cap):
+            assert _largest_divisor_leq(n, cap) == _largest_divisor_leq_reference(n, cap)
+
+        check()
 
 
 class TestBasicSearch:

@@ -1,0 +1,160 @@
+"""The vectorized planner path must be *bit-identical* to the scalar path.
+
+This is the contract of :class:`repro.core.fast_scan.CompletionScanner`:
+not approximate agreement but the same winning plan, the same latency float,
+and the same search trajectory (states explored, plans evaluated, plans
+rejected for memory) for every zoo model × hardware config × GBS point.
+A reduced beam keeps the cross-product affordable; both paths run the same
+search code, so the beam setting doesn't weaken the equivalence claim.
+"""
+
+import pytest
+
+from repro.cluster import config_by_name
+from repro.core import CompletionScanner, ParallelPlan, Stage, profile_model
+from repro.core.planner import Planner, PlannerConfig
+from repro.models import PAPER_FIGURES, get_model
+
+#: Two GBS points per model: the paper's figure setting plus a second point
+#: exercising a different micro-batch count.
+GBS_POINTS = {
+    "gnmt16": (1024, 256),
+    "bert48": (64, 256),
+    "xlnet36": (128, 32),
+    "resnet50": (1024, 256),
+    "vgg19": (2048, 512),
+    "amoebanet36": (128, 512),
+}
+
+ZOO = sorted(PAPER_FIGURES)
+CONFIGS = ["A", "B", "C"]
+
+
+def plan_signature(result):
+    return (
+        result.plan.notation,
+        result.plan.split_notation,
+        tuple(
+            (s.layer_lo, s.layer_hi, tuple(d.global_id for d in s.devices))
+            for s in result.plan.stages
+        ),
+        result.plan.num_micro_batches,
+    )
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize("model", ZOO)
+    def test_vectorized_matches_scalar(self, model, config):
+        prof = profile_model(get_model(model))
+        cluster = config_by_name(config, 16)
+        for gbs in GBS_POINTS[model]:
+            fast = Planner(
+                prof, cluster, gbs, PlannerConfig(beam_width=8, use_fast_scan=True)
+            ).search()
+            slow = Planner(
+                prof, cluster, gbs, PlannerConfig(beam_width=8, use_fast_scan=False)
+            ).search()
+            assert plan_signature(fast) == plan_signature(slow)
+            # Bit-identical, not allclose: both paths run the same IEEE-754
+            # operation sequence.
+            assert fast.estimate.latency == slow.estimate.latency
+            assert fast.states_explored == slow.states_explored
+            assert fast.plans_evaluated == slow.plans_evaluated
+            assert fast.infeasible_plans == slow.infeasible_plans
+
+
+class TestMemoryFeasibilityEquivalence:
+    @pytest.mark.parametrize(
+        "model,config,devices,gbs",
+        [
+            ("amoebanet36", "A", 16, 128),  # many memory-infeasible splits
+            ("bert48", "A", 8, 64),  # tight single-machine memory
+            ("vgg19", "C", 16, 2048),  # everything fits
+        ],
+    )
+    def test_scan_mask_matches_plan_fits_memory(self, model, config, devices, gbs):
+        """The scan's feasibility mask equals scalar ``plan_fits_memory``
+        on the corresponding completion plans, split by split."""
+        prof = profile_model(get_model(model))
+        cluster = config_by_name(config, devices)
+        planner = Planner(prof, cluster, gbs)
+        scanner = CompletionScanner(prof, cluster)
+        n = prof.num_layers
+        m = planner._m_multi
+
+        half = devices // 2
+        groups = [tuple(cluster.devices[:half]), tuple(cluster.devices[:1])]
+        tails = [tuple(cluster.devices[half:]), tuple(cluster.devices[1:])]
+        res = scanner.scan_completions(
+            0,
+            (),
+            groups,
+            tails,
+            global_batch_size=gbs,
+            num_micro_batches=m,
+            enforce_memory=True,
+        )
+        for r, (g, t) in enumerate(zip(groups, tails)):
+            for k, j2 in enumerate(res.splits):
+                plan = ParallelPlan(
+                    prof.graph,
+                    [Stage(0, int(j2), g), Stage(int(j2), n, t)],
+                    gbs,
+                    m,
+                )
+                assert bool(res.feasible[r, k]) == planner.plan_fits_memory(plan), (
+                    r,
+                    int(j2),
+                )
+
+
+class TestScanLatencyValues:
+    def test_finite_entries_match_evaluate_plan(self):
+        """Spot-check the scan matrix against scalar evaluate_plan with a
+        nonempty prefix (three-stage completions)."""
+        from repro.core.latency import evaluate_plan
+
+        prof = profile_model(get_model("gnmt16"))
+        cluster = config_by_name("C", 16)
+        gbs = 1024
+        planner = Planner(prof, cluster, gbs)
+        m = planner._m_multi
+        n = prof.num_layers
+
+        prefix = (Stage(0, 4, tuple(cluster.devices[:4])),)
+        groups = [tuple(cluster.devices[4:10])]
+        tails = [tuple(cluster.devices[10:])]
+        scanner = CompletionScanner(prof, cluster)
+        res = scanner.scan_completions(
+            4,
+            prefix,
+            groups,
+            tails,
+            global_batch_size=gbs,
+            num_micro_batches=m,
+            enforce_memory=False,
+        )
+        for k, j2 in enumerate(res.splits):
+            plan = ParallelPlan(
+                prof.graph,
+                [prefix[0], Stage(4, int(j2), groups[0]), Stage(int(j2), n, tails[0])],
+                gbs,
+                m,
+            )
+            ref = evaluate_plan(prof, cluster, plan).latency
+            assert res.latency[0, k] == ref  # bit-identical
+
+    def test_empty_scan(self):
+        prof = profile_model(get_model("gnmt16"))
+        cluster = config_by_name("A", 16)
+        scanner = CompletionScanner(prof, cluster)
+        res = scanner.scan_completions(
+            prof.num_layers - 1,
+            (),
+            [],
+            [],
+            global_batch_size=64,
+            num_micro_batches=4,
+        )
+        assert res.evaluated == 0 and res.latency.size == 0

@@ -1,0 +1,31 @@
+"""Tier-1 wall-clock smoke cap for the vectorized planner search.
+
+The full before/after benchmark lives in ``benchmarks/test_perf_primitives``;
+this test only guards against a silent order-of-magnitude regression (e.g.
+the scalar path becoming the default again, or the scanner caches breaking).
+The cap is ~10× the observed fast-path time on a developer laptop, so it
+passes comfortably on slow CI while still failing loudly if the search
+falls back to per-plan scalar evaluation (~10× slower).
+"""
+
+import time
+
+from repro.cluster import config_c
+from repro.core import Planner, profile_model
+from repro.models import vgg19
+
+#: Observed fast-path time ≈ 0.2 s; scalar path ≈ 1.5 s.  10× margin.
+WALLCLOCK_CAP_S = 2.0
+
+
+def test_vgg19_config_c_search_under_cap():
+    prof = profile_model(vgg19())
+    cluster = config_c(16)
+    t0 = time.perf_counter()
+    result = Planner(prof, cluster, 2048).search()
+    elapsed = time.perf_counter() - t0
+    assert result.plan is not None
+    assert elapsed < WALLCLOCK_CAP_S, (
+        f"planner search took {elapsed:.2f}s (cap {WALLCLOCK_CAP_S}s) — "
+        "did the vectorized scan path regress?"
+    )

@@ -1,0 +1,66 @@
+"""repro.perf.sweep: deterministic ordering and byte-identical reports."""
+
+import math
+import time
+
+from repro.perf import default_jobs, sweep
+from repro.perf.sweep import _run_serial
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_identity(x):
+    # Later tasks finish first if results were collected by completion.
+    time.sleep(0.05 * (3 - x))
+    return x
+
+
+def _point_key(model, config, gbs):
+    return f"{model}/{config}/{gbs}"
+
+
+class TestSweep:
+    def test_serial_matches_map(self):
+        tasks = [(i,) for i in range(10)]
+        assert sweep(_square, tasks, jobs=1) == [i * i for i in range(10)]
+
+    def test_results_in_task_order_not_completion_order(self):
+        tasks = [(i,) for i in range(3)]
+        assert sweep(_slow_identity, tasks, jobs=3) == [0, 1, 2]
+
+    def test_parallel_matches_serial(self):
+        tasks = [(i,) for i in range(20)]
+        assert sweep(_square, tasks, jobs=4) == sweep(_square, tasks, jobs=1)
+
+    def test_mixed_arg_tuples(self):
+        tasks = [("vgg19", "A", 1024), ("bert48", "C", 64)]
+        assert sweep(_point_key, tasks, jobs=2) == ["vgg19/A/1024", "bert48/C/64"]
+
+    def test_empty_grid(self):
+        assert sweep(_square, [], jobs=8) == []
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_serial_helper(self):
+        assert _run_serial(_square, [(3,)]) == [9]
+
+
+class TestFig12ByteIdentity:
+    def test_parallel_report_byte_identical_to_serial(self):
+        """The acceptance contract: fig12 with jobs>1 produces byte-identical
+        report output to the serial path (reduced grid for test budget)."""
+        from repro.experiments import fig12
+
+        sweeps = {"vgg19": [1024]}
+        serial = fig12.run(models=["vgg19"], configs=["A", "C"], sweeps=sweeps, jobs=1)
+        parallel = fig12.run(models=["vgg19"], configs=["A", "C"], sweeps=sweeps, jobs=2)
+        assert fig12.format_results(parallel) == fig12.format_results(serial)
+        for s, p in zip(serial, parallel):
+            for field in ("model", "config", "gbs", "hybrid_plan"):
+                assert getattr(s, field) == getattr(p, field)
+            for field in ("dp_no_overlap", "dp_overlap", "best_hybrid"):
+                a, b = getattr(s, field), getattr(p, field)
+                assert (a == b) or (math.isnan(a) and math.isnan(b))
