@@ -116,6 +116,7 @@ def cmd_run(args) -> int:
             schedule=args.schedule,
             warmup_policy=args.warmup,
             recompute=args.recompute,
+            sim_engine=args.sim_engine,
         )
     except OutOfMemoryError as e:
         print(f"OOM: {e}", file=sys.stderr)
@@ -228,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", default="dapple", choices=["dapple", "gpipe"])
     p.add_argument("--warmup", default="PA", choices=["PA", "PB"])
     p.add_argument("--recompute", default="none", choices=["none", "boundary", "sqrt"])
+    p.add_argument(
+        "--sim-engine", default=None, choices=["compiled", "reference"],
+        help="simulator event loop (default: compiled; reference = oracle)",
+    )
     p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p.add_argument("--trace", metavar="FILE", help="export a Chrome trace JSON")
 

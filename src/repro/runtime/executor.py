@@ -111,12 +111,16 @@ class PipelineExecutor:
         recompute: bool = False,
         enforce_memory: bool = True,
         device_slowdown: dict | None = None,
+        sim_engine: str | None = None,
     ):
         from repro.runtime.checkpointing import normalize_strategy, stage_checkpointing
 
         self.profile = profile
         self.cluster = cluster
         self.plan = plan
+        #: Simulator event loop: "compiled" (default), "reference" (oracle),
+        #: or None to defer to the REPRO_SIM_ENGINE environment variable.
+        self.sim_engine = sim_engine
         self.checkpoint_strategy = normalize_strategy(recompute)
         self.recompute = self.checkpoint_strategy != "none"
         self.memory_model = MemoryModel(profile, plan, recompute=recompute)
@@ -342,7 +346,7 @@ class PipelineExecutor:
     def run(self) -> ExecutionResult:
         """Simulate the compiled iteration and package the outcome."""
         graph = self.build_graph()
-        res = Simulator(graph).run()
+        res = Simulator(graph, engine=self.sim_engine).run()
         return ExecutionResult(
             plan=self.plan,
             iteration_time=res.makespan,
@@ -362,6 +366,7 @@ def execute_plan(
     recompute: bool = False,
     enforce_memory: bool = True,
     device_slowdown: dict | None = None,
+    sim_engine: str | None = None,
 ) -> ExecutionResult:
     """One-call façade: build the task graph, simulate, return the result."""
     return PipelineExecutor(
@@ -373,4 +378,5 @@ def execute_plan(
         recompute=recompute,
         enforce_memory=enforce_memory,
         device_slowdown=device_slowdown,
+        sim_engine=sim_engine,
     ).run()

@@ -75,6 +75,7 @@ def simulate_iterations(
     recompute: bool = False,
     enforce_memory: bool = True,
     sync: bool = True,
+    sim_engine: str | None = None,
 ) -> SteadyStateResult:
     """Simulate ``num_iterations`` back-to-back training iterations.
 
@@ -114,11 +115,14 @@ def simulate_iterations(
                         graph.add_dep(tail, head)
         prev = info
 
-    res = Simulator(graph).run()
-    ends = []
-    for k in range(num_iterations):
-        pref = f"i{k}/"
-        ends.append(max(e.end for e in res.trace.events if e.name.startswith(pref)))
+    res = Simulator(graph, engine=sim_engine).run()
+    # One pass over the trace rows (no TraceEvent materialization on the
+    # columnar path): every op name is "i{k}/...", so bucket max end by k.
+    ends = [0.0] * num_iterations
+    for name, _start, end, _res, _tags in res.trace.iter_rows():
+        k = int(name[1 : name.index("/")])
+        if end > ends[k]:
+            ends[k] = end
     return SteadyStateResult(
         plan=plan,
         num_iterations=num_iterations,

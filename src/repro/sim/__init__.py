@@ -12,7 +12,14 @@ satisfied and their resources (GPU streams, network links) are free.
 """
 
 from repro.sim.chrome_trace import export_chrome_trace, trace_to_events
-from repro.sim.engine import Op, TaskGraph, Simulator, SimulationResult
+from repro.sim.compiled import (
+    ColumnarMemoryTimeline,
+    ColumnarTrace,
+    CompiledTaskGraph,
+    compile_graph,
+    run_compiled,
+)
+from repro.sim.engine import ENGINES, Op, TaskGraph, Simulator, SimulationResult
 from repro.sim.resources import Resource, ResourcePool
 from repro.sim.trace import Trace, TraceEvent, MemoryTimeline
 
@@ -21,6 +28,12 @@ __all__ = [
     "TaskGraph",
     "Simulator",
     "SimulationResult",
+    "ENGINES",
+    "CompiledTaskGraph",
+    "ColumnarTrace",
+    "ColumnarMemoryTimeline",
+    "compile_graph",
+    "run_compiled",
     "Resource",
     "ResourcePool",
     "Trace",

@@ -34,11 +34,14 @@ def _row_key(resource: str) -> tuple[int, str]:
 def trace_to_events(trace: Trace, time_scale: float = 1e6) -> list[dict]:
     """Convert a trace into Chrome 'X' (complete) events, one per op-resource.
 
-    ``time_scale`` converts seconds to the viewer's microseconds.
+    ``time_scale`` converts seconds to the viewer's microseconds.  Rows are
+    streamed via :meth:`~repro.sim.trace.Trace.iter_rows`, so a columnar
+    trace is exported without materializing per-event objects, and each
+    emitted dict is built exactly once — ``args`` aliases the op's tags
+    mapping rather than copying it, so treat the result as read-only.
     """
-    rows = sorted(
-        {r for e in trace.events for r in e.resources}, key=_row_key
-    )
+    spans = list(trace.iter_rows())
+    rows = sorted({r for _n, _s, _e, res, _t in spans for r in res}, key=_row_key)
     tid_of = {r: i for i, r in enumerate(rows)}
     events: list[dict] = [
         {
@@ -50,20 +53,23 @@ def trace_to_events(trace: Trace, time_scale: float = 1e6) -> list[dict]:
         }
         for resource, tid in tid_of.items()
     ]
-    for e in trace.events:
-        kind = e.tags.get("kind", "?")
-        for r in e.resources:
+    for name, start, end, resources, tags in spans:
+        kind = tags.get("kind", "?")
+        ts = start * time_scale
+        dur = max((end - start) * time_scale, 0.01)
+        cname = _COLORS.get(kind)
+        for r in resources:
             events.append(
                 {
-                    "name": e.name,
+                    "name": name,
                     "cat": kind,
                     "ph": "X",
                     "pid": 0,
                     "tid": tid_of[r],
-                    "ts": e.start * time_scale,
-                    "dur": max(e.duration * time_scale, 0.01),
-                    "cname": _COLORS.get(kind),
-                    "args": {k: v for k, v in e.tags.items()},
+                    "ts": ts,
+                    "dur": dur,
+                    "cname": cname,
+                    "args": tags,
                 }
             )
     return events

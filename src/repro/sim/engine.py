@@ -18,12 +18,28 @@ scheduling:
 Memory effects attached to ops feed a :class:`~repro.sim.trace.MemoryTimeline`
 so peak-memory comparisons (paper Table VI, Fig. 3c) fall out of the same run
 that produces the makespan.
+
+Two engines implement these semantics:
+
+* ``"compiled"`` (default) — :mod:`repro.sim.compiled` lowers the graph to
+  integer op ids, CSR adjacency, and interned resource slots, and dispatches
+  with per-resource waiter queues so a completion only re-examines ops
+  actually blocked on the freed resources.  Traces and memory deltas land in
+  columnar buffers with lazy :class:`~repro.sim.trace.TraceEvent`
+  materialization.
+* ``"reference"`` — the original name-keyed drain-everything loop below,
+  kept as the bit-identical oracle for debugging and equivalence testing
+  (``tests/sim/test_compiled_equivalence.py``).
+
+Select globally with the ``REPRO_SIM_ENGINE`` environment variable or per
+run via ``Simulator(graph, engine=...)``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass, field
 
 from repro.sim.resources import ResourcePool
@@ -58,6 +74,11 @@ class Op:
     tags:
         Free-form metadata copied into the trace (stage id, micro-batch id,
         op kind) for post-run assertions and Gantt rendering.
+
+    An op's duration, priority, resources, and memory effects are snapshot
+    into the graph's indexed columns by :meth:`TaskGraph.add` — attach
+    ``mem_effects`` *before* adding the op to a graph.  Mutations after
+    ``add`` are seen only by the reference engine.
     """
 
     name: str
@@ -74,31 +95,99 @@ class Op:
 
 
 class TaskGraph:
-    """A static DAG of ops with data/control dependencies."""
+    """A static DAG of ops with data/control dependencies.
+
+    Alongside the name-keyed maps (used by the reference engine and
+    external callers), the graph incrementally maintains an *indexed form*:
+    integer op ids in submission order, int-id adjacency, resource keys and
+    memory-effect devices interned to dense slots, and duration/priority
+    columns.  :func:`repro.sim.compiled.compile_graph` wraps these columns
+    in O(1) instead of re-deriving them with a per-op pass.  Op metadata is
+    snapshot at :meth:`add` time (see :class:`Op`).
+    """
 
     def __init__(self) -> None:
         self._ops: dict[str, Op] = {}
         self._succ: dict[str, list[str]] = {}
         self._pred_count: dict[str, int] = {}
         self._order: list[str] = []
+        # Indexed form, maintained incrementally by add()/add_dep().
+        self._id_of: dict[str, int] = {}
+        self._succ_ids: list[list[int]] = []
+        self._pred_n: list[int] = []
+        self._dur_col: list[float] = []
+        self._prio_col: list[float] = []
+        self._res_slot_of: dict = {}
+        self._res_keys: list = []
+        # Per-op resource slots, shape-specialized for the event loop:
+        # ``None`` (no resources), a bare ``int`` (the overwhelmingly common
+        # single-resource op), or a tuple of slots.
+        self._res_col: list = []
+        self._dev_slot_of: dict = {}
+        self._dev_keys: list = []
+        self._mem_start_col: list[tuple] = []
+        self._mem_end_col: list[tuple] = []
 
     def add(self, op: Op) -> Op:
-        if op.name in self._ops:
-            raise ValueError(f"duplicate op name {op.name!r}")
-        self._ops[op.name] = op
-        self._succ[op.name] = []
-        self._pred_count[op.name] = 0
-        self._order.append(op.name)
+        name = op.name
+        if name in self._ops:
+            raise ValueError(f"duplicate op name {name!r}")
+        self._ops[name] = op
+        self._succ[name] = []
+        self._pred_count[name] = 0
+        self._order.append(name)
+
+        self._id_of[name] = len(self._succ_ids)
+        self._succ_ids.append([])
+        self._pred_n.append(0)
+        self._dur_col.append(op.duration)
+        self._prio_col.append(op.priority)
+        resources = op.resources
+        if resources:
+            slot_of = self._res_slot_of
+            keys = self._res_keys
+            slots = []
+            for key in resources:
+                s = slot_of.get(key)
+                if s is None:
+                    s = slot_of[key] = len(keys)
+                    keys.append(key)
+                slots.append(s)
+            self._res_col.append(slots[0] if len(slots) == 1 else tuple(slots))
+        else:
+            self._res_col.append(None)
+        effects = op.mem_effects
+        if effects:
+            dev_of = self._dev_slot_of
+            dev_keys = self._dev_keys
+            starts: list = []
+            ends: list = []
+            for eff in effects:
+                d = dev_of.get(eff.device)
+                if d is None:
+                    d = dev_of[eff.device] = len(dev_keys)
+                    dev_keys.append(eff.device)
+                (ends if eff.at_end else starts).append((d, eff.delta))
+            self._mem_start_col.append(tuple(starts))
+            self._mem_end_col.append(tuple(ends))
+        else:
+            self._mem_start_col.append(())
+            self._mem_end_col.append(())
         return op
 
     def add_dep(self, before: str, after: str) -> None:
         """Declare that ``after`` may only start once ``before`` completed."""
-        if before not in self._ops:
+        id_of = self._id_of
+        i = id_of.get(before)
+        if i is None:
             raise KeyError(f"unknown op {before!r}")
-        if after not in self._ops:
+        j = id_of.get(after)
+        if j is None:
             raise KeyError(f"unknown op {after!r}")
         self._succ[before].append(after)
         self._pred_count[after] += 1
+        self._succ_ids[i].append(j)
+        self._pred_n[j] += 1
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -114,15 +203,17 @@ class TaskGraph:
 
     def validate_acyclic(self) -> None:
         """Raise ``ValueError`` if the dependency graph has a cycle."""
-        indeg = dict(self._pred_count)
-        queue = [n for n, d in indeg.items() if d == 0]
+        indeg = list(self._pred_n)
+        queue = [i for i, d in enumerate(indeg) if not d]
         seen = 0
+        succ = self._succ_ids
         while queue:
             n = queue.pop()
             seen += 1
-            for m in self._succ[n]:
-                indeg[m] -= 1
-                if indeg[m] == 0:
+            for m in succ[n]:
+                c = indeg[m] - 1
+                indeg[m] = c
+                if not c:
                     queue.append(m)
         if seen != len(self._ops):
             raise ValueError("task graph contains a dependency cycle")
@@ -140,14 +231,42 @@ class SimulationResult:
         return self.memory.peak(device)
 
 
-class Simulator:
-    """Executes a :class:`TaskGraph` and returns a :class:`SimulationResult`."""
+#: Valid ``Simulator(engine=...)`` values.
+ENGINES = ("compiled", "reference")
 
-    def __init__(self, graph: TaskGraph) -> None:
-        graph.validate_acyclic()
+
+class Simulator:
+    """Executes a :class:`TaskGraph` and returns a :class:`SimulationResult`.
+
+    ``engine`` selects the event loop: ``"compiled"`` (indexed task graph +
+    waiter-queue dispatch, the default) or ``"reference"`` (the oracle loop,
+    bit-identical but slower).  ``engine=None`` reads the
+    ``REPRO_SIM_ENGINE`` environment variable, falling back to compiled.
+
+    Graph validation is lazy: a dependency cycle surfaces as a
+    ``ValueError`` from :meth:`run` (an acyclic graph can never deadlock in
+    this model — every dispatched op completes and every freed resource
+    promotes its best waiter — so the cycle check only runs on the failure
+    path instead of taxing every successful simulation with an O(V+E)
+    pre-pass).
+    """
+
+    def __init__(self, graph: TaskGraph, engine: str | None = None) -> None:
+        if engine is None:
+            engine = os.environ.get("REPRO_SIM_ENGINE", "compiled")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown sim engine {engine!r} (one of {ENGINES})")
         self._graph = graph
+        self.engine = engine
 
     def run(self) -> SimulationResult:
+        if self.engine == "reference":
+            return self._run_reference()
+        from repro.sim.compiled import compile_graph, run_compiled
+
+        return run_compiled(compile_graph(self._graph))
+
+    def _run_reference(self) -> SimulationResult:
         graph = self._graph
         pool = ResourcePool()
         trace = Trace()
@@ -174,8 +293,7 @@ class Simulator:
             while ready:
                 prio, sq, name = heapq.heappop(ready)
                 op = graph.op(name)
-                if pool.is_free(op.resources):
-                    pool.acquire(op.resources, op_ids[name])
+                if pool.try_acquire(op.resources, op_ids[name]):
                     for eff in op.mem_effects:
                         if not eff.at_end:
                             memory.record(eff.device, now, eff.delta, PHASE_START)
@@ -230,6 +348,7 @@ class Simulator:
                 try_dispatch()
 
         if completed != total:
+            graph.validate_acyclic()  # a cycle raises the canonical ValueError
             stuck = [n for n, c in pred_left.items() if c > 0]
             raise RuntimeError(
                 f"simulation deadlocked: {total - completed} ops never ran "

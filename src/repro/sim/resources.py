@@ -68,6 +68,25 @@ class ResourcePool:
                 )
             self.owner[k] = op_id
 
+    def try_acquire(self, keys: Iterable[Hashable], op_id: int) -> bool:
+        """Claim ``keys`` for ``op_id`` iff all are free, in one pass.
+
+        Returns True on success.  On failure the pool is left unchanged
+        (keys claimed before the busy one are rolled back) and returns
+        False instead of raising — this is the dispatch-loop fast path,
+        where a busy resource is the common case, not a bug.
+        """
+        owner = self.owner
+        claimed = []
+        for k in keys:
+            if k in owner:
+                for c in claimed:
+                    del owner[c]
+                return False
+            owner[k] = op_id
+            claimed.append(k)
+        return True
+
     def release(self, keys: Iterable[Hashable], op_id: int) -> None:
         """Free ``keys`` previously acquired by ``op_id``."""
         for k in keys:

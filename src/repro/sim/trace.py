@@ -43,31 +43,78 @@ class TraceEvent:
         return self.end - self.start
 
 
+#: Sentinel marking a duplicated name in the lazily-built name index.
+_DUP = object()
+
+
 class Trace:
-    """Ordered record of executed ops."""
+    """Ordered record of executed ops.
+
+    The makespan is maintained incrementally by :meth:`add`; the name and
+    per-resource lookups build their indices lazily on first use so that
+    recording stays O(1) per event and queries stop linear-scanning the
+    event list (the executor's post-run assertions call :meth:`find` per
+    stage, and Gantt rendering calls :meth:`by_resource` per device).
+    """
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
+        self._makespan: float = 0.0
+        self._name_idx: dict | None = None
+        self._res_idx: dict | None = None
 
     def add(self, event: TraceEvent) -> None:
         self.events.append(event)
+        if event.end > self._makespan:
+            self._makespan = event.end
+        if self._name_idx is not None:
+            self._name_idx[event.name] = (
+                _DUP if event.name in self._name_idx else event
+            )
+        self._res_idx = None
 
     def makespan(self) -> float:
         """Completion time of the last op (0.0 for an empty trace)."""
-        return max((e.end for e in self.events), default=0.0)
+        return self._makespan
+
+    def iter_rows(self):
+        """Yield ``(name, start, end, resources, tags)`` per executed op.
+
+        Subclasses backed by columnar storage override this to stream rows
+        without materializing :class:`TraceEvent` objects.
+        """
+        for e in self.events:
+            yield e.name, e.start, e.end, e.resources, e.tags
+
+    def _build_res_idx(self) -> dict:
+        idx: dict = {}
+        for e in self.events:
+            for r in e.resources:
+                idx.setdefault(r, []).append(e)
+        for evs in idx.values():
+            evs.sort(key=lambda e: (e.start, e.end))
+        return idx
 
     def by_resource(self, key) -> list[TraceEvent]:
         """Events that occupied resource ``key``, in start order."""
-        evs = [e for e in self.events if key in e.resources]
-        evs.sort(key=lambda e: (e.start, e.end))
-        return evs
+        if self._res_idx is None:
+            self._res_idx = self._build_res_idx()
+        return list(self._res_idx.get(key, ()))
 
     def find(self, name: str) -> TraceEvent:
         """Return the unique event with ``name``; raise if absent/ambiguous."""
-        hits = [e for e in self.events if e.name == name]
-        if len(hits) != 1:
-            raise KeyError(f"expected exactly one event named {name!r}, got {len(hits)}")
-        return hits[0]
+        if self._name_idx is None:
+            idx: dict = {}
+            for e in self.events:
+                idx[e.name] = _DUP if e.name in idx else e
+            self._name_idx = idx
+        hit = self._name_idx.get(name)
+        if hit is None or hit is _DUP:
+            count = sum(1 for e in self.events if e.name == name)
+            raise KeyError(
+                f"expected exactly one event named {name!r}, got {count}"
+            )
+        return hit
 
     def busy_time(self, key) -> float:
         """Total occupied time of resource ``key`` (no overlap by design)."""

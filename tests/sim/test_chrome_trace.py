@@ -2,6 +2,11 @@
 
 import json
 
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import uniform_model
+from repro.runtime import execute_plan
 from repro.sim import Op, Simulator, TaskGraph
 from repro.sim.chrome_trace import export_chrome_trace, trace_to_events
 
@@ -53,3 +58,38 @@ class TestExport:
         assert "traceEvents" in payload
         assert payload["displayTimeUnit"] == "ms"
         assert len(payload["traceEvents"]) >= 3
+
+
+class TestEngineRoundTrip:
+    """Chrome-trace and Gantt output must not depend on the engine: the
+    columnar trace streams its rows without materializing events, and the
+    result must be byte-identical to the reference trace's export for the
+    same fixed schedule."""
+
+    def _results(self):
+        model = uniform_model("rt", 6, 9e9, 1_000_000, 1e6, profile_batch=2)
+        cluster = config_b(2)
+        prof = profile_model(model)
+        d = cluster.devices
+        plan = ParallelPlan(
+            model, [Stage(0, 3, (d[0],)), Stage(3, 6, (d[1],))], 16, 4
+        )
+        ref = execute_plan(prof, cluster, plan, sim_engine="reference")
+        fast = execute_plan(prof, cluster, plan, sim_engine="compiled")
+        return ref, fast
+
+    def test_chrome_events_identical(self, tmp_path):
+        ref, fast = self._results()
+        assert trace_to_events(ref.trace) == trace_to_events(fast.trace)
+        p_ref = export_chrome_trace(ref.trace, tmp_path / "ref.json")
+        p_fast = export_chrome_trace(fast.trace, tmp_path / "fast.json")
+        assert p_ref.read_text() == p_fast.read_text()
+
+    def test_gantt_identical(self):
+        from repro.viz import render_gantt
+
+        ref, fast = self._results()
+        keys = [f"gpu:{i}" for i in range(2)]
+        assert render_gantt(ref.trace, width=80, resources=keys) == render_gantt(
+            fast.trace, width=80, resources=keys
+        )
