@@ -14,6 +14,10 @@ Commands
     DAPPLE vs PipeDream vs GPipe vs DP on one model/config.
 ``experiment``
     Regenerate one (or all) of the paper's tables/figures into ``results/``.
+``faults``
+    Deterministic fault injection: clean vs perturbed makespans for DAPPLE,
+    GPipe, and DP under seeded stragglers/jitter/link faults, with optional
+    robust (quantile-based) plan re-selection.
 """
 
 from __future__ import annotations
@@ -31,8 +35,12 @@ from repro.runtime.memory import OutOfMemoryError
 EXPERIMENTS = [
     "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
     "fig3", "fig4", "fig7", "fig8", "fig12", "fig13", "fig14", "convergence",
-    "bandwidth_sweep",
+    "bandwidth_sweep", "straggler_sweep",
 ]
+
+#: Fixed default for every seeded CLI path, so runs are reproducible unless
+#: the user explicitly varies ``--seed``.
+DEFAULT_SEED = 0
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -196,12 +204,135 @@ def cmd_experiment(args) -> int:
     for name in names:
         mod = importlib.import_module(f"repro.experiments.{name}")
         print(f"running {name} ...", flush=True)
-        # Sweep-able drivers accept a worker count; legacy ones stay serial.
+        # Sweep-able drivers accept a worker count, seeded ones a seed;
+        # legacy ones stay serial/deterministic.
+        params = inspect.signature(mod.run).parameters
         kwargs = {}
-        if "jobs" in inspect.signature(mod.run).parameters:
+        if "jobs" in params:
             kwargs["jobs"] = args.jobs or None  # 0 → auto (all cores but one)
+        if "seed" in params:
+            kwargs["seed"] = args.seed
         result = mod.run(**kwargs)
         write_result(name, mod.format_results(result))
+    return 0
+
+
+def _fault_models_from_args(args):
+    """Translate ``repro faults`` flags into perturbation models."""
+    from repro.faults import (
+        ComputeJitter,
+        DegradedLink,
+        SlowDevice,
+        TransientFailure,
+    )
+
+    models = []
+    if args.straggler > 1.0:
+        models.append(
+            SlowDevice(factor=args.straggler, num_devices=args.num_stragglers)
+        )
+    if args.jitter > 0.0:
+        models.append(ComputeJitter(sigma=args.jitter))
+    if args.link_factor > 1.0:
+        models.append(
+            DegradedLink(factor=args.link_factor, flaky_prob=args.flaky_prob)
+        )
+    if args.fail_stall > 0.0:
+        models.append(TransientFailure(stall=args.fail_stall))
+    return tuple(models)
+
+
+def cmd_faults(args) -> int:
+    """``repro faults``: robustness of DAPPLE vs GPipe vs DP on one model."""
+    import math
+
+    from repro.baselines import gpipe_plan
+    from repro.core.plan import single_stage_plan
+    from repro.experiments.reporting import format_table
+    from repro.faults import run_ensemble, robust_plan
+
+    model, cluster, gbs, prof = _setup(args)
+    models = _fault_models_from_args(args)
+    if not models:
+        print("no perturbation selected (e.g. --straggler 1.5 or --jitter 0.1)",
+              file=sys.stderr)
+        return 1
+    seeds = range(args.seed, args.seed + args.ensemble)
+
+    rows = []
+
+    def measure(label, plan, schedule) -> None:
+        try:
+            rep = run_ensemble(
+                prof, cluster, plan, models, seeds,
+                schedule=schedule, sim_engine=args.sim_engine, jobs=args.jobs or None,
+            )
+        except OutOfMemoryError:
+            rows.append([label, plan.notation, "OOM", "-", "-", "-", "-"])
+            return
+        rows.append([
+            label,
+            plan.notation,
+            f"{rep.clean_makespan * 1e3:.1f}ms",
+            f"{rep.p50 * 1e3:.1f}ms",
+            f"{rep.p95 * 1e3:.1f}ms",
+            f"{rep.slowdown(0.95):.2f}x",
+            f"{rep.critical_path_shift():.0%}",
+        ])
+
+    measure("DAPPLE", Planner(prof, cluster, gbs).search().plan, "dapple")
+    try:
+        measure("GPipe", gpipe_plan(prof, cluster, gbs), "gpipe")
+    except ValueError as e:
+        rows.append(["GPipe", "-", f"n/a ({e})", "-", "-", "-", "-"])
+    planner = Planner(prof, cluster, gbs)
+    m = max(1, gbs // (prof.graph.profile_batch * cluster.num_devices))
+    while gbs % m:
+        m -= 1
+    dp = single_stage_plan(prof.graph, cluster.devices, gbs, m)
+    if planner.plan_fits_memory(dp):
+        measure("DP", dp, "dapple")
+    else:
+        rows.append(["DP", "DP", "OOM", "-", "-", "-", "-"])
+
+    fault_desc = ", ".join(type(m).__name__ for m in models)
+    print(format_table(
+        ["system", "plan", "clean", "p50", "p95", "p95/clean", "crit-path shift"],
+        rows,
+        title=f"{model.name} on config {args.config}, GBS={gbs} — "
+        f"{args.ensemble} seeds ({fault_desc}), seed base {args.seed}",
+    ))
+
+    if args.robust_k > 0:
+        rob = robust_plan(
+            prof, cluster, gbs, models, seeds,
+            q=args.quantile, top_k=args.robust_k,
+            sim_engine=args.sim_engine, jobs=args.jobs or None,
+        )
+        cand_rows = [
+            [
+                c.notation,
+                f"{c.clean * 1e3:.1f}ms",
+                f"{c.quantile * 1e3:.1f}ms",
+                "+".join(
+                    tag
+                    for tag, hit in (
+                        ("robust", c is rob.robust),
+                        ("clean-opt", c is rob.clean_optimal),
+                    )
+                    if hit
+                ),
+            ]
+            for c in rob.candidates
+        ]
+        print()
+        print(format_table(
+            ["plan", "clean", f"p{args.quantile * 100:.0f}", "pick"],
+            cand_rows,
+            title=f"Robust selection over planner top-{args.robust_k}: "
+            + ("selection CHANGED under perturbation"
+               if rob.selection_changed else "clean-optimal plan is also robust"),
+        ))
     return 0
 
 
@@ -244,7 +375,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for sweep-able experiments (fig12/fig13/fig14/"
-        "table7); 0 = all cores but one",
+        "table7/straggler_sweep); 0 = all cores but one",
+    )
+    p.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="base RNG seed for seeded experiments (convergence/"
+        f"straggler_sweep); default {DEFAULT_SEED} keeps runs reproducible",
+    )
+
+    p = sub.add_parser(
+        "faults", help="fault injection: robustness of DAPPLE vs GPipe vs DP"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--straggler", type=float, default=1.5,
+        help="persistent slow-device factor (>1 enables; default 1.5)",
+    )
+    p.add_argument(
+        "--num-stragglers", type=int, default=1,
+        help="how many devices the straggler model slows (default 1)",
+    )
+    p.add_argument(
+        "--jitter", type=float, default=0.05,
+        help="lognormal compute-jitter sigma (>0 enables; default 0.05)",
+    )
+    p.add_argument(
+        "--link-factor", type=float, default=1.0,
+        help="degraded-link slowdown factor (>1 enables; default off)",
+    )
+    p.add_argument(
+        "--flaky-prob", type=float, default=None,
+        help="make the degraded link flaky: per-transfer hit probability",
+    )
+    p.add_argument(
+        "--fail-stall", type=float, default=0.0,
+        help="transient device failure: stall-and-recover seconds (>0 enables)",
+    )
+    p.add_argument(
+        "--ensemble", type=int, default=16,
+        help="Monte-Carlo ensemble size (seeds per plan; default 16)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"base RNG seed for the ensemble (default {DEFAULT_SEED})",
+    )
+    p.add_argument(
+        "--robust-k", type=int, default=0,
+        help="also re-score the planner's top-K plans by quantile makespan "
+        "(0 = skip)",
+    )
+    p.add_argument(
+        "--quantile", type=float, default=0.95,
+        help="makespan quantile for robust selection (default 0.95)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for ensemble fan-out; 0 = all cores but one",
+    )
+    p.add_argument(
+        "--sim-engine", default=None, choices=["compiled", "reference"],
+        help="simulator event loop (default: compiled; reference = oracle)",
     )
     return parser
 
@@ -260,6 +450,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "experiment": cmd_experiment,
+        "faults": cmd_faults,
     }
     return handlers[args.command](args)
 

@@ -70,15 +70,27 @@ def config_c(num_machines: int = 16, gpu_spec: GPUSpec = V100) -> Cluster:
     return _build(num_machines, 1, NO_INTRA, ETHERNET_10G, f"C({num_machines}x1)", gpu_spec)
 
 
+#: Valid ``config_by_name`` keys, in paper order (Table III).
+CONFIG_NAMES = ("A", "B", "C")
+
+
 def config_by_name(name: str, num_devices: int = 16, gpu_spec: GPUSpec = V100) -> Cluster:
     """Build config ``"A"``/``"B"``/``"C"`` sized to ``num_devices`` GPUs."""
     key = name.strip().upper()
+    if key not in CONFIG_NAMES:
+        valid = ", ".join(repr(n) for n in CONFIG_NAMES)
+        raise ValueError(f"unknown hardware config {name!r} (valid names: {valid})")
+    if num_devices < 1:
+        raise ValueError(
+            f"config {key} needs at least 1 GPU, got num_devices={num_devices}"
+        )
     if key == "A":
         if num_devices % 8 != 0:
-            raise ValueError(f"config A requires a multiple of 8 GPUs, got {num_devices}")
+            raise ValueError(
+                f"config A packs 8 GPUs per server, so num_devices must be a "
+                f"multiple of 8, got {num_devices}"
+            )
         return config_a(num_devices // 8, gpu_spec)
     if key == "B":
         return config_b(num_devices, gpu_spec)
-    if key == "C":
-        return config_c(num_devices, gpu_spec)
-    raise ValueError(f"unknown hardware config {name!r} (expected A, B or C)")
+    return config_c(num_devices, gpu_spec)

@@ -78,6 +78,11 @@ class PlannerConfig:
     #: faster.  False keeps the reference scalar path (used by the
     #: equivalence suite and available for debugging).
     use_fast_scan: bool = True
+    #: Also collect the K best distinct complete plans seen during the
+    #: search into :attr:`PlanResult.top_plans` (0 = don't).  Robust
+    #: planning (:mod:`repro.faults.robust`) re-scores these runners-up
+    #: under perturbation ensembles.
+    keep_top_k: int = 0
 
 
 @dataclass
@@ -89,6 +94,10 @@ class PlanResult:
     states_explored: int
     plans_evaluated: int
     infeasible_plans: int
+    #: ``(analytical latency, plan)`` pairs for the best distinct plans seen
+    #: during the search, ascending by latency (the winner included first).
+    #: Populated only with ``PlannerConfig.keep_top_k > 0``.
+    top_plans: list = field(default_factory=list)
 
 
 @dataclass(order=True)
@@ -144,6 +153,13 @@ class Planner:
         self._m_multi = _largest_divisor_leq(
             self.gbs, max(1, self.gbs // self._mbs_dev)
         )
+        # Bounded worst-at-root heap of top-K candidates: entries are
+        # (-latency, seq, payload) where payload is either a finished plan
+        # or a (j, used, stages) state to complete lazily.  Oversized vs
+        # keep_top_k so post-hoc dedupe still yields K distinct plans.
+        self._topk_cap = max(4 * self.config.keep_top_k, 0)
+        self._topk: list = []
+        self._topk_seq = 0
 
     # ------------------------------------------------------------------ #
     # Plan completion & evaluation
@@ -227,6 +243,49 @@ class Planner:
         return est.latency * penalty, est
 
     # ------------------------------------------------------------------ #
+    # Top-K candidate collection
+    # ------------------------------------------------------------------ #
+    def _note_candidate(self, latency: float, payload) -> None:
+        """Offer one finite-latency candidate to the bounded top-K heap."""
+        if not self._topk_cap:
+            return
+        heap = self._topk
+        if len(heap) < self._topk_cap:
+            self._topk_seq += 1
+            heapq.heappush(heap, (-latency, self._topk_seq, payload))
+        elif latency < -heap[0][0]:
+            self._topk_seq += 1
+            heapq.heapreplace(heap, (-latency, self._topk_seq, payload))
+
+    def _topk_accepts(self, latency: float) -> bool:
+        """Would :meth:`_note_candidate` keep a candidate at ``latency``?"""
+        return bool(self._topk_cap) and (
+            len(self._topk) < self._topk_cap or latency < -self._topk[0][0]
+        )
+
+    def _materialize_top_plans(self) -> list:
+        """Resolve heap payloads into ≤ K distinct (latency, plan) pairs."""
+        out: list = []
+        seen: set[tuple] = set()
+        k = self.config.keep_top_k
+        for neg_lat, seq, payload in sorted(self._topk, key=lambda t: (-t[0], t[1])):
+            if len(out) >= k:
+                break
+            if isinstance(payload, ParallelPlan):
+                plan = payload
+            else:
+                j, used, stages = payload
+                plan = self.complete(j, used, stages)
+                if plan is None:
+                    continue
+            sig = (plan.notation, plan.split_notation, plan.num_micro_batches)
+            if sig in seen:
+                continue
+            seen.add(sig)
+            out.append((-neg_lat, plan))
+        return out
+
+    # ------------------------------------------------------------------ #
     # Canonical candidates
     # ------------------------------------------------------------------ #
     def straight_plan(self) -> ParallelPlan | None:
@@ -295,6 +354,8 @@ class Planner:
             lat, est = self._score(plan)
             if lat < best_latency:
                 best_plan, best_est, best_latency = plan, est, lat
+            if est is not None:
+                self._note_candidate(lat, plan)
             return lat
 
         # Level 0: the pure-DP completion of the empty prefix, plus the
@@ -365,11 +426,16 @@ class Planner:
                             cur = next_level.get(key)
                             improves_best = lat < best_latency
                             wins_slot = cur is None or lat < cur.latency
-                            if not (improves_best or wins_slot):
+                            keeps_topk = self._topk_accepts(lat)
+                            if not (improves_best or wins_slot or keeps_topk):
                                 continue
                             stages = state.stages + (
                                 Stage(state.j, j2, placed.devices),
                             )
+                            if keeps_topk:
+                                self._note_candidate(
+                                    lat, (j2, placed.new_used, stages)
+                                )
                             if improves_best:
                                 best_plan = self.complete(j2, placed.new_used, stages)
                                 best_est = evaluate_plan(
@@ -418,6 +484,7 @@ class Planner:
             states_explored=states_explored,
             plans_evaluated=self._plans_evaluated,
             infeasible_plans=self._infeasible,
+            top_plans=self._materialize_top_plans(),
         )
 
 

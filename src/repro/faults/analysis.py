@@ -1,0 +1,302 @@
+"""Robustness analysis: Monte-Carlo ensembles over perturbation seeds.
+
+Answers three questions about a plan under a perturbation model set:
+
+* **How much slower does it get?** — :func:`run_ensemble` simulates the plan
+  under ``N`` seeds and summarizes the makespan distribution (p50/p95/p99,
+  slowdown vs. the clean run).
+* **Where does the lost time go?** — per-stage *bubble inflation*: how much
+  each stage's idle fraction grows under perturbation, attributing the
+  slowdown to the stage that absorbs it.
+* **Does the bottleneck move?** — *critical-path shift*: the chain of ops
+  whose completion times gate the makespan is extracted from each perturbed
+  trace and compared (as a stage signature) against the clean run's.
+
+Each seed is an independent simulation, so ensembles fan out across worker
+processes via :func:`repro.perf.sweep.sweep`; per-seed payloads are small
+summaries (makespan, per-stage busy time, critical-path signature), not full
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.faults.inject import FaultedExecution, execute_plan_faulted
+from repro.perf.sweep import sweep
+
+__all__ = [
+    "SeedOutcome",
+    "EnsembleReport",
+    "BubbleRow",
+    "evaluate_seed",
+    "run_ensemble",
+    "critical_path",
+    "critical_path_stages",
+    "stage_bubble_fractions",
+]
+
+
+# --------------------------------------------------------------------- #
+# Critical-path extraction
+# --------------------------------------------------------------------- #
+def critical_path(graph, trace) -> list:
+    """The chain of trace events that gates the makespan, in time order.
+
+    Walks backward from the last-finishing op.  At each step the *binding
+    constraint* of the current op is the event that ends exactly when it
+    starts: either one of its dependency predecessors or the previous holder
+    of one of its resources (the simulator only dispatches at completion
+    instants, so except at time zero such an event always exists).  Ties are
+    broken toward the latest-ending candidate, then dependency predecessors
+    over resource predecessors, so the walk is deterministic.
+    """
+    events = list(trace.events)
+    if not events:
+        return []
+    preds: dict[str, list[str]] = {}
+    for name in graph._order:
+        for succ in graph._succ[name]:
+            preds.setdefault(succ, []).append(name)
+    ev_by_name = {e.name: e for e in events}
+    res_pos: dict = {}
+
+    cur = events[0]
+    for e in events:
+        if e.end >= cur.end:
+            cur = e
+    path = [cur]
+    while cur.start > 0:
+        best = None
+        for p in preds.get(cur.name, ()):
+            pe = ev_by_name[p]
+            if best is None or pe.end > best.end:
+                best = pe
+        for r in cur.resources:
+            pos = res_pos.get(r)
+            if pos is None:
+                lst = trace.by_resource(r)
+                pos = res_pos[r] = ({e.name: k for k, e in enumerate(lst)}, lst)
+            idx_of, lst = pos
+            k = idx_of[cur.name]
+            if k > 0:
+                prev = lst[k - 1]
+                if best is None or prev.end > best.end:
+                    best = prev
+        if best is None:
+            break
+        path.append(best)
+        cur = best
+    path.reverse()
+    return path
+
+
+def critical_path_stages(path) -> tuple:
+    """Collapse a critical path to its stage signature.
+
+    Consecutive ops of the same stage merge into one entry; ops without a
+    ``stage`` tag (init barriers) are dropped.  Two runs whose makespan is
+    gated by different stages produce different signatures — the shift
+    detector's comparison key.
+    """
+    sig: list[int] = []
+    for e in path:
+        stage = e.tags.get("stage")
+        if stage is None:
+            continue
+        if not sig or sig[-1] != stage:
+            sig.append(stage)
+    return tuple(sig)
+
+
+def stage_bubble_fractions(result) -> dict[int, float]:
+    """Per-stage idle fraction: 1 − mean device busy time / makespan."""
+    makespan = result.iteration_time
+    out: dict[int, float] = {}
+    if makespan <= 0:
+        return {i: 0.0 for i in range(result.plan.num_stages)}
+    for i, stage in enumerate(result.plan.stages):
+        busy = [result.trace.busy_time(d.resource_key) for d in stage.devices]
+        out[i] = 1.0 - (sum(busy) / len(busy)) / makespan
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Per-seed evaluation (module-level so ``sweep`` can fork it)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SeedOutcome:
+    """Small summary of one (possibly perturbed) simulated iteration."""
+
+    seed: int
+    makespan: float
+    #: Per-stage idle fraction of the makespan (mean over replicas).
+    stage_bubbles: tuple
+    #: Stage signature of the makespan-gating op chain.
+    critical_stages: tuple
+
+
+def evaluate_seed(
+    profile,
+    cluster,
+    plan,
+    models,
+    seed: int,
+    schedule="dapple",
+    warmup_policy: str = "PA",
+    recompute=False,
+    enforce_memory: bool = True,
+    sim_engine: str | None = None,
+) -> SeedOutcome:
+    """Simulate ``plan`` under ``models`` at ``seed`` and summarize."""
+    run: FaultedExecution = execute_plan_faulted(
+        profile,
+        cluster,
+        plan,
+        models=models,
+        seed=seed,
+        schedule=schedule,
+        warmup_policy=warmup_policy,
+        recompute=recompute,
+        enforce_memory=enforce_memory,
+        sim_engine=sim_engine,
+    )
+    bubbles = stage_bubble_fractions(run.result)
+    sig = critical_path_stages(critical_path(run.graph, run.result.trace))
+    return SeedOutcome(
+        seed=seed,
+        makespan=run.result.iteration_time,
+        stage_bubbles=tuple(bubbles[i] for i in range(plan.num_stages)),
+        critical_stages=sig,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Ensemble report
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BubbleRow:
+    """Bubble attribution for one stage: clean vs. perturbed idle fraction."""
+
+    stage: int
+    clean_fraction: float
+    perturbed_fraction: float
+
+    @property
+    def inflation(self) -> float:
+        """Absolute idle-fraction growth under perturbation."""
+        return self.perturbed_fraction - self.clean_fraction
+
+
+@dataclass(frozen=True)
+class EnsembleReport:
+    """Makespan distribution of a plan under a perturbation ensemble."""
+
+    plan_notation: str
+    clean: SeedOutcome
+    outcomes: tuple
+    makespans: np.ndarray = field(repr=False)
+
+    @property
+    def clean_makespan(self) -> float:
+        return self.clean.makespan
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.makespans, q))
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return float(self.makespans.mean())
+
+    @property
+    def worst(self) -> float:
+        return float(self.makespans.max())
+
+    def slowdown(self, q: float = 0.95) -> float:
+        """Quantile makespan over the clean makespan (≥ 1 in practice)."""
+        return self.quantile(q) / self.clean_makespan
+
+    def bubble_attribution(self) -> list[BubbleRow]:
+        """Per-stage idle-fraction inflation, mean over the ensemble."""
+        rows = []
+        num_stages = len(self.clean.stage_bubbles)
+        for i in range(num_stages):
+            perturbed = float(
+                np.mean([o.stage_bubbles[i] for o in self.outcomes])
+            )
+            rows.append(
+                BubbleRow(
+                    stage=i,
+                    clean_fraction=self.clean.stage_bubbles[i],
+                    perturbed_fraction=perturbed,
+                )
+            )
+        return rows
+
+    def critical_path_shift(self) -> float:
+        """Fraction of seeds whose makespan-gating stage chain differs from
+        the clean run's."""
+        if not self.outcomes:
+            return 0.0
+        shifted = sum(
+            1 for o in self.outcomes if o.critical_stages != self.clean.critical_stages
+        )
+        return shifted / len(self.outcomes)
+
+
+def run_ensemble(
+    profile,
+    cluster,
+    plan,
+    models,
+    seeds: Sequence[int],
+    schedule="dapple",
+    warmup_policy: str = "PA",
+    recompute=False,
+    enforce_memory: bool = True,
+    sim_engine: str | None = None,
+    jobs: int | None = 1,
+) -> EnsembleReport:
+    """Monte-Carlo ensemble of ``plan`` under ``models`` over ``seeds``.
+
+    The clean (model-free) run anchors the slowdown figures; perturbed seeds
+    fan out over :func:`repro.perf.sweep.sweep` when ``jobs`` allows.
+    """
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        raise ValueError("ensemble needs at least one seed")
+    models = tuple(models)
+    clean = evaluate_seed(
+        profile, cluster, plan, (), 0,
+        schedule=schedule, warmup_policy=warmup_policy, recompute=recompute,
+        enforce_memory=enforce_memory, sim_engine=sim_engine,
+    )
+    tasks = [
+        (
+            profile, cluster, plan, models, s,
+            schedule, warmup_policy, recompute, enforce_memory, sim_engine,
+        )
+        for s in seeds
+    ]
+    outcomes = sweep(evaluate_seed, tasks, jobs=jobs)
+    return EnsembleReport(
+        plan_notation=plan.notation,
+        clean=clean,
+        outcomes=tuple(outcomes),
+        makespans=np.array([o.makespan for o in outcomes], dtype=np.float64),
+    )

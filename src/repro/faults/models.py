@@ -1,0 +1,301 @@
+"""Deterministic perturbation models for simulated executions.
+
+DAPPLE's synchronous hybrid scheme has latency ``L = Tw + Ts + Te`` that is
+hostage to the slowest replica and the slowest stage: one delayed micro-batch
+delays every micro-batch behind it, and a persistent straggler gates its whole
+stage on every tick.  The models here quantify that sensitivity by perturbing
+the *durations* of an already-built :class:`~repro.sim.engine.TaskGraph`
+before simulation — the graph's structure (dependencies, resources,
+priorities, memory effects) is never touched, only how long each op holds its
+resources.
+
+Determinism contract
+--------------------
+Every model is a pure function of ``(ops, durations, rng)``:
+
+* ops are visited in **submission order**, and random draws are consumed in
+  that order, so the perturbed duration column is a deterministic function of
+  the graph and the generator state;
+* models never construct their own generators — the injection layer
+  (:mod:`repro.faults.inject`) derives one child generator per model from a
+  single explicit seed via :class:`numpy.random.SeedSequence`;
+* because perturbation happens *before* the simulator runs, the reference and
+  compiled engines see the same graph and therefore produce bit-identical
+  perturbed traces (enforced by ``tests/sim/test_compiled_equivalence.py``).
+
+Four failure modes from the pipeline-parallel literature are modelled:
+per-op compute jitter (OS/clock noise), persistent slow devices (PipeDream's
+straggler motivation), degraded or flaky links, and transient device failures
+with stall-and-recover semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PerturbationModel",
+    "ComputeJitter",
+    "SlowDevice",
+    "DegradedLink",
+    "TransientFailure",
+    "COMPUTE_KINDS",
+    "COMM_KINDS",
+]
+
+#: Tag values marking compute ops in executor-built graphs.
+COMPUTE_KINDS = ("F", "B")
+
+#: Tag values marking communication ops in executor-built graphs.
+COMM_KINDS = ("send", "sendback")
+
+
+def _compute_resource_keys(ops) -> list:
+    """Device-like resource keys: held by ops tagged as compute.
+
+    Executor-built graphs tag forwards/backwards with ``kind`` in
+    :data:`COMPUTE_KINDS`; their (single) resource is the GPU.  Graphs
+    without tags fall back to every resource key, so the models stay usable
+    on synthetic test DAGs.  Keys are sorted for seed-stable selection.
+    """
+    keys = {
+        r
+        for op in ops
+        if op.tags.get("kind") in COMPUTE_KINDS
+        for r in op.resources
+    }
+    if not keys:
+        keys = {r for op in ops for r in op.resources}
+    return sorted(keys, key=str)
+
+
+def _comm_resource_keys(ops) -> list:
+    """Link-like resource keys: held by ops tagged as transfers."""
+    keys = {
+        r
+        for op in ops
+        if op.tags.get("kind") in COMM_KINDS
+        for r in op.resources
+    }
+    return sorted(keys, key=str)
+
+
+class PerturbationModel:
+    """Base class: a seeded duration transform over a task graph.
+
+    Subclasses implement :meth:`perturb`, mapping the op list (submission
+    order) and the current duration column to a new duration column,
+    consuming ``rng`` deterministically.  Models must not mutate ``ops`` or
+    the input list.
+    """
+
+    def perturb(self, ops, durations: list[float], rng: np.random.Generator) -> list[float]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ComputeJitter(PerturbationModel):
+    """Per-op multiplicative compute jitter.
+
+    Each matching op's duration is scaled by an i.i.d. draw:
+
+    * ``distribution="lognormal"`` — factor ``exp(sigma·Z)``, median 1.0;
+      right-skewed, matching observed kernel-time noise;
+    * ``distribution="uniform"`` — factor uniform in
+      ``[1 - sigma, 1 + sigma]`` (``sigma < 1``), symmetric noise.
+
+    ``kinds`` selects ops by their ``kind`` tag (default: compute ops);
+    ``kinds=None`` jitters every op with positive duration, which makes the
+    model applicable to untagged synthetic DAGs.
+    """
+
+    sigma: float = 0.1
+    distribution: str = "lognormal"
+    kinds: tuple | None = COMPUTE_KINDS
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"jitter sigma must be >= 0, got {self.sigma}")
+        if self.distribution not in ("lognormal", "uniform"):
+            raise ValueError(
+                f"unknown jitter distribution {self.distribution!r} "
+                "(lognormal or uniform)"
+            )
+        if self.distribution == "uniform" and self.sigma >= 1.0:
+            raise ValueError(
+                f"uniform jitter needs sigma < 1 (factor stays positive), "
+                f"got {self.sigma}"
+            )
+
+    def _matches(self, op) -> bool:
+        if self.kinds is None:
+            return op.duration > 0
+        return op.tags.get("kind") in self.kinds
+
+    def perturb(self, ops, durations, rng):
+        out = list(durations)
+        sigma = self.sigma
+        lognormal = self.distribution == "lognormal"
+        for i, op in enumerate(ops):
+            if not self._matches(op):
+                continue
+            if lognormal:
+                factor = float(np.exp(sigma * rng.standard_normal()))
+            else:
+                factor = float(rng.uniform(1.0 - sigma, 1.0 + sigma))
+            out[i] = durations[i] * factor
+        return out
+
+
+@dataclass(frozen=True)
+class SlowDevice(PerturbationModel):
+    """Persistent straggler: every op on the victim device(s) runs slower.
+
+    ``num_devices`` victims are drawn (without replacement, seed-stable)
+    from the graph's compute resource keys, unless ``devices`` pins them
+    explicitly.  Models a thermally-throttled or contended GPU; under
+    synchronous micro-batch slicing one slow replica gates its entire
+    stage — the paper's tail-effect sensitivity.
+    """
+
+    factor: float = 1.5
+    num_devices: int = 1
+    devices: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {self.factor}")
+        if self.num_devices < 1 and not self.devices:
+            raise ValueError("need num_devices >= 1 or explicit devices")
+
+    def pick_victims(self, ops, rng) -> tuple:
+        if self.devices:
+            return tuple(self.devices)
+        candidates = _compute_resource_keys(ops)
+        if not candidates:
+            return ()
+        k = min(self.num_devices, len(candidates))
+        idx = rng.choice(len(candidates), size=k, replace=False)
+        return tuple(candidates[int(i)] for i in sorted(idx))
+
+    def perturb(self, ops, durations, rng):
+        victims = set(self.pick_victims(ops, rng))
+        if not victims:
+            return list(durations)
+        out = list(durations)
+        for i, op in enumerate(ops):
+            if any(r in victims for r in op.resources):
+                out[i] = durations[i] * self.factor
+        return out
+
+
+@dataclass(frozen=True)
+class DegradedLink(PerturbationModel):
+    """Degraded or flaky communication links.
+
+    ``num_links`` victim links are drawn from the resource keys held by
+    transfer ops (``send``/``sendback`` tags), unless pinned via ``links``.
+    With ``flaky_prob=None`` every transfer over a victim link is slowed by
+    ``factor`` (persistent congestion); with ``flaky_prob=p`` each transfer
+    independently hits the slow path with probability ``p`` (intermittent
+    packet loss / retransmits).  Draws are consumed for every transfer op on
+    a victim link, in submission order.
+    """
+
+    factor: float = 2.0
+    num_links: int = 1
+    flaky_prob: float | None = None
+    links: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"link degradation factor must be >= 1, got {self.factor}")
+        if self.flaky_prob is not None and not 0.0 <= self.flaky_prob <= 1.0:
+            raise ValueError(f"flaky_prob must be in [0, 1], got {self.flaky_prob}")
+
+    def pick_victims(self, ops, rng) -> tuple:
+        if self.links:
+            return tuple(self.links)
+        candidates = _comm_resource_keys(ops)
+        if not candidates:
+            return ()
+        k = min(self.num_links, len(candidates))
+        idx = rng.choice(len(candidates), size=k, replace=False)
+        return tuple(candidates[int(i)] for i in sorted(idx))
+
+    def perturb(self, ops, durations, rng):
+        victims = set(self.pick_victims(ops, rng))
+        if not victims:
+            return list(durations)
+        out = list(durations)
+        for i, op in enumerate(ops):
+            if op.tags.get("kind") not in COMM_KINDS:
+                continue
+            if not any(r in victims for r in op.resources):
+                continue
+            if self.flaky_prob is None or rng.random() < self.flaky_prob:
+                out[i] = durations[i] * self.factor
+        return out
+
+
+@dataclass(frozen=True)
+class TransientFailure(PerturbationModel):
+    """Transient device failure with stall-and-recover semantics.
+
+    The victim device freezes for ``stall`` seconds at some point during the
+    iteration and then resumes: the op running when the failure strikes
+    holds its resources for its own duration *plus* the stall (checkpoint
+    reload / NCCL re-establish / driver reset), and everything scheduled
+    behind it waits — exactly how a synchronous pipeline experiences a
+    recoverable fault.
+
+    ``position=None`` picks the stalled op uniformly among the victim
+    device's ops; ``position=q`` (in ``[0, 1]``) pins it at that quantile of
+    the device's submission-ordered op list (0 = first op, 1 = last), which
+    makes "failure during warm-up" vs "failure during drain" scriptable.
+    """
+
+    stall: float = 1.0
+    num_failures: int = 1
+    devices: tuple = ()
+    position: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.stall < 0:
+            raise ValueError(f"stall must be >= 0, got {self.stall}")
+        if self.position is not None and not 0.0 <= self.position <= 1.0:
+            raise ValueError(f"position must be in [0, 1], got {self.position}")
+        if self.num_failures < 1 and not self.devices:
+            raise ValueError("need num_failures >= 1 or explicit devices")
+
+    def pick_victims(self, ops, rng) -> tuple:
+        if self.devices:
+            return tuple(self.devices)
+        candidates = _compute_resource_keys(ops)
+        if not candidates:
+            return ()
+        k = min(self.num_failures, len(candidates))
+        idx = rng.choice(len(candidates), size=k, replace=False)
+        return tuple(candidates[int(i)] for i in sorted(idx))
+
+    def perturb(self, ops, durations, rng):
+        victims = self.pick_victims(ops, rng)
+        if not victims or self.stall == 0.0:
+            return list(durations)
+        out = list(durations)
+        for victim in victims:
+            device_ops = [
+                i for i, op in enumerate(ops) if victim in op.resources
+            ]
+            if not device_ops:
+                continue
+            if self.position is None:
+                k = int(rng.integers(len(device_ops)))
+            else:
+                k = min(
+                    int(self.position * len(device_ops)), len(device_ops) - 1
+                )
+            out[device_ops[k]] += self.stall
+        return out

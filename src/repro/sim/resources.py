@@ -59,14 +59,22 @@ class ResourcePool:
         RuntimeError
             If any key is already busy — this indicates a scheduler bug, so
             we fail loudly instead of silently corrupting the simulation.
+            Keys claimed earlier in the same call are rolled back first, so
+            the pool state stays consistent for post-mortem inspection.
         """
+        owner = self.owner
+        claimed = []
         for k in keys:
-            if k in self.owner:
+            if k in owner:
+                holder = owner[k]
+                for c in claimed:
+                    del owner[c]
                 raise RuntimeError(
-                    f"resource {k!r} already owned by op {self.owner[k]} "
-                    f"(requested by op {op_id})"
+                    f"double acquire of resource {k!r}: held by op {holder}, "
+                    f"claimed by op {op_id}"
                 )
-            self.owner[k] = op_id
+            owner[k] = op_id
+            claimed.append(k)
 
     def try_acquire(self, keys: Iterable[Hashable], op_id: int) -> bool:
         """Claim ``keys`` for ``op_id`` iff all are free, in one pass.

@@ -1,0 +1,60 @@
+"""Straggler-sweep experiment: formatting smoke in tier-1, full point slow."""
+
+import math
+
+import pytest
+
+from repro.experiments import straggler_sweep
+from repro.experiments.straggler_sweep import StragglerPoint, SystemRobustness
+
+
+def fake_point(changed=False):
+    return StragglerPoint(
+        model="bert48",
+        config="A",
+        factor=1.5,
+        systems=(
+            SystemRobustness("DAPPLE", "8:5:3", 780.0, 1080.0),
+            SystemRobustness("GPipe", "straight", 970.0, 1300.0),
+            SystemRobustness("DP", "DP", math.nan, math.nan),
+        ),
+        robust_plan="8:7:1" if changed else "8:5:3",
+        clean_optimal_plan="8:5:3",
+        selection_changed=changed,
+    )
+
+
+class TestFormatting:
+    def test_tables_and_shift_count(self):
+        text = straggler_sweep.format_results([fake_point(), fake_point(True)])
+        assert "DAPPLE" in text and "GPipe" in text
+        assert "OOM" in text  # NaN rows render as OOM
+        assert "selection shifted in 1/2 regimes" in text
+        assert "*" in text
+
+    def test_slowdown_property(self):
+        s = SystemRobustness("DAPPLE", "8:5:3", 100.0, 140.0)
+        assert s.slowdown == pytest.approx(1.4)
+        assert math.isnan(SystemRobustness("DP", "DP", math.nan, math.nan).slowdown)
+
+
+@pytest.mark.slow
+class TestPointEndToEnd:
+    def test_single_grid_point(self):
+        p = straggler_sweep.point("gnmt16", "A", 2.0, num_seeds=8)
+        systems = {s.system for s in p.systems}
+        assert "DAPPLE" in systems and "DP" in systems
+        dapple = next(s for s in p.systems if s.system == "DAPPLE")
+        assert dapple.p95_ms > dapple.clean_ms
+        assert p.robust_plan and p.clean_optimal_plan
+
+    def test_default_grid_contains_a_shift_regime(self):
+        points = straggler_sweep.run(num_seeds=8, jobs=None)
+        assert len(points) == (
+            len(straggler_sweep.SWEEP_MODELS)
+            * len(straggler_sweep.SWEEP_CONFIGS)
+            * len(straggler_sweep.SWEEP_FACTORS)
+        )
+        assert any(p.selection_changed for p in points)
+        text = straggler_sweep.format_results(points)
+        assert "selection shifted in" in text

@@ -95,3 +95,56 @@ class TestExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table99"])
+
+    def test_seed_flag_reaches_seeded_experiments(self):
+        import inspect
+
+        from repro.cli import EXPERIMENTS
+
+        args = build_parser().parse_args(["experiment", "convergence", "--seed", "7"])
+        assert args.seed == 7
+        # Every seeded experiment driver accepts the plumbed kwarg.
+        import importlib
+
+        for name in ("convergence", "straggler_sweep"):
+            assert name in EXPERIMENTS
+            mod = importlib.import_module(f"repro.experiments.{name}")
+            assert "seed" in inspect.signature(mod.run).parameters
+
+
+class TestFaults:
+    def test_faults_table_for_three_systems(self, capsys):
+        assert main([
+            "faults", "--model", "vgg19", "--config", "B", "--devices", "4",
+            "--gbs", "64", "--ensemble", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        for label in ("DAPPLE", "GPipe", "DP", "clean", "p95"):
+            assert label in out
+
+    def test_faults_seed_changes_header_not_determinism(self, capsys):
+        argv = ["faults", "--model", "vgg19", "--config", "B", "--devices", "4",
+                "--gbs", "64", "--ensemble", "3", "--jitter", "0.2",
+                "--straggler", "1.0"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert main(argv + ["--seed", "9"]) == 0
+        assert "seed base 9" in capsys.readouterr().out
+
+    def test_faults_robust_k_prints_candidates(self, capsys):
+        assert main([
+            "faults", "--model", "vgg19", "--config", "B", "--devices", "4",
+            "--gbs", "64", "--ensemble", "3", "--robust-k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Robust selection" in out
+        assert "clean-opt" in out
+
+    def test_faults_without_models_errors(self, capsys):
+        assert main([
+            "faults", "--model", "vgg19", "--config", "B", "--devices", "4",
+            "--straggler", "1.0", "--jitter", "0.0",
+        ]) == 1
+        assert "no perturbation" in capsys.readouterr().err

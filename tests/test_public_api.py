@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.training",
     "repro.viz",
     "repro.experiments",
+    "repro.faults",
 ]
 
 
@@ -41,7 +42,7 @@ def test_star_import_is_clean():
     "name",
     ["table1", "table2", "table3", "table4", "table5", "table6", "table7",
      "table8", "fig3", "fig4", "fig7", "fig8", "fig12", "fig14",
-     "convergence", "bandwidth_sweep"],
+     "convergence", "bandwidth_sweep", "straggler_sweep"],
 )
 def test_experiment_modules_expose_run_and_format(name):
     mod = importlib.import_module(f"repro.experiments.{name}")
