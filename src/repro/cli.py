@@ -18,6 +18,13 @@ Commands
     Deterministic fault injection: clean vs perturbed makespans for DAPPLE,
     GPipe, and DP under seeded stragglers/jitter/link faults, with optional
     robust (quantile-based) plan re-selection.
+
+Observability: ``plan``/``run``/``experiment``/``faults`` accept
+``--trace FILE`` (``.jsonl`` = schema-validated event log, anything else =
+Chrome/Perfetto JSON; for ``run`` the Perfetto file unifies wall-clock
+instrumentation spans with the simulated-time op slices) and ``--metrics``
+(span/metric summary tables on stdout).  Bad arguments (unknown model,
+invalid config) exit with code 2; OOM during a run exits 1.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.obs as obs
 from repro.cluster import config_by_name
 from repro.core import Planner, PlannerConfig, profile_model
 from repro.core.serialization import load_plan, save_plan
@@ -49,6 +57,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="hardware config (paper Table III)")
     p.add_argument("--devices", type=int, default=16, help="total GPUs")
     p.add_argument("--gbs", type=int, default=None, help="global batch size")
+
+
+def _add_obs(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="export an observability trace (.jsonl = event log, "
+        "otherwise Chrome/Perfetto JSON)",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print instrumentation span/metric summary tables",
+    )
 
 
 def _setup(args):
@@ -88,6 +108,7 @@ def cmd_plan(args) -> int:
         beam_width=args.beam,
         max_stages=args.max_stages,
         min_stages=2 if args.pipeline_only else 1,
+        keep_top_k=4 if args.explain else 0,
     )
     result = Planner(prof, cluster, gbs, cfg).search()
     plan = result.plan
@@ -105,6 +126,11 @@ def cmd_plan(args) -> int:
     print(f"ACR     : {est.acr:.3f}")
     print(f"searched: {result.plans_evaluated} plans "
           f"({result.infeasible_plans} memory-infeasible)")
+    if args.explain:
+        from repro.obs import explain_plan
+
+        print()
+        print(explain_plan(prof, cluster, result).report())
     if args.save:
         path = save_plan(plan, args.save)
         print(f"saved   : {path}")
@@ -143,10 +169,14 @@ def cmd_run(args) -> int:
         keys = [s.devices[0].resource_key for s in plan.stages]
         print(render_gantt(res.trace, width=100, resources=keys))
     if args.trace:
-        from repro.sim.chrome_trace import export_chrome_trace
-
-        path = export_chrome_trace(res.trace, args.trace)
-        print(f"chrome trace: {path} (open in chrome://tracing)")
+        if str(args.trace).endswith(".jsonl"):
+            path = obs.export_jsonl(args.trace)
+            print(f"event log  : {path}")
+        else:
+            # Unified export: simulated-time op slices (pid 0) alongside
+            # the wall-clock instrumentation spans (pid 1).
+            path = obs.export_chrome(args.trace, sim_trace=res.trace)
+            print(f"chrome trace: {path} (open in https://ui.perfetto.dev)")
     return 0
 
 
@@ -338,10 +368,15 @@ def cmd_faults(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DAPPLE reproduction: hybrid pipeline/data-parallel planning "
         "and simulation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -353,6 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-stages", type=int, default=None)
     p.add_argument("--pipeline-only", action="store_true", help="exclude pure DP")
     p.add_argument("--save", metavar="FILE", help="write the plan as JSON")
+    p.add_argument(
+        "--explain", action="store_true",
+        help="print the winner's Tw/Ts/Te per-stage decomposition and the "
+        "runner-up comparison",
+    )
+    _add_obs(p)
 
     p = sub.add_parser("run", help="simulate one training iteration")
     _add_common(p)
@@ -365,7 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator event loop (default: compiled; reference = oracle)",
     )
     p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
-    p.add_argument("--trace", metavar="FILE", help="export a Chrome trace JSON")
+    _add_obs(p)
 
     p = sub.add_parser("compare", help="DAPPLE vs PipeDream vs GPipe vs DP")
     _add_common(p)
@@ -382,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="base RNG seed for seeded experiments (convergence/"
         f"straggler_sweep); default {DEFAULT_SEED} keeps runs reproducible",
     )
+    _add_obs(p)
 
     p = sub.add_parser(
         "faults", help="fault injection: robustness of DAPPLE vs GPipe vs DP"
@@ -436,11 +478,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-engine", default=None, choices=["compiled", "reference"],
         help="simulator event loop (default: compiled; reference = oracle)",
     )
+    _add_obs(p)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success, 1 runtime failure (e.g. OOM), 2 bad arguments —
+    both argparse rejections and domain lookups (unknown model, invalid
+    hardware config) that surface as ``ValueError``/``KeyError``.
+    """
     args = build_parser().parse_args(argv)
     if args.command == "plan" and args.beam == 0:
         args.beam = None
@@ -452,7 +500,31 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "faults": cmd_faults,
     }
-    return handlers[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    instrument = bool(trace_path or want_metrics)
+    if instrument:
+        obs.enable(reset_state=True)
+    try:
+        code = handlers[args.command](args)
+    except (ValueError, KeyError) as e:
+        msg = e.args[0] if e.args else e
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    finally:
+        if instrument:
+            obs.disable()
+    if instrument and code == 0:
+        if want_metrics:
+            print()
+            print(obs.summary())
+        if trace_path and args.command != "run":  # run exports in-handler
+            if str(trace_path).endswith(".jsonl"):
+                path = obs.export_jsonl(trace_path)
+            else:
+                path = obs.export_chrome(trace_path)
+            print(f"observability trace: {path}")
+    return code
 
 
 if __name__ == "__main__":

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+import repro.obs as obs
+
 from repro.cluster.topology import Cluster
 from repro.core.fast_scan import CompletionScanner
 from repro.core.latency import PlanEstimate, evaluate_plan
@@ -160,6 +162,9 @@ class Planner:
         self._topk_cap = max(4 * self.config.keep_top_k, 0)
         self._topk: list = []
         self._topk_seq = 0
+        # (split j', replication m') -> number of candidate scorings, filled
+        # only while observability is enabled (see _flush_obs).
+        self._score_counts: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------ #
     # Plan completion & evaluation
@@ -340,6 +345,31 @@ class Planner:
     # Search
     # ------------------------------------------------------------------ #
     def search(self) -> PlanResult:
+        with obs.span(
+            "planner.search",
+            model=self.profile.graph.name,
+            gbs=self.gbs,
+            devices=self.cluster.num_devices,
+        ) as sp:
+            result = self._search()
+            sp.set(
+                plan=result.plan.notation,
+                plans_evaluated=result.plans_evaluated,
+            )
+        if obs.enabled():
+            self._flush_obs(result)
+        return result
+
+    def _flush_obs(self, result: PlanResult) -> None:
+        """Publish search counters to the metrics registry (enabled only)."""
+        obs.counter("planner.states_expanded").inc(result.states_explored)
+        obs.counter("planner.plans_evaluated").inc(result.plans_evaluated)
+        obs.counter("planner.infeasible_plans").inc(result.infeasible_plans)
+        obs.counter("planner.topk_kept").inc(len(result.top_plans))
+        for (split, repl), cnt in sorted(self._score_counts.items()):
+            obs.counter("planner.scored", split=split, repl=repl).inc(cnt)
+
+    def _search(self) -> PlanResult:
         n = self.profile.num_layers
         g_total = self.cluster.num_devices
         zeros = tuple(0 for _ in range(self.cluster.num_machines))
@@ -373,9 +403,16 @@ class Planner:
             if self.config.use_fast_scan
             else None
         )
+        # Hoisted enabled-check: scoring-count bookkeeping touches the
+        # innermost loops, so the disabled path must skip it entirely.
+        track = obs.enabled()
 
         # Levels advance in j; dedupe on (sorted occupancy, gpus used).
         while frontier:
+            if track:
+                obs.histogram(
+                    "planner.frontier_size", buckets=(1, 4, 16, 64, 256, 1024)
+                ).observe(len(frontier))
             next_level: dict[tuple, _State] = {}
             for state in frontier:
                 states_explored += 1
@@ -397,6 +434,16 @@ class Planner:
                         )
                     if not rows or state.j + 1 >= n:
                         continue
+                    if track:
+                        per_repl: dict[int, int] = {}
+                        for placed in rows:
+                            r_count = len(placed.devices)
+                            per_repl[r_count] = per_repl.get(r_count, 0) + 1
+                        sc = self._score_counts
+                        for j2 in range(state.j + 1, n):
+                            for r_count, cnt in per_repl.items():
+                                key = (j2, r_count)
+                                sc[key] = sc.get(key, 0) + cnt
                     res = scanner.scan_completions(
                         state.j,
                         state.stages,
@@ -461,6 +508,9 @@ class Planner:
                             ):
                                 continue
                             lat = consider(self.complete(j2, placed.new_used, stages))
+                            if track:
+                                sc = self._score_counts
+                                sc[(j2, m2)] = sc.get((j2, m2), 0) + 1
                             if lat == float("inf"):
                                 continue
                             key = (j2, tuple(sorted(placed.new_used)), sum(placed.new_used))
@@ -469,6 +519,10 @@ class Planner:
                                 next_level[key] = _State(lat, j2, placed.new_used, stages)
             candidates = list(next_level.values())
             if self.config.beam_width is not None and len(candidates) > self.config.beam_width:
+                if track:
+                    obs.counter("planner.beam_pruned").inc(
+                        len(candidates) - self.config.beam_width
+                    )
                 candidates = heapq.nsmallest(self.config.beam_width, candidates)
             frontier = candidates
 

@@ -20,11 +20,13 @@ traces.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.faults.inject import FaultedExecution, execute_plan_faulted
 from repro.perf.sweep import sweep
 
@@ -152,18 +154,21 @@ def evaluate_seed(
     sim_engine: str | None = None,
 ) -> SeedOutcome:
     """Simulate ``plan`` under ``models`` at ``seed`` and summarize."""
-    run: FaultedExecution = execute_plan_faulted(
-        profile,
-        cluster,
-        plan,
-        models=models,
-        seed=seed,
-        schedule=schedule,
-        warmup_policy=warmup_policy,
-        recompute=recompute,
-        enforce_memory=enforce_memory,
-        sim_engine=sim_engine,
-    )
+    models = tuple(models)
+    with obs.span("faults.seed", seed=seed, models=len(models)) as sp:
+        run: FaultedExecution = execute_plan_faulted(
+            profile,
+            cluster,
+            plan,
+            models=models,
+            seed=seed,
+            schedule=schedule,
+            warmup_policy=warmup_policy,
+            recompute=recompute,
+            enforce_memory=enforce_memory,
+            sim_engine=sim_engine,
+        )
+        sp.set(makespan=run.result.iteration_time)
     bubbles = stage_bubble_fractions(run.result)
     sig = critical_path_stages(critical_path(run.graph, run.result.trace))
     return SeedOutcome(
@@ -231,6 +236,22 @@ class EnsembleReport:
         """Quantile makespan over the clean makespan (≥ 1 in practice)."""
         return self.quantile(q) / self.clean_makespan
 
+    def quantile_convergence(self, q: float = 0.95) -> np.ndarray:
+        """Running ``quantile(q)`` estimate over the first ``k`` seeds.
+
+        Entry ``k-1`` is the quantile of the first ``k`` makespans in seed
+        submission order; the final entry equals :meth:`quantile`.  The gap
+        between the last two entries says whether the ensemble was large
+        enough for the tail estimate to settle (exported as the
+        ``faults.quantile_convergence_delta`` gauge when observability is
+        on).
+        """
+        ms = self.makespans
+        return np.array(
+            [np.quantile(ms[: k + 1], q) for k in range(len(ms))],
+            dtype=np.float64,
+        )
+
     def bubble_attribution(self) -> list[BubbleRow]:
         """Per-stage idle-fraction inflation, mean over the ensemble."""
         rows = []
@@ -281,22 +302,48 @@ def run_ensemble(
     if not seeds:
         raise ValueError("ensemble needs at least one seed")
     models = tuple(models)
-    clean = evaluate_seed(
-        profile, cluster, plan, (), 0,
-        schedule=schedule, warmup_policy=warmup_policy, recompute=recompute,
-        enforce_memory=enforce_memory, sim_engine=sim_engine,
-    )
-    tasks = [
-        (
-            profile, cluster, plan, models, s,
-            schedule, warmup_policy, recompute, enforce_memory, sim_engine,
+    track = obs.enabled()
+    t_start = time.perf_counter() if track else 0.0
+    with obs.span(
+        "faults.run_ensemble", plan=plan.notation, seeds=len(seeds)
+    ):
+        clean = evaluate_seed(
+            profile, cluster, plan, (), 0,
+            schedule=schedule, warmup_policy=warmup_policy, recompute=recompute,
+            enforce_memory=enforce_memory, sim_engine=sim_engine,
         )
-        for s in seeds
-    ]
-    outcomes = sweep(evaluate_seed, tasks, jobs=jobs)
-    return EnsembleReport(
+        tasks = [
+            (
+                profile, cluster, plan, models, s,
+                schedule, warmup_policy, recompute, enforce_memory, sim_engine,
+            )
+            for s in seeds
+        ]
+        outcomes = sweep(evaluate_seed, tasks, jobs=jobs)
+    report = EnsembleReport(
         plan_notation=plan.notation,
         clean=clean,
         outcomes=tuple(outcomes),
         makespans=np.array([o.makespan for o in outcomes], dtype=np.float64),
     )
+    if track:
+        _record_ensemble_metrics(report, time.perf_counter() - t_start)
+    return report
+
+
+def _record_ensemble_metrics(report: EnsembleReport, elapsed: float) -> None:
+    """Publish ensemble timing, slowdown spread, and tail convergence."""
+    plan = report.plan_notation
+    obs.gauge("faults.ensemble_seconds", plan=plan).set(elapsed)
+    obs.counter("faults.seeds_evaluated").inc(len(report.outcomes))
+    hist = obs.histogram(
+        "faults.seed_slowdown",
+        buckets=(1.0, 1.02, 1.05, 1.1, 1.25, 1.5, 2.0, 4.0),
+    )
+    clean_ms = report.clean_makespan
+    if clean_ms > 0:
+        for o in report.outcomes:
+            hist.observe(o.makespan / clean_ms)
+    conv = report.quantile_convergence(0.95)
+    delta = abs(float(conv[-1]) - float(conv[-2])) if len(conv) >= 2 else 0.0
+    obs.gauge("faults.quantile_convergence_delta", plan=plan).set(delta)

@@ -1,0 +1,190 @@
+"""Unified observability layer: span tracing, metrics, explainability.
+
+One switchboard for the repo's three heavy layers (planner, simulator,
+faults), all zero-dependency:
+
+* **Spans** (:mod:`repro.obs.tracer`) — nested wall-clock intervals with
+  attributes and a deterministic monotonic counter;
+* **Metrics** (:mod:`repro.obs.metrics`) — counters, gauges, fixed-bucket
+  histograms with percentile estimates;
+* **Sinks** (:mod:`repro.obs.sinks`) — JSONL event log (schema in
+  :mod:`repro.obs.schema`), console summary tables, and a Chrome/Perfetto
+  exporter that unifies wall-clock spans with simulated-time op slices;
+* **Explainability** (:mod:`repro.obs.explain`) — ``explain_plan()``
+  decomposes a winning plan's ``Tw/Ts/Te`` per stage vs. its runners-up.
+
+Usage::
+
+    import repro.obs as obs
+
+    obs.enable()
+    with obs.span("my.phase", model="bert48"):
+        ...
+    obs.counter("my.events").inc()
+    print(obs.summary())          # console tables
+    obs.export_jsonl("run.jsonl") # machine-readable log
+
+**Disabled is the default and costs ~nothing**: :func:`span` returns a
+shared no-op context manager and :func:`counter`/:func:`gauge`/
+:func:`histogram` return shared no-op metrics, so instrumentation points
+stay in place permanently without taxing the hot paths
+(``tests/perf/test_obs_overhead.py`` enforces the <2% budget on the
+simulator benchmark).  Hot loops may additionally hoist one
+:func:`enabled` check to skip even the no-op calls.
+
+State is process-global (one tracer + one registry), matching the CLI's
+"one command = one instrumented run" model; :func:`reset` wipes it for
+in-process reuse (tests, notebooks).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NOOP_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "metric",
+    "tracer",
+    "registry",
+    "summary",
+    "export_jsonl",
+    "export_chrome",
+    "explain_plan",
+    "Tracer",
+    "SpanRecord",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "NOOP_SPAN",
+]
+
+_enabled: bool = False
+_tracer: Tracer = Tracer()
+_registry: MetricsRegistry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """Is observability collection on?"""
+    return _enabled
+
+
+def enable(reset_state: bool = False) -> None:
+    """Turn span/metric collection on (optionally from a clean slate)."""
+    global _enabled
+    if reset_state:
+        reset()
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn collection off; recorded data stays readable until reset()."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Discard all recorded spans and metrics (fresh tracer + registry)."""
+    global _tracer, _registry
+    _tracer = Tracer()
+    _registry = MetricsRegistry()
+
+
+def tracer() -> Tracer:
+    """The process-global tracer."""
+    return _tracer
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry
+
+
+def span(name: str, **attrs):
+    """Open a wall-clock span (no-op singleton while disabled)."""
+    if not _enabled:
+        return NOOP_SPAN
+    return _tracer.span(name, **attrs)
+
+
+def counter(name: str, **labels):
+    """Get-or-create a counter (no-op while disabled)."""
+    if not _enabled:
+        return NOOP_COUNTER
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels):
+    """Get-or-create a gauge (no-op while disabled)."""
+    if not _enabled:
+        return NOOP_GAUGE
+    return _registry.gauge(name, **labels)
+
+
+def histogram(name: str, buckets=DEFAULT_BUCKETS, **labels):
+    """Get-or-create a histogram (no-op while disabled)."""
+    if not _enabled:
+        return NOOP_HISTOGRAM
+    return _registry.histogram(name, buckets=buckets, **labels)
+
+
+def metric(name: str, kind: str = "counter", **labels):
+    """Generic accessor: ``kind`` in {"counter", "gauge", "histogram"}."""
+    if kind == "counter":
+        return counter(name, **labels)
+    if kind == "gauge":
+        return gauge(name, **labels)
+    if kind == "histogram":
+        return histogram(name, **labels)
+    raise ValueError(f"unknown metric kind {kind!r}")
+
+
+def summary() -> str:
+    """Console rollup of recorded spans and metrics."""
+    from repro.obs.sinks import console_summary
+
+    return console_summary(_tracer, _registry)
+
+
+def export_jsonl(path, include_wall: bool = True):
+    """Write the JSONL event log; see :func:`repro.obs.sinks.write_jsonl`."""
+    from repro.obs.sinks import write_jsonl
+
+    return write_jsonl(path, _tracer, _registry, include_wall=include_wall)
+
+
+def export_chrome(path, sim_trace=None):
+    """Write a Perfetto trace; see :func:`repro.obs.sinks.export_chrome`."""
+    from repro.obs.sinks import export_chrome as _export
+
+    return _export(path, _tracer, sim_trace=sim_trace)
+
+
+def __getattr__(name: str):
+    # explain_plan pulls in repro.core; loaded lazily so that importing
+    # repro.obs from inside repro.core (planner instrumentation) can never
+    # form an import cycle.
+    if name in ("explain_plan", "PlanExplanation", "PlanBreakdown",
+                "StageRow", "breakdown_plan"):
+        from repro.obs import explain
+
+        return getattr(explain, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

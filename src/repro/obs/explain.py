@@ -1,0 +1,260 @@
+"""Plan explainability: decompose *why* a plan won the planner search.
+
+The planner reports one scalar per candidate — the analytical latency
+``L = Tw + Ts + Te`` (paper eq. 1–2).  :func:`explain_plan` re-derives that
+scalar as an auditable per-stage table over the plan's *extended stages*
+(computation stages interleaved with communication pseudo-stages, exactly
+the structure :func:`repro.core.latency.stage_costs` scores):
+
+* ``Tw`` (warm-up) is attributed to every extended stage up to and
+  including the pivot ``Q`` — one forward traversal, so stage ``s``
+  contributes ``F_s``;
+* ``Ts`` (steady) belongs to the pivot alone: ``(M−1)(F_Q + B_Q)``;
+* ``Te`` (ending) is a max over per-stage drain terms
+  ``AR_s ± Σ B`` — each stage's term is reported, and the argmax is the
+  stage that gates the tail.
+
+Because the decomposition reuses the same prefix sums (and the same
+summation order) as :func:`repro.core.latency.evaluate_plan`, the column
+sums reproduce the winner's ``Tw``/``Ts``/``Te`` bit-for-bit —
+:meth:`PlanBreakdown.verify` asserts exactly that, and the tier-1 test
+``tests/obs/test_explain.py`` runs it against live planner output.
+
+Runner-up plans (``PlannerConfig.keep_top_k``) get the same breakdown, so
+"why did the winner beat plan #2" reads directly off the two tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.latency import (
+    PlanEstimate,
+    _running_prefix,
+    evaluate_plan,
+    stage_costs,
+)
+
+__all__ = ["StageRow", "PlanBreakdown", "PlanExplanation", "explain_plan"]
+
+
+@dataclass(frozen=True)
+class StageRow:
+    """One extended stage's contribution to ``L = Tw + Ts + Te``."""
+
+    ext_index: int
+    #: ``"comp"`` for a computation stage, ``"comm"`` for the transfer
+    #: pseudo-stage between two computation stages.
+    kind: str
+    #: Plan stage index for comp rows, ``None`` for comm rows.
+    stage: int | None
+    #: ``(layer_lo, layer_hi)`` for comp rows.
+    layers: tuple | None
+    replicas: int | None
+    fwd: float
+    bwd: float
+    allreduce: float
+    #: This stage's share of the warm-up phase (``F_s`` for ``s <= Q``).
+    warmup_contrib: float
+    #: ``(M−1)(F_Q+B_Q)`` on the pivot row, 0 elsewhere.
+    steady_contrib: float
+    #: This stage's ending-drain term ``AR_s ± Σ B``; ``Te`` is the max.
+    ending_term: float
+    is_pivot: bool
+    #: True on the row whose ending term equals ``Te``.
+    gates_ending: bool
+
+
+@dataclass(frozen=True)
+class PlanBreakdown:
+    """Per-stage decomposition of one plan's analytical latency."""
+
+    notation: str
+    split_notation: str
+    num_micro_batches: int
+    estimate: PlanEstimate
+    rows: tuple
+    #: ``"pipeline"``, ``"dp-overlap"`` (single replicated stage with
+    #: backward/AllReduce overlap), or ``"interleaved"``.
+    mode: str
+
+    @property
+    def latency(self) -> float:
+        return self.estimate.latency
+
+    @property
+    def warmup(self) -> float:
+        return self.estimate.warmup
+
+    @property
+    def steady(self) -> float:
+        return self.estimate.steady
+
+    @property
+    def ending(self) -> float:
+        return self.estimate.ending
+
+    @property
+    def pivot(self) -> int:
+        return self.estimate.pivot
+
+    def verify(self) -> None:
+        """Assert the rows reproduce ``Tw``/``Ts``/``Te`` exactly.
+
+        Warm-up is re-summed with the same left-to-right prefix order the
+        latency model uses, so the comparison is bit-exact, not approximate.
+        """
+        warmup = _running_prefix([r.warmup_contrib for r in self.rows])[-1]
+        assert warmup == self.estimate.warmup, (
+            f"warmup decomposition {warmup} != estimate {self.estimate.warmup}"
+        )
+        steady = sum(r.steady_contrib for r in self.rows)
+        assert steady == self.estimate.steady, (
+            f"steady decomposition {steady} != estimate {self.estimate.steady}"
+        )
+        ending = max(r.ending_term for r in self.rows)
+        assert ending == self.estimate.ending, (
+            f"ending decomposition {ending} != estimate {self.estimate.ending}"
+        )
+        total = self.estimate.warmup + self.estimate.steady + self.estimate.ending
+        assert total == self.estimate.latency, (
+            f"Tw+Ts+Te {total} != latency {self.estimate.latency}"
+        )
+
+
+def breakdown_plan(profile, cluster, plan) -> PlanBreakdown:
+    """Decompose one plan; see module docstring for the attribution rules."""
+    est = evaluate_plan(profile, cluster, plan)
+    costs = stage_costs(profile, cluster, plan)
+    q = est.pivot
+    m1 = max(plan.num_micro_batches - 1, 0)
+    bc = _running_prefix(costs.bwd)
+
+    # Mirrors the evaluate_plan() dispatch: a single replicated stage is
+    # scored with backward/AllReduce overlap (dp_overlap defaults True).
+    dp_overlap = plan.num_stages == 1 and plan.stages[0].replicas > 1
+    mode = "pipeline"
+    if plan.meta.get("interleaved"):
+        mode = "interleaved"
+    elif dp_overlap:
+        mode = "dp-overlap"
+
+    rows = []
+    for s in range(costs.num_extended):
+        if mode == "dp-overlap":
+            # Single-stage DP with backward/AllReduce overlap: the ending
+            # term is B + exposed-AR (one term, no max over stages).
+            ending_term = est.ending
+        elif s <= q:
+            ending_term = costs.allreduce[s] + (bc[q + 1] - bc[s])
+        else:
+            ending_term = costs.allreduce[s] - (bc[s] - bc[q])
+        i = costs.comp_index[s]
+        stage = plan.stages[i] if i is not None else None
+        rows.append(StageRow(
+            ext_index=s,
+            kind="comp" if i is not None else "comm",
+            stage=i,
+            layers=(stage.layer_lo, stage.layer_hi) if stage else None,
+            replicas=stage.replicas if stage else None,
+            fwd=costs.fwd[s],
+            bwd=costs.bwd[s],
+            allreduce=costs.allreduce[s],
+            warmup_contrib=costs.fwd[s] if s <= q else 0.0,
+            steady_contrib=est.steady if s == q else 0.0,
+            ending_term=ending_term,
+            is_pivot=s == q,
+            gates_ending=ending_term == est.ending,
+        ))
+    bd = PlanBreakdown(
+        notation=plan.notation,
+        split_notation=plan.split_notation,
+        num_micro_batches=plan.num_micro_batches,
+        estimate=est,
+        rows=tuple(rows),
+        mode=mode,
+    )
+    bd.verify()
+    return bd
+
+
+@dataclass(frozen=True)
+class PlanExplanation:
+    """Winner breakdown plus runner-up breakdowns for comparison."""
+
+    winner: PlanBreakdown
+    runners_up: tuple = field(default=())
+
+    def report(self) -> str:
+        """Render the explanation as aligned ASCII tables."""
+        from repro.experiments.reporting import format_table
+
+        w = self.winner
+        est = w.estimate
+        blocks = [
+            f"winner: {w.notation} (layers {w.split_notation}, "
+            f"M={w.num_micro_batches}, mode={w.mode})\n"
+            f"L = Tw + Ts + Te = {est.warmup * 1e3:.2f} + "
+            f"{est.steady * 1e3:.2f} + {est.ending * 1e3:.2f} "
+            f"= {est.latency * 1e3:.2f} ms (pivot: extended stage {est.pivot})"
+        ]
+        rows = []
+        for r in w.rows:
+            label = f"s{r.stage}" if r.kind == "comp" else "comm"
+            layers = f"[{r.layers[0]},{r.layers[1]})" if r.layers else "-"
+            rows.append([
+                r.ext_index, label, layers,
+                r.replicas if r.replicas is not None else "-",
+                f"{r.fwd * 1e3:.2f}", f"{r.bwd * 1e3:.2f}",
+                f"{r.allreduce * 1e3:.2f}",
+                f"{r.warmup_contrib * 1e3:.2f}",
+                f"{r.steady_contrib * 1e3:.2f}",
+                f"{r.ending_term * 1e3:.2f}",
+                ("Q" if r.is_pivot else "") + ("E" if r.gates_ending else ""),
+            ])
+        blocks.append(format_table(
+            ["ext", "stage", "layers", "repl", "F(ms)", "B(ms)", "AR(ms)",
+             "Tw part", "Ts part", "Te term", "gates"],
+            rows,
+            title="per-extended-stage decomposition "
+            "(Q = pivot, E = gates the ending phase)",
+        ))
+        if self.runners_up:
+            rows = []
+            for ru in self.runners_up:
+                e = ru.estimate
+                rows.append([
+                    ru.notation, ru.split_notation, ru.num_micro_batches,
+                    f"{e.latency * 1e3:.2f}",
+                    f"{(e.latency - est.latency) / est.latency * 100:+.1f}%",
+                    f"{e.warmup * 1e3:.2f}", f"{e.steady * 1e3:.2f}",
+                    f"{e.ending * 1e3:.2f}",
+                ])
+            blocks.append(format_table(
+                ["plan", "layers", "M", "L(ms)", "vs winner",
+                 "Tw(ms)", "Ts(ms)", "Te(ms)"],
+                rows, title="runners-up",
+            ))
+        return "\n\n".join(blocks)
+
+
+def explain_plan(profile, cluster, result) -> PlanExplanation:
+    """Explain a planner outcome.
+
+    ``result`` is a :class:`~repro.core.planner.PlanResult` (runner-up
+    breakdowns come from its ``top_plans``, populated with
+    ``PlannerConfig.keep_top_k > 0``) or a bare
+    :class:`~repro.core.plan.ParallelPlan` (winner breakdown only).
+    """
+    plan = getattr(result, "plan", result)
+    winner = breakdown_plan(profile, cluster, plan)
+    runners = []
+    for _lat, cand in getattr(result, "top_plans", ()) or ():
+        if (
+            cand.notation == plan.notation
+            and cand.split_notation == plan.split_notation
+            and cand.num_micro_batches == plan.num_micro_batches
+        ):
+            continue
+        runners.append(breakdown_plan(profile, cluster, cand))
+    return PlanExplanation(winner=winner, runners_up=tuple(runners))

@@ -1,0 +1,209 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Prometheus-flavoured but dependency-free.  A metric is identified by a name
+plus a frozen label set (``counter("planner.scored", split=12, repl=4)``);
+the registry interns one instance per identity, so repeated lookups are one
+dict hit.  Histograms use *fixed bucket bounds* and estimate percentiles by
+linear interpolation inside the winning bucket — O(buckets) per query, O(1)
+per observation, bounded memory regardless of sample count.
+
+When observability is disabled, :func:`repro.obs.counter` & friends return
+the shared no-op instances below, so instrumented code never needs its own
+enabled-check for correctness (only hot loops should hoist one for speed).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+]
+
+#: Default histogram bounds: a 1-2-5 ladder from 1 µs to 1000 s.  Wide
+#: enough for wall-clock seconds and for dimensionless counts alike.
+DEFAULT_BUCKETS = tuple(
+    m * 10.0 ** e for e in range(-6, 4) for m in (1.0, 2.0, 5.0)
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, v) -> None:
+        self.value = float(v)
+
+    def add(self, v) -> None:
+        self.value += float(v)
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated percentile estimates.
+
+    ``bounds`` are upper bucket edges; observations fall in the first bucket
+    whose edge is >= the value, with one implicit overflow bucket at the
+    end.  :meth:`percentile` walks the cumulative counts to the target rank
+    and interpolates linearly between the bucket's edges (clamped to the
+    observed min/max, so estimates never leave the data's range).
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "sum",
+                 "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple = (), buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, v) -> None:
+        v = float(v)
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-quantile (``0 <= p <= 1``); 0.0 when empty."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile wants 0..1, got {p}")
+        if not self.count:
+            return 0.0
+        target = p * self.count
+        cum = 0.0
+        for i, c in enumerate(self.counts):
+            if not c:
+                continue
+            lo = self.bounds[i - 1] if i > 0 else self.min
+            hi = self.bounds[i] if i < len(self.bounds) else self.max
+            if cum + c >= target:
+                frac = (target - cum) / c
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                return lo + (hi - lo) * max(0.0, min(1.0, frac))
+            cum += c
+        return self.max  # pragma: no cover - unreachable (cum == count)
+
+
+class _NoopMetric:
+    """Shared sink for metric calls while observability is disabled."""
+
+    __slots__ = ()
+    kind = "noop"
+    name = "<noop>"
+    labels = ()
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, n=1) -> None:
+        pass
+
+    def set(self, v) -> None:
+        pass
+
+    def add(self, v) -> None:
+        pass
+
+    def observe(self, v) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+
+NOOP_COUNTER = NOOP_GAUGE = NOOP_HISTOGRAM = _NoopMetric()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Interns metrics by ``(kind, name, labels)``; thread-safe creation."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return name, tuple(sorted(labels.items()))
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = self._key(name, labels)
+        m = self._metrics.get(key)
+        if m is None:
+            with self._lock:
+                m = self._metrics.get(key)
+                if m is None:
+                    m = cls(name, key[1], **kwargs)
+                    self._metrics[key] = m
+        if not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])} already registered as "
+                f"{m.kind}, not {cls.kind}"
+            )
+        return m
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def snapshot(self) -> list:
+        """All metrics, sorted by (name, labels) for deterministic output."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -1,0 +1,149 @@
+"""Schema for the JSONL observability event log (and its validator).
+
+One JSON object per line.  Line 1 is a ``meta`` header; every following
+line is a ``span``, ``counter``, ``gauge``, or ``histogram`` record.  The
+schema is expressed as a field table (name → allowed types, required?) and
+validated by :func:`validate_event` — dependency-free on purpose, but the
+table mirrors what a JSON-Schema ``properties``/``required`` pair would
+say, so external consumers can transcribe it mechanically.
+
+Wall-clock fields (``t0``/``t1``/``dur``/``pid``/``tid``, ``epoch``) are
+nullable: deterministic exports (``include_wall=False``) null them out so
+repeated runs diff cleanly while still validating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Schema version written into (and expected from) the ``meta`` header.
+SCHEMA_VERSION = 1
+
+_NUM = (int, float)
+_OPT_NUM = (int, float, type(None))
+_OPT_INT = (int, type(None))
+
+#: record type -> {field: (allowed python types, required)}
+FIELDS: dict[str, dict[str, tuple[tuple, bool]]] = {
+    "meta": {
+        "type": ((str,), True),
+        "version": ((int,), True),
+        "tool": ((str,), True),
+        "epoch": (_OPT_NUM, True),
+    },
+    "span": {
+        "type": ((str,), True),
+        "name": ((str,), True),
+        "seq": ((int,), True),
+        "span_id": ((int,), True),
+        "parent_id": (_OPT_INT, True),
+        "t0": (_OPT_NUM, True),
+        "t1": (_OPT_NUM, True),
+        "dur": (_OPT_NUM, True),
+        "pid": (_OPT_INT, True),
+        "tid": (_OPT_INT, True),
+        "attrs": ((dict,), True),
+    },
+    "counter": {
+        "type": ((str,), True),
+        "name": ((str,), True),
+        "labels": ((dict,), True),
+        "value": (_NUM, True),
+    },
+    "gauge": {
+        "type": ((str,), True),
+        "name": ((str,), True),
+        "labels": ((dict,), True),
+        "value": (_NUM, True),
+    },
+    "histogram": {
+        "type": ((str,), True),
+        "name": ((str,), True),
+        "labels": ((dict,), True),
+        "count": ((int,), True),
+        "sum": (_NUM, True),
+        "min": (_OPT_NUM, True),
+        "max": (_OPT_NUM, True),
+        "buckets": ((list,), True),
+        "p50": (_OPT_NUM, True),
+        "p95": (_OPT_NUM, True),
+        "p99": (_OPT_NUM, True),
+    },
+}
+
+
+class SchemaError(ValueError):
+    """A JSONL record does not conform to the observability schema."""
+
+
+def validate_event(obj) -> None:
+    """Raise :class:`SchemaError` unless ``obj`` is a valid record."""
+    if not isinstance(obj, dict):
+        raise SchemaError(f"record must be an object, got {type(obj).__name__}")
+    rtype = obj.get("type")
+    spec = FIELDS.get(rtype)
+    if spec is None:
+        raise SchemaError(
+            f"unknown record type {rtype!r} (one of {sorted(FIELDS)})"
+        )
+    for field, (types, required) in spec.items():
+        if field not in obj:
+            if required:
+                raise SchemaError(f"{rtype} record missing field {field!r}")
+            continue
+        v = obj[field]
+        # bool is an int subclass; never a valid numeric field here.
+        if isinstance(v, bool) or not isinstance(v, types):
+            raise SchemaError(
+                f"{rtype}.{field} has type {type(v).__name__}, "
+                f"expected one of {tuple(t.__name__ for t in types)}"
+            )
+    extra = set(obj) - set(spec)
+    if extra:
+        raise SchemaError(f"{rtype} record has unknown fields {sorted(extra)}")
+    if rtype == "meta" and obj["version"] != SCHEMA_VERSION:
+        raise SchemaError(
+            f"schema version {obj['version']} != supported {SCHEMA_VERSION}"
+        )
+    if rtype == "span" and obj["t0"] is not None and obj["t1"] is not None:
+        if obj["t1"] < obj["t0"]:
+            raise SchemaError(f"span {obj['name']!r} ends before it starts")
+    if rtype == "histogram":
+        for pair in obj["buckets"]:
+            if (
+                not isinstance(pair, list)
+                or len(pair) != 2
+                or not isinstance(pair[0], (*_NUM, type(None)))
+                or not isinstance(pair[1], int)
+            ):
+                raise SchemaError(
+                    "histogram buckets must be [upper_bound|null, count] pairs"
+                )
+
+
+def validate_jsonl(path) -> int:
+    """Validate every line of a JSONL export; returns the record count.
+
+    The first record must be the ``meta`` header.
+    """
+    count = 0
+    with open(Path(path)) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SchemaError(f"{path}:{lineno}: not JSON ({e})") from e
+            try:
+                validate_event(obj)
+            except SchemaError as e:
+                raise SchemaError(f"{path}:{lineno}: {e}") from e
+            if count == 0 and obj.get("type") != "meta":
+                raise SchemaError(f"{path}:1: first record must be 'meta'")
+            count += 1
+    if count == 0:
+        raise SchemaError(f"{path}: empty event log")
+    return count

@@ -1,0 +1,226 @@
+"""Observability sinks: JSONL event log, console summary, Perfetto export.
+
+Three ways to get data out of the tracer/metrics registry:
+
+* :func:`write_jsonl` — one self-describing JSON object per line (schema in
+  :mod:`repro.obs.schema`), machine-readable, suitable for diffing across
+  runs with ``include_wall=False``;
+* :func:`console_summary` — two aligned ASCII tables (span rollup by total
+  wall time, then metrics) for ``repro <cmd> --metrics``;
+* :func:`export_chrome` — a Chrome/Perfetto trace-event JSON that can
+  *unify* wall-clock instrumentation spans with a simulated-time op trace:
+  pid 0 carries the simulated slices (via
+  :func:`repro.sim.chrome_trace.trace_to_events`), pid 1 carries the
+  instrumentation spans, so one file shows both time domains side by side
+  in https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.schema import SCHEMA_VERSION
+
+__all__ = [
+    "write_jsonl",
+    "console_summary",
+    "spans_to_chrome_events",
+    "export_chrome",
+]
+
+
+def _defaults(tracer, registry):
+    import repro.obs as obs
+
+    return tracer if tracer is not None else obs.tracer(), (
+        registry if registry is not None else obs.registry()
+    )
+
+
+# --------------------------------------------------------------------- #
+# JSONL
+# --------------------------------------------------------------------- #
+def _span_record(rec, include_wall: bool) -> dict:
+    return {
+        "type": "span",
+        "name": rec.name,
+        "seq": rec.seq,
+        "span_id": rec.span_id,
+        "parent_id": rec.parent_id,
+        "t0": rec.t0 if include_wall else None,
+        "t1": rec.t1 if include_wall else None,
+        "dur": rec.t1 - rec.t0 if include_wall else None,
+        "pid": rec.pid if include_wall else None,
+        "tid": rec.tid if include_wall else None,
+        "attrs": dict(rec.attrs),
+    }
+
+
+def _metric_record(m) -> dict:
+    labels = dict(m.labels)
+    if m.kind in ("counter", "gauge"):
+        return {"type": m.kind, "name": m.name, "labels": labels,
+                "value": m.value}
+    buckets = [[b, c] for b, c in zip(m.bounds, m.counts)]
+    buckets.append([None, m.counts[-1]])  # +inf overflow bucket
+    return {
+        "type": "histogram",
+        "name": m.name,
+        "labels": labels,
+        "count": m.count,
+        "sum": m.sum,
+        "min": m.min,
+        "max": m.max,
+        "buckets": buckets,
+        "p50": m.percentile(0.50) if m.count else None,
+        "p95": m.percentile(0.95) if m.count else None,
+        "p99": m.percentile(0.99) if m.count else None,
+    }
+
+
+def write_jsonl(
+    path,
+    tracer=None,
+    registry=None,
+    include_wall: bool = True,
+) -> Path:
+    """Write spans then metrics as JSONL; returns the path written.
+
+    Spans are emitted in ``seq`` (start) order and metrics in sorted
+    ``(name, labels)`` order, so with ``include_wall=False`` the output of
+    two identical runs is byte-identical.
+    """
+    tracer, registry = _defaults(tracer, registry)
+    path = Path(path)
+    with open(path, "w") as fh:
+        header = {
+            "type": "meta",
+            "version": SCHEMA_VERSION,
+            "tool": "repro.obs",
+            "epoch": tracer.epoch if include_wall else None,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for rec in sorted(tracer.spans(), key=lambda r: r.seq):
+            fh.write(json.dumps(_span_record(rec, include_wall)) + "\n")
+        for m in registry.snapshot():
+            fh.write(json.dumps(_metric_record(m)) + "\n")
+    return path
+
+
+# --------------------------------------------------------------------- #
+# Console summary
+# --------------------------------------------------------------------- #
+def _fmt_value(m) -> str:
+    if m.kind == "counter":
+        return str(m.value)
+    if m.kind == "gauge":
+        return f"{m.value:.6g}"
+    if not m.count:
+        return "n=0"
+    return (f"n={m.count} mean={m.mean:.4g} "
+            f"p50={m.percentile(0.5):.4g} p95={m.percentile(0.95):.4g} "
+            f"max={m.max:.4g}")
+
+
+def console_summary(tracer=None, registry=None) -> str:
+    """Human-readable rollup of spans and metrics as two ASCII tables."""
+    from repro.experiments.reporting import format_table
+
+    tracer, registry = _defaults(tracer, registry)
+    blocks = []
+    agg = tracer.aggregate()
+    if agg:
+        rows = [
+            [r["name"], r["count"], f"{r['total'] * 1e3:.1f}ms",
+             f"{r['mean'] * 1e3:.2f}ms", f"{r['max'] * 1e3:.2f}ms"]
+            for r in agg
+        ]
+        blocks.append(format_table(
+            ["span", "count", "total", "mean", "max"], rows,
+            title="Instrumentation spans (wall clock)",
+        ))
+    metrics = registry.snapshot()
+    if metrics:
+        rows = [
+            [m.name,
+             ",".join(f"{k}={v}" for k, v in m.labels) or "-",
+             m.kind, _fmt_value(m)]
+            for m in metrics
+        ]
+        blocks.append(format_table(
+            ["metric", "labels", "kind", "value"], rows, title="Metrics",
+        ))
+    if not blocks:
+        return "observability: no spans or metrics recorded"
+    return "\n\n".join(blocks)
+
+
+# --------------------------------------------------------------------- #
+# Chrome / Perfetto
+# --------------------------------------------------------------------- #
+#: Process ids in the unified export: simulated-time op slices vs
+#: wall-clock instrumentation spans.
+SIM_PID = 0
+OBS_PID = 1
+
+
+def spans_to_chrome_events(tracer=None, pid: int = OBS_PID,
+                           time_scale: float = 1e6) -> list[dict]:
+    """Finished spans as Chrome 'X' events (one row per OS thread)."""
+    tracer, _ = _defaults(tracer, None)
+    spans = sorted(tracer.spans(), key=lambda r: r.seq)
+    tid_of: dict[int, int] = {}
+    events: list[dict] = []
+    for rec in spans:
+        tid = tid_of.get(rec.tid)
+        if tid is None:
+            tid = tid_of[rec.tid] = len(tid_of)
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": f"thread-{tid}"},
+            })
+        attrs = {k: str(v) for k, v in rec.attrs.items()}
+        attrs["seq"] = str(rec.seq)
+        events.append({
+            "name": rec.name,
+            "cat": "obs",
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": rec.t0 * time_scale,
+            "dur": max((rec.t1 - rec.t0) * time_scale, 0.01),
+            "args": attrs,
+        })
+    return events
+
+
+def export_chrome(path, tracer=None, sim_trace=None,
+                  time_scale: float = 1e6) -> Path:
+    """Write a Perfetto-loadable trace of spans (and, optionally, sim ops).
+
+    With ``sim_trace`` given, the file unifies both time domains: pid
+    ``SIM_PID`` shows the simulated iteration (identical rows to
+    :func:`repro.sim.chrome_trace.export_chrome_trace`), pid ``OBS_PID``
+    the wall-clock instrumentation spans.  The two axes share the viewer's
+    microsecond timeline but measure different clocks — the point is
+    side-by-side structure, not alignment.
+    """
+    events: list[dict] = []
+    if sim_trace is not None:
+        from repro.sim.chrome_trace import trace_to_events
+
+        events.append({
+            "name": "process_name", "ph": "M", "pid": SIM_PID,
+            "args": {"name": "simulated time (op slices)"},
+        })
+        events.extend(trace_to_events(sim_trace, time_scale=time_scale))
+    events.append({
+        "name": "process_name", "ph": "M", "pid": OBS_PID,
+        "args": {"name": "instrumentation (wall clock)"},
+    })
+    events.extend(spans_to_chrome_events(tracer, time_scale=time_scale))
+    path = Path(path)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload))
+    return path

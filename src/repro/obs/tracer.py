@@ -1,0 +1,183 @@
+"""Span-based wall-clock tracer with a no-op fast path.
+
+A *span* is a named, attributed interval of real (wall-clock) time — "this
+planner search took 120 ms", "this simulator run took 40 ms" — as opposed to
+the *simulated* time recorded in :class:`repro.sim.trace.Trace`.  Spans nest:
+each span remembers its parent (the innermost open span on the same thread),
+so exports reconstruct the call tree of an instrumented run.
+
+Determinism: every span carries a **monotonic counter** (``seq``, assigned at
+span *start* from a process-wide counter) alongside its wall-clock
+timestamps.  Exports keyed on ``seq`` (see
+:func:`repro.obs.sinks.write_jsonl` with ``include_wall=False``) are
+byte-identical across repeated runs of a deterministic program, which lets
+tests diff trace files directly.
+
+Overhead: when tracing is disabled (the default), :func:`repro.obs.span`
+returns one shared :data:`NOOP_SPAN` object whose ``__enter__``/``__exit__``
+do nothing — a single global-flag check plus one attribute lookup, so
+instrumented hot paths pay ~nothing (guarded by
+``tests/perf/test_obs_overhead.py``).
+
+Thread/process safety: span ids come from :class:`itertools.count` (atomic
+under CPython's GIL); the per-thread open-span stack lives in
+``threading.local``; finished spans are appended under a lock.  Spans opened
+in forked worker processes land in the *child's* tracer copy and are not
+merged back — instrument at the fan-out call site instead (see
+:func:`repro.perf.sweep.sweep`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+
+class SpanRecord:
+    """One finished span: identity, interval, attributes."""
+
+    __slots__ = ("name", "seq", "span_id", "parent_id", "t0", "t1",
+                 "attrs", "pid", "tid")
+
+    def __init__(self, name, seq, span_id, parent_id, t0, t1, attrs, pid, tid):
+        self.name = name
+        #: Monotonic start counter — the deterministic ordering key.
+        self.seq = seq
+        self.span_id = span_id
+        self.parent_id = parent_id
+        #: Wall-clock start/end, seconds relative to the tracer's origin.
+        self.t0 = t0
+        self.t1 = t1
+        self.attrs = attrs
+        self.pid = pid
+        self.tid = tid
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanRecord({self.name!r}, seq={self.seq}, "
+                f"dur={self.duration * 1e3:.3f}ms, attrs={self.attrs})")
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+#: The singleton no-op span; identity-comparable in tests.
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager for one open span of a :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "name", "seq", "span_id", "parent_id", "t0",
+                 "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.seq = self.span_id = self.parent_id = -1
+        self.t0 = 0.0
+
+    def set(self, **attrs) -> "_ActiveSpan":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        tr = self._tracer
+        self.seq = self.span_id = next(tr._counter)
+        stack = tr._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self.t0 = time.perf_counter() - tr.origin
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        tr = self._tracer
+        t1 = time.perf_counter() - tr.origin
+        stack = tr._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        rec = SpanRecord(
+            name=self.name,
+            seq=self.seq,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            t0=self.t0,
+            t1=t1,
+            attrs=self.attrs,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+        )
+        with tr._lock:
+            tr._finished.append(rec)
+        return False
+
+
+class Tracer:
+    """Collects finished :class:`SpanRecord` rows for one instrumented run."""
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        #: Unix epoch of the origin, for cross-referencing external logs.
+        self.epoch = time.time()
+        self._counter = itertools.count()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: list[SpanRecord] = []
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        return _ActiveSpan(self, name, attrs)
+
+    def spans(self) -> list[SpanRecord]:
+        """Finished spans in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def aggregate(self) -> list[dict]:
+        """Per-name rollup: count, total/mean/max duration, sorted by total.
+
+        The console sink renders this as the "where did wall time go" table.
+        """
+        agg: dict[str, list] = {}
+        for rec in self.spans():
+            row = agg.get(rec.name)
+            if row is None:
+                agg[rec.name] = [1, rec.duration, rec.duration]
+            else:
+                row[0] += 1
+                row[1] += rec.duration
+                row[2] = max(row[2], rec.duration)
+        out = [
+            {"name": name, "count": c, "total": tot, "mean": tot / c, "max": mx}
+            for name, (c, tot, mx) in agg.items()
+        ]
+        out.sort(key=lambda r: (-r["total"], r["name"]))
+        return out

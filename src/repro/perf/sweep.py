@@ -24,6 +24,8 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Iterable, Sequence
 
+import repro.obs as obs
+
 __all__ = ["default_jobs", "sweep"]
 
 
@@ -58,20 +60,26 @@ def sweep(
     if jobs is None:
         jobs = default_jobs()
     jobs = min(jobs, len(tasks))
-    if jobs <= 1:
-        return _run_serial(fn, tasks)
+    with obs.span(
+        "perf.sweep",
+        fn=getattr(fn, "__name__", str(fn)),
+        tasks=len(tasks),
+        jobs=jobs,
+    ):
+        if jobs <= 1:
+            return _run_serial(fn, tasks)
 
-    import multiprocessing as mp
-    from concurrent.futures import ProcessPoolExecutor
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
 
-    try:
-        context = mp.get_context("fork")
-    except ValueError:  # platform without fork (e.g. Windows): use default
-        context = mp.get_context()
-    try:
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-            futures = [pool.submit(fn, *t) for t in tasks]
-            return [f.result() for f in futures]
-    except (OSError, PermissionError):
-        # Process spawn blocked (sandbox, fd limits): fall back to serial.
-        return _run_serial(fn, tasks)
+        try:
+            context = mp.get_context("fork")
+        except ValueError:  # platform without fork (e.g. Windows): use default
+            context = mp.get_context()
+        try:
+            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+                futures = [pool.submit(fn, *t) for t in tasks]
+                return [f.result() for f in futures]
+        except (OSError, PermissionError):
+            # Process spawn blocked (sandbox, fd limits): fall back to serial.
+            return _run_serial(fn, tasks)

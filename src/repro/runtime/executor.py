@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.cluster.collectives import allreduce_time
 from repro.cluster.topology import Cluster
 from repro.cluster.transfer import transfer_time
@@ -185,7 +186,9 @@ class PipelineExecutor:
     def build_graph(self) -> TaskGraph:
         """Compile one training iteration into a fresh task graph."""
         g = TaskGraph()
-        self.build_into(g)
+        with obs.span("runtime.build_graph", plan=self.plan.notation) as sp:
+            self.build_into(g)
+            sp.set(ops=len(g))
         return g
 
     def build_into(
@@ -345,8 +348,10 @@ class PipelineExecutor:
 
     def run(self) -> ExecutionResult:
         """Simulate the compiled iteration and package the outcome."""
-        graph = self.build_graph()
-        res = Simulator(graph, engine=self.sim_engine).run()
+        with obs.span("runtime.execute", plan=self.plan.notation) as sp:
+            graph = self.build_graph()
+            res = Simulator(graph, engine=self.sim_engine).run()
+            sp.set(iteration_time=res.makespan)
         return ExecutionResult(
             plan=self.plan,
             iteration_time=res.makespan,

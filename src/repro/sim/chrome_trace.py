@@ -24,10 +24,21 @@ _COLORS = {
 
 
 def _row_key(resource: str) -> tuple[int, str]:
-    """Sort GPUs numerically first, then links/collectives."""
+    """Sort GPUs numerically first, then links/collectives.
+
+    GPU ids are usually small integers (``gpu:3``) and sort numerically,
+    but nothing in the simulator requires numeric ids — non-numeric ones
+    (``gpu:a0``) sort lexicographically after the numeric block instead of
+    crashing the export.
+    """
     text = str(resource)
     if text.startswith("gpu:"):
-        return (0, f"{int(text.split(':')[1]):06d}")
+        suffix = text.split(":", 1)[1]
+        try:
+            return (0, f"{int(suffix):06d}")
+        except ValueError:
+            # "~" sorts after every digit, keeping numeric ids first.
+            return (0, f"~{suffix}")
     return (1, text)
 
 

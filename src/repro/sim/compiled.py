@@ -315,18 +315,29 @@ def run_compiled(cg: CompiledTaskGraph):
     can never form cycles, and generational scans over them cost ~30% of
     the run time on large graphs.
     """
+    import repro.obs as obs
     from repro.sim.engine import SimulationResult
 
+    stats = None
+    if obs.enabled():
+        stats = (
+            obs.histogram(
+                "sim.waiter_depth", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128)
+            ),
+            obs.histogram(
+                "sim.completion_batch", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+            ),
+        )
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        return _run_compiled_loop(cg, SimulationResult)
+        return _run_compiled_loop(cg, SimulationResult, stats)
     finally:
         if gc_was_enabled:
             gc.enable()
 
 
-def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult):
+def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
     n = cg.num_ops
     # Round-trip the float columns through numpy: the graph's floats were
     # allocated piecemeal during construction and are scattered across the
@@ -475,6 +486,11 @@ def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult):
         # started in different dispatch passes; seq order restores the
         # reference's tie-break.
         batch = run_bucket.pop(now)
+        if stats is not None:
+            # One branch per distinct timestamp, not per op, so the
+            # disabled path costs a single ``is not None`` check here.
+            stats[1].observe(len(batch))
+            stats[0].observe(sum(len(w) for w in waiters))
         batch.sort()
         for sq, i in batch:
             rs = res[i]

@@ -42,6 +42,7 @@ import itertools
 import os
 from dataclasses import dataclass, field
 
+import repro.obs as obs
 from repro.sim.resources import ResourcePool
 from repro.sim.trace import MemoryTimeline, Trace, TraceEvent, PHASE_END, PHASE_START
 
@@ -260,6 +261,17 @@ class Simulator:
         self.engine = engine
 
     def run(self) -> SimulationResult:
+        if not obs.enabled():
+            return self._run()
+        with obs.span(
+            "sim.run", engine=self.engine, ops=len(self._graph)
+        ) as sp:
+            result = self._run()
+            sp.set(makespan=result.makespan)
+        _record_sim_metrics(result)
+        return result
+
+    def _run(self) -> SimulationResult:
         if self.engine == "reference":
             return self._run_reference()
         from repro.sim.compiled import compile_graph, run_compiled
@@ -355,3 +367,26 @@ class Simulator:
                 f"(first few blocked: {stuck[:5]})"
             )
         return SimulationResult(makespan=trace.makespan(), trace=trace, memory=memory)
+
+
+def _record_sim_metrics(result: SimulationResult) -> None:
+    """Publish post-run metrics: event count, per-resource occupancy,
+    per-device memory peaks.  Called only while observability is enabled;
+    the single ``iter_rows`` pass runs outside the event loop so the hot
+    path stays untouched."""
+    events = 0
+    busy: dict = {}
+    for _name, start, end, resources, _tags in result.trace.iter_rows():
+        events += 1
+        width = end - start
+        for r in resources:
+            busy[r] = busy.get(r, 0.0) + width
+    obs.counter("sim.events").inc(events)
+    makespan = result.makespan
+    if makespan > 0:
+        for r in sorted(busy, key=str):
+            obs.gauge("sim.occupancy", resource=str(r)).set(busy[r] / makespan)
+    for dev in sorted(result.memory.devices(), key=str):
+        obs.gauge("sim.memory_peak_bytes", device=str(dev)).set(
+            result.memory.peak(dev)
+        )

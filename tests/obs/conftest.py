@@ -1,0 +1,14 @@
+"""Shared fixtures: every obs test starts and ends with a clean registry."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,92 @@
+"""explain_plan must reproduce the latency model's Tw/Ts/Te bit-for-bit."""
+
+import pytest
+
+from repro.cluster import config_a, config_b
+from repro.core import Planner, PlannerConfig, profile_model
+from repro.core.latency import _running_prefix, evaluate_plan
+from repro.models import get_model
+from repro.obs import breakdown_plan, explain_plan
+
+
+@pytest.fixture(scope="module")
+def searched():
+    """A live planner run with runners-up kept (GNMT on config A)."""
+    prof = profile_model(get_model("gnmt16"))
+    cluster = config_a(8)
+    result = Planner(prof, cluster, 64, PlannerConfig(keep_top_k=4)).search()
+    return prof, cluster, result
+
+
+class TestBreakdownExactness:
+    def test_winner_decomposition_is_bit_exact(self, searched):
+        prof, cluster, result = searched
+        bd = breakdown_plan(prof, cluster, result.plan)
+        est = evaluate_plan(prof, cluster, result.plan)
+        # Same accumulation order as the latency model: prefix-summed
+        # warm-up, plain-summed steady, max-reduced ending.
+        warmup = _running_prefix([r.warmup_contrib for r in bd.rows])[-1]
+        assert warmup == est.warmup
+        assert sum(r.steady_contrib for r in bd.rows) == est.steady
+        assert max(r.ending_term for r in bd.rows) == est.ending
+        assert est.warmup + est.steady + est.ending == est.latency
+
+    def test_every_top_plan_decomposes_exactly(self, searched):
+        """verify() (called inside breakdown_plan) asserts bit-exactness for
+        the winner and every runner-up the search kept."""
+        prof, cluster, result = searched
+        for _lat, plan in result.top_plans:
+            breakdown_plan(prof, cluster, plan)
+
+    def test_pipeline_plan_marks_pivot_and_gate(self):
+        prof = profile_model(get_model("bert48"))
+        cluster = config_b(4)
+        result = Planner(
+            prof, cluster, 64, PlannerConfig(min_stages=2)
+        ).search()
+        bd = breakdown_plan(prof, cluster, result.plan)
+        assert bd.mode in ("pipeline", "interleaved")
+        assert sum(1 for r in bd.rows if r.is_pivot) == 1
+        assert any(r.gates_ending for r in bd.rows)
+        pivot_row = next(r for r in bd.rows if r.is_pivot)
+        assert pivot_row.ext_index == bd.pivot
+        # Warm-up is attributed to stages up to and including the pivot.
+        for r in bd.rows:
+            if r.ext_index <= bd.pivot:
+                assert r.warmup_contrib == r.fwd
+            else:
+                assert r.warmup_contrib == 0.0
+
+    def test_dp_overlap_mode_detected(self, searched):
+        prof, cluster, result = searched
+        from repro.core.plan import single_stage_plan
+
+        dp = single_stage_plan(prof.graph, cluster.devices, 64, 1)
+        bd = breakdown_plan(prof, cluster, dp)
+        assert bd.mode == "dp-overlap"
+        assert len([r for r in bd.rows if r.kind == "comp"]) == 1
+
+
+class TestExplanation:
+    def test_explains_planner_result_with_runners_up(self, searched):
+        prof, cluster, result = searched
+        expl = explain_plan(prof, cluster, result)
+        assert expl.winner.notation == result.plan.notation
+        assert expl.winner.latency == result.estimate.latency
+        # keep_top_k=4 retains the winner plus at least one alternative.
+        assert len(expl.runners_up) >= 1
+        for ru in expl.runners_up:
+            assert ru.latency >= expl.winner.latency
+
+    def test_accepts_bare_plan(self, searched):
+        prof, cluster, result = searched
+        expl = explain_plan(prof, cluster, result.plan)
+        assert expl.runners_up == ()
+
+    def test_report_renders_decomposition_tables(self, searched):
+        prof, cluster, result = searched
+        text = explain_plan(prof, cluster, result).report()
+        assert "winner:" in text
+        assert "L = Tw + Ts + Te" in text
+        assert "per-extended-stage decomposition" in text
+        assert "runners-up" in text

@@ -1,0 +1,115 @@
+"""Tests for the metrics registry: interning, histograms, no-op path."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import (
+    NOOP_COUNTER,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestDisabledPath:
+    def test_metrics_are_shared_noops(self):
+        assert obs.counter("c") is NOOP_COUNTER
+        obs.counter("c").inc()
+        obs.gauge("g").set(3)
+        obs.histogram("h").observe(1.0)
+        assert len(obs.registry()) == 0
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        obs.enable()
+        obs.counter("evts").inc()
+        obs.counter("evts").inc(4)
+        assert obs.counter("evts").value == 5
+
+    def test_counter_rejects_negative(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            obs.counter("evts").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        obs.enable()
+        g = obs.gauge("depth")
+        g.set(2.5)
+        g.add(0.5)
+        assert g.value == 3.0
+
+    def test_labels_create_distinct_series(self):
+        obs.enable()
+        obs.counter("scored", split=1, repl=2).inc()
+        obs.counter("scored", split=1, repl=3).inc(10)
+        assert obs.counter("scored", split=1, repl=2).value == 1
+        assert obs.counter("scored", split=1, repl=3).value == 10
+
+    def test_label_order_does_not_matter(self):
+        obs.enable()
+        a = obs.counter("scored", split=1, repl=2)
+        b = obs.counter("scored", repl=2, split=1)
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        obs.enable()
+        obs.counter("m")
+        with pytest.raises(TypeError):
+            obs.gauge("m")
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1, <=10, overflow
+        assert h.count == 4
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx((0.5 + 0.7 + 5.0 + 100.0) / 4)
+
+    def test_percentiles_are_clamped_and_monotonic(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0, 10.0))
+        for v in (0.5, 1.5, 1.6, 3.0, 8.0):
+            h.observe(v)
+        ps = [h.percentile(p) for p in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0)]
+        assert ps == sorted(ps)
+        assert all(h.min <= x <= h.max for x in ps)
+
+    def test_single_value_percentiles_collapse(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        assert h.percentile(0.5) == 1.5
+        assert h.percentile(0.99) == 1.5
+
+    def test_empty_percentile_is_zero(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.percentile(0.5) == 0.0
+
+    def test_out_of_range_percentile_rejected(self):
+        h = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_snapshot_sorted_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.gauge("a")
+        reg.histogram("m", buckets=(1.0,))
+        names = [m.name for m in reg.snapshot()]
+        assert names == ["a", "m", "z"]
+        assert len(reg) == 3
+
+    def test_metric_generic_accessor(self):
+        obs.enable()
+        assert obs.metric("c").kind == "counter"
+        assert obs.metric("g", kind="gauge").kind == "gauge"
+        assert obs.metric("h", kind="histogram").kind == "histogram"
+        with pytest.raises(ValueError):
+            obs.metric("x", kind="summary")

@@ -1,0 +1,169 @@
+"""Tests for the JSONL / console / Perfetto sinks and the event schema."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.schema import SchemaError, validate_event, validate_jsonl
+from repro.obs.sinks import OBS_PID, SIM_PID
+
+
+def _record_some_activity():
+    with obs.span("phase.outer", model="m"):
+        with obs.span("phase.inner"):
+            pass
+    obs.counter("events", kind="F").inc(3)
+    obs.gauge("occupancy", resource="gpu:0").set(0.75)
+    h = obs.histogram("latency", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+
+
+class TestJsonl:
+    def test_export_validates_against_schema(self, tmp_path):
+        obs.enable()
+        _record_some_activity()
+        path = obs.export_jsonl(tmp_path / "log.jsonl")
+        # 1 meta + 2 spans + 3 metrics
+        assert validate_jsonl(path) == 6
+
+    def test_first_record_is_meta_header(self, tmp_path):
+        obs.enable()
+        _record_some_activity()
+        path = obs.export_jsonl(tmp_path / "log.jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+        assert first["tool"] == "repro.obs"
+
+    def test_deterministic_export_is_byte_identical(self, tmp_path):
+        """include_wall=False nulls every clock field, so two identical
+        instrumented runs produce byte-identical logs."""
+        obs.enable(reset_state=True)
+        _record_some_activity()
+        a = (tmp_path / "a.jsonl")
+        obs.export_jsonl(a, include_wall=False)
+
+        obs.enable(reset_state=True)
+        _record_some_activity()
+        b = (tmp_path / "b.jsonl")
+        obs.export_jsonl(b, include_wall=False)
+
+        assert a.read_bytes() == b.read_bytes()
+        assert validate_jsonl(a) == validate_jsonl(b)
+
+    def test_wall_clock_fields_nulled_when_deterministic(self, tmp_path):
+        obs.enable()
+        _record_some_activity()
+        path = obs.export_jsonl(tmp_path / "log.jsonl", include_wall=False)
+        for line in path.read_text().splitlines():
+            rec = json.loads(line)
+            if rec["type"] == "span":
+                assert rec["t0"] is None and rec["t1"] is None
+                assert rec["dur"] is None
+            if rec["type"] == "meta":
+                assert rec["epoch"] is None
+
+
+class TestSchemaValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_event({"type": "frob"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_event({"type": "counter", "name": "x", "labels": {}})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_event(
+                {"type": "counter", "name": "x", "labels": {}, "value": "9"}
+            )
+
+    def test_bool_is_not_numeric(self):
+        with pytest.raises(SchemaError):
+            validate_event(
+                {"type": "counter", "name": "x", "labels": {}, "value": True}
+            )
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_event(
+                {"type": "counter", "name": "x", "labels": {}, "value": 1,
+                 "extra": 2}
+            )
+
+    def test_span_must_not_end_before_start(self):
+        rec = {
+            "type": "span", "name": "x", "seq": 0, "span_id": 0,
+            "parent_id": None, "t0": 2.0, "t1": 1.0, "dur": -1.0,
+            "pid": 1, "tid": 1, "attrs": {},
+        }
+        with pytest.raises(SchemaError):
+            validate_event(rec)
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_event(
+                {"type": "meta", "version": 999, "tool": "t", "epoch": None}
+            )
+
+    def test_non_jsonl_file_rejected(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("not json\n")
+        with pytest.raises(SchemaError):
+            validate_jsonl(p)
+
+    def test_empty_log_rejected(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(SchemaError):
+            validate_jsonl(p)
+
+
+class TestConsoleSummary:
+    def test_tables_render_spans_and_metrics(self):
+        obs.enable()
+        _record_some_activity()
+        text = obs.summary()
+        assert "Instrumentation spans" in text
+        assert "phase.outer" in text
+        assert "Metrics" in text
+        assert "occupancy" in text
+        assert "resource=gpu:0" in text
+
+    def test_empty_summary_message(self):
+        obs.enable()
+        assert "no spans or metrics" in obs.summary()
+
+
+class TestChromeExport:
+    def test_spans_only_export(self, tmp_path):
+        obs.enable()
+        _record_some_activity()
+        path = obs.export_chrome(tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == {OBS_PID}
+        assert {e["name"] for e in xs} == {"phase.outer", "phase.inner"}
+
+    def test_unified_export_has_both_processes(self, tmp_path):
+        from repro.sim import Op, Simulator, TaskGraph
+
+        obs.enable()
+        g = TaskGraph()
+        g.add(Op("F/s0/m0", 1.0, resources=("gpu:0",), tags={"kind": "F"}))
+        res = Simulator(g).run()
+
+        path = obs.export_chrome(tmp_path / "t.json", sim_trace=res.trace)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == {SIM_PID, OBS_PID}
+        proc_names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "simulated" in proc_names[SIM_PID]
+        assert "wall clock" in proc_names[OBS_PID]

@@ -1,0 +1,113 @@
+"""Tests for the span tracer: nesting, determinism, and the no-op path."""
+
+import threading
+
+import repro.obs as obs
+from repro.obs.tracer import NOOP_SPAN, Tracer
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_singleton(self):
+        assert obs.span("anything", k=1) is NOOP_SPAN
+        with obs.span("anything") as sp:
+            assert sp.set(a=2) is sp
+
+    def test_nothing_recorded_while_disabled(self):
+        with obs.span("x"):
+            pass
+        assert len(obs.tracer()) == 0
+
+    def test_noop_swallows_no_exceptions(self):
+        try:
+            with obs.span("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("no-op span must not suppress exceptions")
+
+
+class TestRecording:
+    def test_span_records_interval_and_attrs(self):
+        obs.enable()
+        with obs.span("work", model="bert48") as sp:
+            sp.set(result=7)
+        (rec,) = obs.tracer().spans()
+        assert rec.name == "work"
+        assert rec.attrs == {"model": "bert48", "result": 7}
+        assert rec.t1 >= rec.t0
+        assert rec.duration == rec.t1 - rec.t0
+
+    def test_nesting_sets_parent_ids(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        inner, outer = obs.tracer().spans()  # completion order
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_seq_is_monotonic_in_start_order(self):
+        obs.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        with obs.span("c"):
+            pass
+        by_seq = sorted(obs.tracer().spans(), key=lambda r: r.seq)
+        assert [r.name for r in by_seq] == ["a", "b", "c"]
+        assert [r.seq for r in by_seq] == [0, 1, 2]
+
+    def test_threads_get_independent_stacks(self):
+        obs.enable()
+        done = threading.Event()
+
+        def worker():
+            with obs.span("thread-span"):
+                done.wait(timeout=5)
+
+        t = threading.Thread(target=worker)
+        with obs.span("main-span"):
+            t.start()
+            done.set()
+            t.join()
+        recs = {r.name: r for r in obs.tracer().spans()}
+        # The thread's span must not claim the main thread's span as parent.
+        assert recs["thread-span"].parent_id is None
+        assert recs["main-span"].parent_id is None
+
+    def test_aggregate_rolls_up_by_name(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("hot"):
+                pass
+        with tr.span("cold"):
+            pass
+        agg = {r["name"]: r for r in tr.aggregate()}
+        assert agg["hot"]["count"] == 3
+        assert agg["hot"]["total"] >= agg["hot"]["max"]
+        assert agg["cold"]["count"] == 1
+
+
+class TestLifecycle:
+    def test_reset_discards_spans(self):
+        obs.enable()
+        with obs.span("x"):
+            pass
+        obs.reset()
+        assert len(obs.tracer()) == 0
+
+    def test_disable_keeps_recorded_data(self):
+        obs.enable()
+        with obs.span("x"):
+            pass
+        obs.disable()
+        assert len(obs.tracer()) == 1
+
+    def test_enable_reset_state_starts_clean(self):
+        obs.enable()
+        with obs.span("x"):
+            pass
+        obs.enable(reset_state=True)
+        assert len(obs.tracer()) == 0

@@ -1,0 +1,93 @@
+"""Tier-1 guard: disabled observability must cost (effectively) nothing.
+
+Wall-clock A/B runs of the full simulator are too noisy for a tight CI
+assertion, so the budget is enforced structurally instead:
+
+* the disabled fast path must return shared no-op singletons (identity
+  check — any accidental per-call allocation breaks this);
+* the measured per-call cost of the no-op path, multiplied by a generous
+  over-estimate of how many instrumentation touchpoints one BERT-48-scale
+  simulated iteration executes, must stay under 2% of that iteration's
+  measured wall time.
+
+The full enabled-vs-disabled A/B measurement lives in
+``benchmarks/perf_obs.py`` (not tier-1).
+"""
+
+import time
+
+import repro.obs as obs
+from repro.cluster import config_a
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import get_model
+from repro.runtime.executor import PipelineExecutor
+from repro.sim import Simulator
+from repro.obs.metrics import NOOP_COUNTER
+from repro.obs.tracer import NOOP_SPAN
+
+#: Instrumentation budget: the no-op path may cost at most this fraction of
+#: the benchmark simulation's wall time.
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+def _sim_benchmark():
+    """One BERT-48 M=128 compiled-simulator iteration (per-device M=256
+    halves across the two replicas), as in ``tests/perf/test_sim_smoke``."""
+    prof = profile_model(get_model("bert48"))
+    cluster = config_a(16)
+    d = cluster.devices
+    plan = ParallelPlan(
+        prof.graph,
+        [Stage(0, 25, tuple(d[:8])), Stage(25, 50, tuple(d[8:]))],
+        256,
+        128,
+    )
+    graph = PipelineExecutor(prof, cluster, plan, enforce_memory=False).build_graph()
+    t0 = time.perf_counter()
+    res = Simulator(graph, engine="compiled").run()
+    elapsed = time.perf_counter() - t0
+    assert res.makespan > 0
+    return len(graph), elapsed
+
+
+def test_disabled_path_returns_shared_singletons():
+    assert not obs.enabled()
+    assert obs.span("sim.run") is NOOP_SPAN
+    assert obs.span("other", attr=1) is NOOP_SPAN
+    assert obs.counter("c") is NOOP_COUNTER
+    assert obs.gauge("g") is NOOP_COUNTER  # one shared no-op metric object
+    assert obs.histogram("h") is NOOP_COUNTER
+
+
+def test_noop_overhead_under_two_percent_of_sim_benchmark():
+    num_ops, sim_elapsed = _sim_benchmark()
+
+    # Per-call cost of the two disabled primitives instrumented code uses:
+    # the hoisted enabled() check and a full no-op span round-trip.
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        obs.enabled()
+    enabled_cost = (time.perf_counter() - t0) / n
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with obs.span("x"):
+            pass
+    span_cost = (time.perf_counter() - t0) / n
+
+    # Over-estimate of touchpoints in one instrumented simulation.  Every
+    # hot loop hoists ``track = obs.enabled()`` into a local before
+    # iterating, so per run the code executes a handful of enabled()
+    # checks and spans — not one per op.  Pad both counts well beyond what
+    # planner + executor + simulator actually perform (~10 each).
+    touchpoints_spans = 64
+    touchpoints_checks = 1024
+    assert num_ops > touchpoints_checks  # the loop itself dwarfs the checks
+    budget = MAX_OVERHEAD_FRACTION * sim_elapsed
+    cost = touchpoints_spans * span_cost + touchpoints_checks * enabled_cost
+    assert cost < budget, (
+        f"no-op instrumentation cost estimate {cost * 1e3:.2f}ms exceeds "
+        f"{MAX_OVERHEAD_FRACTION:.0%} of the {sim_elapsed * 1e3:.0f}ms "
+        f"benchmark simulation"
+    )

@@ -1,0 +1,91 @@
+"""PipelineReport vs the closed form E = 1/(1+P) across (S, M, alpha) grids.
+
+The paper's §II-A efficiency model predicts ``E = 1/(1+P)`` with
+``P = (1+alpha)(S-1)/M``.  These tests sweep stage counts, micro-batch
+counts, and (analytically) the comm ratio, checking that the simulator's
+*measured* efficiency tracks the closed form and that the per-device
+busy/idle accounting is internally consistent (busy + idle == makespan for
+every device).
+"""
+
+import pytest
+
+from repro.cluster import config_b
+from repro.core import profile_model
+from repro.core.plan import ParallelPlan, Stage
+from repro.models import uniform_model
+from repro.runtime import execute_plan
+from repro.runtime.analysis import analyze, closed_form_efficiency
+
+
+def straight_exec(num_stages, m, act=1e4):
+    """An S-stage straight pipeline of a uniform model, negligible comm."""
+    model = uniform_model(
+        "grid", num_stages, 9e9, 1_000_000, act, profile_batch=1
+    )
+    cluster = config_b(num_stages)
+    prof = profile_model(model)
+    stages = [Stage(i, i + 1, (cluster.device(i),)) for i in range(num_stages)]
+    plan = ParallelPlan(model, stages, m, m)
+    return execute_plan(prof, cluster, plan, warmup_policy="PB")
+
+
+class TestEfficiencyGrid:
+    @pytest.mark.parametrize("num_stages", [2, 4, 8])
+    @pytest.mark.parametrize("m", [8, 32])
+    def test_measured_tracks_closed_form(self, num_stages, m):
+        """With alpha ~ 0 the simulator must reproduce 1/(1+(S-1)/M)."""
+        report = analyze(straight_exec(num_stages, m))
+        assert report.predicted_efficiency == closed_form_efficiency(
+            num_stages, m, 0.0
+        )
+        assert report.measured_efficiency == pytest.approx(
+            report.predicted_efficiency, rel=0.15
+        )
+
+    @pytest.mark.parametrize("num_stages", [2, 4])
+    def test_efficiency_monotone_in_m(self, num_stages):
+        effs = [
+            analyze(straight_exec(num_stages, m)).measured_efficiency
+            for m in (4, 16, 64)
+        ]
+        assert effs == sorted(effs)
+
+    def test_efficiency_monotone_in_stages(self):
+        effs = [
+            analyze(straight_exec(s, 16)).measured_efficiency
+            for s in (2, 4, 8)
+        ]
+        assert effs == sorted(effs, reverse=True)
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.25, 0.5, 1.0])
+    def test_alpha_grid_closed_form(self, alpha):
+        """The analytical E falls as the comm ratio grows, and the measured
+        report carries whatever alpha the caller supplies."""
+        e = closed_form_efficiency(4, 16, alpha)
+        assert e == 1.0 / (1.0 + (1.0 + alpha) * 3 / 16)
+        report = analyze(straight_exec(4, 16), acr=alpha)
+        assert report.acr == alpha
+        assert report.predicted_efficiency == e
+
+
+class TestBusyIdleAccounting:
+    @pytest.mark.parametrize("num_stages,m", [(2, 8), (4, 16), (8, 32)])
+    def test_busy_plus_idle_equals_makespan(self, num_stages, m):
+        report = analyze(straight_exec(num_stages, m))
+        assert len(report.devices) == num_stages
+        for d in report.devices:
+            assert d.busy + d.idle == pytest.approx(report.makespan)
+            assert 0.0 <= d.utilization <= 1.0
+
+    def test_total_busy_bounded_by_device_hours(self):
+        report = analyze(straight_exec(4, 16))
+        total_busy = sum(d.busy for d in report.devices)
+        assert total_busy <= len(report.devices) * report.makespan
+
+    def test_bubble_is_idle_share(self):
+        report = analyze(straight_exec(4, 16))
+        mean_util = sum(d.utilization for d in report.devices) / len(
+            report.devices
+        )
+        assert report.bubble_fraction == pytest.approx(1.0 - mean_util)

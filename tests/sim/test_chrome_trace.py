@@ -51,6 +51,26 @@ class TestTraceToEvents:
         assert f["args"] == {"kind": "F", "stage": 0, "mb": 0}
 
 
+class TestRowKey:
+    """Non-numeric GPU ids must sort (lexicographically, after the numeric
+    block) instead of crashing the export."""
+
+    def test_non_numeric_gpu_id_does_not_crash(self):
+        g = TaskGraph()
+        g.add(Op("F/a", 1.0, resources=("gpu:a0",), tags={"kind": "F"}))
+        g.add(Op("F/b", 1.0, resources=("gpu:1",), tags={"kind": "F"}))
+        events = trace_to_events(Simulator(g).run().trace)
+        metas = sorted((e["tid"], e["args"]["name"]) for e in events if e["ph"] == "M")
+        assert [name for _tid, name in metas] == ["gpu:1", "gpu:a0"]
+
+    def test_numeric_ids_still_sort_numerically(self):
+        from repro.sim.chrome_trace import _row_key
+
+        keys = ["gpu:10", "gpu:2", "gpu:a0", "nic:0", "gpu:1"]
+        ordered = sorted(keys, key=_row_key)
+        assert ordered == ["gpu:1", "gpu:2", "gpu:10", "gpu:a0", "nic:0"]
+
+
 class TestExport:
     def test_file_is_valid_json(self, tmp_path):
         path = export_chrome_trace(_run_small().trace, tmp_path / "t.json")

@@ -16,6 +16,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_unknown_model_exits_2(self, capsys):
+        assert main(["plan", "--model", "frobnicate"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_config_exits_2(self, capsys):
+        assert main(["run", "--model", "gnmt16", "--devices", "3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_argparse_rejection_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["plan", "--config", "Z"])
+        assert exc.value.code == 2
+
 
 class TestModels:
     def test_lists_zoo(self, capsys):
@@ -75,6 +98,56 @@ class TestRun:
             "run", "--model", "gnmt16", "--config", "B", "--gbs", "256",
             "--schedule", "gpipe",
         ]) == 0
+
+
+class TestObservability:
+    ARGS = ["--model", "gnmt16", "--config", "B", "--gbs", "256"]
+
+    def test_plan_explain_prints_decomposition(self, capsys):
+        assert main(["plan", *self.ARGS, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "L = Tw + Ts + Te" in out
+        assert "per-extended-stage decomposition" in out
+
+    def test_plan_metrics_prints_summary_tables(self, capsys):
+        assert main(["plan", *self.ARGS, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Instrumentation spans" in out
+        assert "planner.search" in out
+        assert "planner.plans_evaluated" in out
+
+    def test_plan_trace_jsonl_validates(self, capsys, tmp_path):
+        from repro.obs.schema import validate_jsonl
+
+        log = tmp_path / "plan.jsonl"
+        assert main(["plan", *self.ARGS, "--trace", str(log)]) == 0
+        assert validate_jsonl(log) > 1
+
+    def test_run_trace_unifies_sim_and_spans(self, capsys, tmp_path):
+        from repro.obs.sinks import OBS_PID, SIM_PID
+
+        trace = tmp_path / "run.json"
+        assert main(["run", *self.ARGS, "--trace", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == {SIM_PID, OBS_PID}
+        span_names = {e["name"] for e in xs if e["pid"] == OBS_PID}
+        assert "sim.run" in span_names
+
+    def test_run_metrics_includes_sim_counters(self, capsys):
+        assert main(["run", *self.ARGS, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "sim.events" in out
+        assert "sim.occupancy" in out
+
+    def test_faults_metrics_includes_ensemble_series(self, capsys):
+        assert main([
+            "faults", "--model", "vgg19", "--config", "B", "--devices", "4",
+            "--gbs", "64", "--ensemble", "2", "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults.seeds_evaluated" in out
+        assert "faults.ensemble_seconds" in out
 
 
 class TestCompare:
