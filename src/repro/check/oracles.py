@@ -1,0 +1,238 @@
+"""Differential oracles: two independent implementations must agree.
+
+The repo carries several redundant computations kept deliberately
+bit-identical — a compiled and a reference simulator engine, a vectorized
+and a scalar planner scan, a closed-form latency estimate and its
+per-stage decomposition, a fault-injection path whose empty-model case is
+the clean path itself.  Each pair is a free correctness oracle: when the
+cheap/fast side drifts from its slow/simple twin, something broke.  This
+module runs those comparisons as first-class conformance checks producing
+the same :class:`~repro.check.invariants.ConformanceReport` the static
+invariants do, so ``repro check`` surfaces divergence with the same exit
+code and report format as a semantic violation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.check.invariants import ConformanceReport, Violation
+from repro.core.scheduler import warmup_counts
+
+__all__ = [
+    "oracle_engines",
+    "oracle_planner",
+    "oracle_explain",
+    "oracle_clean_faults",
+    "oracle_memory_m_independence",
+    "run_oracles",
+]
+
+
+def _trace_rows(result) -> list:
+    return sorted(
+        (name, start, end, tuple(res)) for name, start, end, res, _t
+        in result.trace.iter_rows()
+    )
+
+
+def _memory_rows(result) -> dict:
+    out = {}
+    for dev in result.memory.devices():
+        out[dev] = (result.memory.peak(dev), result.memory.final(dev))
+    return out
+
+
+def oracle_engines(graph, subject: str = "engines") -> ConformanceReport:
+    """Compiled and reference simulator engines agree bit-for-bit."""
+    from repro.sim.engine import Simulator
+
+    report = ConformanceReport(subject=subject)
+    report.ran("oracle-engines")
+    compiled = Simulator(graph, engine="compiled").run()
+    reference = Simulator(graph, engine="reference").run()
+    if compiled.makespan != reference.makespan:
+        report.add(Violation(
+            "oracle-engines",
+            f"makespan diverges: compiled={compiled.makespan!r} "
+            f"reference={reference.makespan!r}",
+        ))
+    rows_c, rows_r = _trace_rows(compiled), _trace_rows(reference)
+    if rows_c != rows_r:
+        bad = next(
+            (c for c, r in zip(rows_c, rows_r) if c != r),
+            rows_c[len(rows_r):][:1] or rows_r[len(rows_c):][:1],
+        )
+        op = bad[0] if isinstance(bad, tuple) else (bad[0][0] if bad else None)
+        report.add(Violation(
+            "oracle-engines",
+            f"trace rows diverge ({len(rows_c)} vs {len(rows_r)} events)",
+            op=op,
+        ))
+    mem_c, mem_r = _memory_rows(compiled), _memory_rows(reference)
+    if mem_c != mem_r:
+        dev = next((d for d in mem_c if mem_c[d] != mem_r.get(d)), None)
+        report.add(Violation(
+            "oracle-engines",
+            "memory peaks/finals diverge between engines",
+            resource=dev,
+        ))
+    return report
+
+
+def oracle_planner(profile, cluster, gbs: int,
+                   config=None, subject: str = "planner") -> ConformanceReport:
+    """Fast-scan and scalar planner paths pick identical plans."""
+    from repro.core.planner import Planner, PlannerConfig
+
+    report = ConformanceReport(subject=subject)
+    report.ran("oracle-planner")
+    base = config or PlannerConfig()
+    fast = Planner(
+        profile, cluster, gbs, dataclasses.replace(base, use_fast_scan=True)
+    ).search()
+    slow = Planner(
+        profile, cluster, gbs, dataclasses.replace(base, use_fast_scan=False)
+    ).search()
+    for field, a, b in (
+        ("plan", fast.plan.notation, slow.plan.notation),
+        ("split", fast.plan.split_notation, slow.plan.split_notation),
+        ("M", fast.plan.num_micro_batches, slow.plan.num_micro_batches),
+        ("latency", fast.estimate.latency, slow.estimate.latency),
+        ("plans_evaluated", fast.plans_evaluated, slow.plans_evaluated),
+        ("infeasible_plans", fast.infeasible_plans, slow.infeasible_plans),
+    ):
+        if a != b:
+            report.add(Violation(
+                "oracle-planner",
+                f"fast-scan and scalar search disagree on {field}: "
+                f"{a!r} vs {b!r}",
+            ))
+    return report
+
+
+def oracle_explain(profile, cluster, plan,
+                   subject: str = "explain") -> ConformanceReport:
+    """``breakdown_plan`` decomposition re-sums to ``evaluate_plan`` exactly."""
+    from repro.obs.explain import breakdown_plan
+
+    report = ConformanceReport(subject=subject)
+    report.ran("oracle-explain")
+    try:
+        breakdown_plan(profile, cluster, plan).verify()
+    except AssertionError as e:
+        report.add(Violation(
+            "oracle-explain",
+            f"explain_plan decomposition does not reproduce evaluate_plan: {e}",
+        ))
+    return report
+
+
+def oracle_clean_faults(profile, cluster, plan, seed: int = 0,
+                        subject: str = "clean-faults", **kwargs) -> ConformanceReport:
+    """``models=()`` fault injection is byte-identical to the clean path."""
+    from repro.faults.inject import execute_plan_faulted, perturb_graph
+    from repro.runtime.executor import PipelineExecutor, execute_plan
+
+    report = ConformanceReport(subject=subject)
+    report.ran("oracle-clean-faults")
+    graph = PipelineExecutor(profile, cluster, plan, **kwargs).build_graph()
+    if perturb_graph(graph, (), seed) is not graph:
+        report.add(Violation(
+            "oracle-clean-faults",
+            "perturb_graph with no models copied the graph instead of "
+            "returning it unchanged",
+        ))
+    clean = execute_plan(profile, cluster, plan, **kwargs)
+    faulted = execute_plan_faulted(
+        profile, cluster, plan, models=(), seed=seed, **kwargs
+    ).result
+    if clean.iteration_time != faulted.iteration_time:
+        report.add(Violation(
+            "oracle-clean-faults",
+            f"iteration time diverges: clean={clean.iteration_time!r} "
+            f"faulted(models=())={faulted.iteration_time!r}",
+        ))
+    if _trace_rows(clean) != _trace_rows(faulted):
+        report.add(Violation(
+            "oracle-clean-faults",
+            "trace diverges between execute_plan and "
+            "execute_plan_faulted(models=())",
+        ))
+    return report
+
+
+def oracle_memory_m_independence(
+    profile, cluster, plan,
+    warmup_policy: str = "PA",
+    subject: str = "memory-M-independence",
+) -> ConformanceReport:
+    """DAPPLE peak memory does not grow with ``M`` at fixed micro-batch size.
+
+    Scales the global batch so ``M`` doubles while the micro-batch size (and
+    hence every per-op memory delta) stays fixed, then demands identical
+    per-device peaks.  Both runs use an ``M`` large enough that every
+    warm-up count ``Ki`` has already saturated at ``min(policy, D)`` — below
+    that point the peak legitimately still grows with ``M``.
+    """
+    from repro.core.plan import ParallelPlan
+    from repro.runtime.executor import execute_plan
+
+    report = ConformanceReport(subject=subject)
+    report.ran("oracle-memory-m-independence")
+    m = plan.num_micro_batches
+    s = plan.num_stages
+    # f*M >= 2S-1 >= any PA/PB warm-up depth, so Ki is M-independent
+    # for both compared runs.
+    f = max(1, math.ceil((2 * s - 1) / m))
+    plans = []
+    for scale in (f, 2 * f):
+        plans.append(ParallelPlan(
+            model=plan.model,
+            stages=list(plan.stages),
+            global_batch_size=plan.global_batch_size * scale,
+            num_micro_batches=m * scale,
+            meta=dict(plan.meta),
+        ))
+    ks = [
+        warmup_counts(s, p.num_micro_batches, policy=warmup_policy)
+        for p in plans
+    ]
+    if ks[0] != ks[1]:  # defensive; the f scaling above should prevent this
+        report.add(Violation(
+            "oracle-memory-m-independence",
+            f"warm-up counts changed with M: {ks[0]} vs {ks[1]}",
+        ))
+        return report
+    small = execute_plan(profile, cluster, plans[0], warmup_policy=warmup_policy)
+    large = execute_plan(profile, cluster, plans[1], warmup_policy=warmup_policy)
+    peaks_small = small.peak_memory_per_device()
+    peaks_large = large.peak_memory_per_device()
+    for dev in sorted(peaks_small, key=str):
+        a, b = peaks_small[dev], peaks_large.get(dev)
+        if b is None or a != b:
+            report.add(Violation(
+                "oracle-memory-m-independence",
+                f"peak grew with M at fixed micro-batch size: "
+                f"{a!r} B (M={plans[0].num_micro_batches}) vs "
+                f"{b!r} B (M={plans[1].num_micro_batches})",
+                resource=dev,
+            ))
+    return report
+
+
+def run_oracles(profile, cluster, plan, gbs: int | None = None,
+                subject: str = "oracles") -> ConformanceReport:
+    """Run every differential oracle applicable to one (model, plan) case."""
+    from repro.runtime.executor import PipelineExecutor
+
+    report = ConformanceReport(subject=subject)
+    graph = PipelineExecutor(profile, cluster, plan).build_graph()
+    report.merge(oracle_engines(graph))
+    if gbs is not None:
+        report.merge(oracle_planner(profile, cluster, gbs))
+    report.merge(oracle_explain(profile, cluster, plan))
+    report.merge(oracle_clean_faults(profile, cluster, plan))
+    report.merge(oracle_memory_m_independence(profile, cluster, plan))
+    return report

@@ -14,12 +14,16 @@ Commands
     DAPPLE vs PipeDream vs GPipe vs DP on one model/config.
 ``experiment``
     Regenerate one (or all) of the paper's tables/figures into ``results/``.
+``check``
+    Schedule conformance: verify executed schedules against DAPPLE's
+    invariants (1F1B interleave, warm-up counts, Ki memory bound, weight
+    sync) and run the differential oracles; violations exit 2.
 ``faults``
     Deterministic fault injection: clean vs perturbed makespans for DAPPLE,
     GPipe, and DP under seeded stragglers/jitter/link faults, with optional
     robust (quantile-based) plan re-selection.
 
-Observability: ``plan``/``run``/``experiment``/``faults`` accept
+Observability: ``plan``/``run``/``experiment``/``check``/``faults`` accept
 ``--trace FILE`` (``.jsonl`` = schema-validated event log, anything else =
 Chrome/Perfetto JSON; for ``run`` the Perfetto file unifies wall-clock
 instrumentation spans with the simulated-time op slices) and ``--metrics``
@@ -366,6 +370,110 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def _check_arms(prof, cluster, gbs):
+    """The three system arms ``repro check`` verifies per model.
+
+    Mirrors ``repro faults``: the planner's DAPPLE plan, the same plan under
+    a GPipe flush schedule, and pure data parallelism.
+    """
+    from repro.core.plan import single_stage_plan
+
+    planner = Planner(prof, cluster, gbs)
+    plan = planner.search().plan
+    arms = [("DAPPLE", plan, "dapple"), ("GPipe", plan, "gpipe")]
+    m = max(1, gbs // (prof.graph.profile_batch * cluster.num_devices))
+    while gbs % m:
+        m -= 1
+    dp = single_stage_plan(prof.graph, cluster.devices, gbs, m)
+    if planner.plan_fits_memory(dp):
+        arms.append(("DP", dp, "dapple"))
+    return arms
+
+
+def cmd_check(args) -> int:
+    """``repro check``: conformance invariants + differential oracles.
+
+    Verifies every (model, system, engine) combination's executed schedule
+    against the DAPPLE semantics in :mod:`repro.check.invariants`, then runs
+    the differential oracles (engine equivalence, fast-scan vs scalar
+    planner, explain decomposition, clean fault path, memory
+    M-independence).  Any violation prints the offending op/stage/invariant
+    and exits 2; memory-infeasible combinations are skipped, not failed.
+    """
+    from repro.check import generate_cases, run_oracles, verify_execution
+    from repro.experiments.reporting import format_table
+    from repro.sim.engine import ENGINES
+
+    engines = list(ENGINES) if args.engine is None else [args.engine]
+    names = model_names() if args.suite == "zoo" else [args.model]
+    rows = []
+    failed_reports = []
+
+    def record(subject, arm, engine, report) -> None:
+        if report is None:
+            rows.append([subject, arm, engine, "-", "-", "skip (OOM)"])
+            return
+        rows.append([
+            subject, arm, engine, len(report.checks), len(report.violations),
+            "ok" if report.ok else "VIOLATED",
+        ])
+        if not report.ok:
+            failed_reports.append(report)
+
+    with obs.span("check.suite", suite=args.suite):
+        for name in names:
+            model = get_model(name)
+            cluster = config_by_name(args.config, args.devices)
+            gbs = args.gbs
+            if gbs is None:
+                ref = PAPER_FIGURES.get(name.strip().lower())
+                gbs = ref.global_batch_size if ref else 64
+            prof = profile_model(model)
+            for arm, plan, sched in _check_arms(prof, cluster, gbs):
+                for engine in engines:
+                    try:
+                        rep = verify_execution(
+                            prof, cluster, plan, schedule=sched, engine=engine
+                        )
+                    except OutOfMemoryError:
+                        rep = None
+                    record(name, arm, engine, rep)
+            if not args.no_oracles:
+                try:
+                    plan = _check_arms(prof, cluster, gbs)[0][1]
+                    rep = run_oracles(
+                        prof, cluster, plan, gbs=gbs, subject=f"{name} oracles"
+                    )
+                except OutOfMemoryError:
+                    rep = None
+                record(name, "oracles", "both", rep)
+        for case in generate_cases(args.generated, base_seed=args.seed):
+            subject = f"gen seed={case.seed}"
+            try:
+                rep = verify_execution(
+                    case.profile, case.cluster, case.plan,
+                    warmup_policy=case.warmup_policy,
+                )
+            except OutOfMemoryError:
+                rep = None
+            record(subject, case.plan.notation, "default", rep)
+
+    print(format_table(
+        ["subject", "system", "engine", "invariants", "violations", "status"],
+        rows,
+        title=f"Conformance check — suite {args.suite}, config {args.config}",
+    ))
+    if failed_reports:
+        print()
+        for rep in failed_reports:
+            print(rep.render(), file=sys.stderr)
+        print(f"\nFAILED: {len(failed_reports)} conformance report(s) "
+              "with violations", file=sys.stderr)
+        return 2
+    print("\nall conformance checks passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     from repro import __version__
@@ -422,6 +530,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=DEFAULT_SEED,
         help="base RNG seed for seeded experiments (convergence/"
         f"straggler_sweep); default {DEFAULT_SEED} keeps runs reproducible",
+    )
+    _add_obs(p)
+
+    p = sub.add_parser(
+        "check",
+        help="verify schedule conformance invariants and differential oracles",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--suite", default="one", choices=["one", "zoo"],
+        help="'one' checks --model only; 'zoo' sweeps every benchmark model",
+    )
+    p.add_argument(
+        "--engine", default=None, choices=["compiled", "reference"],
+        help="restrict to one simulator engine (default: check both)",
+    )
+    p.add_argument(
+        "--generated", type=int, default=0, metavar="N",
+        help="additionally verify N seeded random pipeline instances",
+    )
+    p.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"base seed for --generated cases (default {DEFAULT_SEED})",
+    )
+    p.add_argument(
+        "--no-oracles", action="store_true",
+        help="skip the differential oracles (invariants only)",
     )
     _add_obs(p)
 
@@ -498,6 +633,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "experiment": cmd_experiment,
+        "check": cmd_check,
         "faults": cmd_faults,
     }
     trace_path = getattr(args, "trace", None)

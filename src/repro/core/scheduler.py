@@ -141,6 +141,21 @@ def validate_schedule(schedule: StageSchedule, num_micro_batches: int) -> None:
             )
 
 
+def warmup_prefix_length(tasks: Sequence[MicroBatchTask]) -> int:
+    """Number of forwards injected before the first backward.
+
+    For a 1F1B schedule this is the stage's warm-up depth ``Ki``; the
+    conformance checker (:mod:`repro.check.invariants`) compares it against
+    the policy formula ``min(S−i, D)`` / ``min(2(S−i)−1, D)``.
+    """
+    k = 0
+    for t in tasks:
+        if t.kind != "F":
+            break
+        k += 1
+    return k
+
+
 def max_resident_micro_batches(tasks: Sequence[MicroBatchTask]) -> int:
     """Peak number of micro-batches whose activations are live at once.
 

@@ -269,6 +269,22 @@ class EnsembleReport:
             )
         return rows
 
+    def identical(self, other: "EnsembleReport") -> bool:
+        """Bit-exact equality with another report.
+
+        The dataclass-generated ``__eq__`` is unusable here (the
+        ``makespans`` ndarray compares elementwise), so determinism tests —
+        same ``(plan, models, seeds)`` must yield the same report across
+        ``jobs`` counts and sim engines — use this instead.
+        """
+        return (
+            self.plan_notation == other.plan_notation
+            and self.clean == other.clean
+            and self.outcomes == other.outcomes
+            and self.makespans.shape == other.makespans.shape
+            and bool((self.makespans == other.makespans).all())
+        )
+
     def critical_path_shift(self) -> float:
         """Fraction of seeds whose makespan-gating stage chain differs from
         the clean run's."""

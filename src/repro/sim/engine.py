@@ -260,15 +260,34 @@ class Simulator:
         self._graph = graph
         self.engine = engine
 
-    def run(self) -> SimulationResult:
+    def run(self, validate: bool | None = None) -> SimulationResult:
+        """Simulate the graph; optionally conformance-check the outcome.
+
+        ``validate=True`` runs the engine-agnostic invariants of
+        :func:`repro.check.invariants.check_simulation` (completeness,
+        dependency order, resource exclusivity, duration fidelity, makespan
+        lower bound) on the fresh result and raises
+        :class:`~repro.check.invariants.ConformanceError` on any violation.
+        ``validate=None`` defers to the ``REPRO_SIM_VALIDATE`` environment
+        variable (off by default — the scan is a full trace pass).
+        """
+        if validate is None:
+            validate = os.environ.get("REPRO_SIM_VALIDATE", "").lower() not in (
+                "", "0", "false",
+            )
         if not obs.enabled():
-            return self._run()
-        with obs.span(
-            "sim.run", engine=self.engine, ops=len(self._graph)
-        ) as sp:
             result = self._run()
-            sp.set(makespan=result.makespan)
-        _record_sim_metrics(result)
+        else:
+            with obs.span(
+                "sim.run", engine=self.engine, ops=len(self._graph)
+            ) as sp:
+                result = self._run()
+                sp.set(makespan=result.makespan)
+            _record_sim_metrics(result)
+        if validate:
+            from repro.check.invariants import check_simulation
+
+            check_simulation(self._graph, result).raise_if_failed()
         return result
 
     def _run(self) -> SimulationResult:

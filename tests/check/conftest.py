@@ -1,0 +1,41 @@
+"""Shared fixtures for the conformance-check suite: one tiny two-stage
+replicated pipeline, cheap enough that every test rebuilds/simulates it."""
+
+import pytest
+
+from repro.cluster.configs import config_by_name
+from repro.core.plan import ParallelPlan, Stage
+from repro.core.profiler import profile_model
+from repro.models.graph import uniform_model
+from repro.runtime.executor import PipelineExecutor
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    """(profile, cluster, plan): 4 uniform layers, 2 stages x 2 replicas."""
+    model = uniform_model(
+        name="tiny-check",
+        num_layers=4,
+        flops_per_layer=1e9,
+        params_per_layer=100_000,
+        activation_bytes=1e6,
+    )
+    cluster = config_by_name("B", num_devices=4)
+    prof = profile_model(model)
+    devs = cluster.devices
+    plan = ParallelPlan(
+        model=model,
+        stages=[
+            Stage(0, 2, (devs[0], devs[1])),
+            Stage(2, 4, (devs[2], devs[3])),
+        ],
+        global_batch_size=8,
+        num_micro_batches=4,
+    )
+    return prof, cluster, plan
+
+
+@pytest.fixture
+def tiny_executor(tiny):
+    prof, cluster, plan = tiny
+    return PipelineExecutor(prof, cluster, plan)

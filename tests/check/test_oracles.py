@@ -1,0 +1,54 @@
+"""Differential oracles pass on healthy code and catch real divergence."""
+
+from repro.check import (
+    oracle_clean_faults,
+    oracle_engines,
+    oracle_explain,
+    oracle_memory_m_independence,
+    oracle_planner,
+    run_oracles,
+)
+
+
+class TestOraclesPass:
+    def test_engine_equivalence(self, tiny_executor):
+        report = oracle_engines(tiny_executor.build_graph())
+        assert report.ok, report.render()
+
+    def test_planner_fast_vs_scalar(self, tiny):
+        prof, cluster, plan = tiny
+        report = oracle_planner(prof, cluster, plan.global_batch_size)
+        assert report.ok, report.render()
+
+    def test_explain_decomposition(self, tiny):
+        prof, cluster, plan = tiny
+        assert oracle_explain(prof, cluster, plan).ok
+
+    def test_clean_fault_path(self, tiny):
+        prof, cluster, plan = tiny
+        report = oracle_clean_faults(prof, cluster, plan)
+        assert report.ok, report.render()
+
+    def test_memory_m_independence(self, tiny):
+        prof, cluster, plan = tiny
+        report = oracle_memory_m_independence(prof, cluster, plan)
+        assert report.ok, report.render()
+
+    def test_run_all(self, tiny):
+        prof, cluster, plan = tiny
+        report = run_oracles(prof, cluster, plan, gbs=plan.global_batch_size)
+        assert report.ok, report.render()
+        assert len(report.checks) == 5
+
+
+class TestOraclesCatchDivergence:
+    def test_engine_divergence_is_caught(self, tiny_executor):
+        # Post-add duration mutation is the one asymmetry between engines:
+        # the reference loop reads the live Op, the compiled loop reads the
+        # column snapshot.  A graph mutated this way makes them disagree —
+        # exactly what the oracle exists to detect.
+        graph = tiny_executor.build_graph()
+        graph.op("F/s0/m1/r0").duration *= 5
+        report = oracle_engines(graph)
+        assert not report.ok
+        assert all(v.invariant == "oracle-engines" for v in report.violations)
