@@ -25,6 +25,7 @@ from repro.check.invariants import (
     verify_execution,
 )
 from repro.check.oracles import (
+    oracle_batched_ensemble,
     oracle_clean_faults,
     oracle_engines,
     oracle_explain,
@@ -41,6 +42,7 @@ __all__ = [
     "check_execution",
     "check_simulation",
     "verify_execution",
+    "oracle_batched_ensemble",
     "oracle_clean_faults",
     "oracle_engines",
     "oracle_explain",

@@ -25,6 +25,7 @@ __all__ = [
     "oracle_planner",
     "oracle_explain",
     "oracle_clean_faults",
+    "oracle_batched_ensemble",
     "oracle_memory_m_independence",
     "run_oracles",
 ]
@@ -45,38 +46,94 @@ def _memory_rows(result) -> dict:
 
 
 def oracle_engines(graph, subject: str = "engines") -> ConformanceReport:
-    """Compiled and reference simulator engines agree bit-for-bit."""
+    """All simulator engines (compiled, reference, batched) agree bit-for-bit.
+
+    The compiled engine anchors the comparison; the reference oracle and the
+    multi-scenario batched engine (run with a single scenario row) must each
+    reproduce its makespan, trace rows, and memory peaks/finals exactly.
+    """
     from repro.sim.engine import Simulator
 
     report = ConformanceReport(subject=subject)
     report.ran("oracle-engines")
     compiled = Simulator(graph, engine="compiled").run()
-    reference = Simulator(graph, engine="reference").run()
-    if compiled.makespan != reference.makespan:
+    rows_c = _trace_rows(compiled)
+    mem_c = _memory_rows(compiled)
+    for engine in ("reference", "batched"):
+        other = Simulator(graph, engine=engine).run()
+        if compiled.makespan != other.makespan:
+            report.add(Violation(
+                "oracle-engines",
+                f"makespan diverges: compiled={compiled.makespan!r} "
+                f"{engine}={other.makespan!r}",
+            ))
+        rows_o = _trace_rows(other)
+        if rows_c != rows_o:
+            bad = next(
+                (c for c, r in zip(rows_c, rows_o) if c != r),
+                rows_c[len(rows_o):][:1] or rows_o[len(rows_c):][:1],
+            )
+            op = bad[0] if isinstance(bad, tuple) else (bad[0][0] if bad else None)
+            report.add(Violation(
+                "oracle-engines",
+                f"trace rows diverge vs {engine} "
+                f"({len(rows_c)} vs {len(rows_o)} events)",
+                op=op,
+            ))
+        mem_o = _memory_rows(other)
+        if mem_c != mem_o:
+            dev = next((d for d in mem_c if mem_c[d] != mem_o.get(d)), None)
+            report.add(Violation(
+                "oracle-engines",
+                f"memory peaks/finals diverge between compiled and {engine}",
+                resource=dev,
+            ))
+    return report
+
+
+def oracle_batched_ensemble(
+    profile, cluster, plan, seeds=(0, 1, 2, 3),
+    subject: str = "batched-ensemble", **kwargs,
+) -> ConformanceReport:
+    """Batched and per-seed-compiled fault ensembles are bit-identical.
+
+    Runs the same (plan, models, seeds) ensemble through one batched
+    multi-scenario pass and through the per-seed compiled path, then demands
+    :meth:`~repro.faults.analysis.EnsembleReport.identical` — bit-equal
+    makespans, stage bubbles, and critical-path signatures for the clean row
+    and every seed.
+    """
+    from repro.faults.analysis import run_ensemble
+    from repro.faults.models import ComputeJitter, SlowDevice, TransientFailure
+
+    report = ConformanceReport(subject=subject)
+    report.ran("oracle-batched-ensemble")
+    models = (
+        ComputeJitter(sigma=0.05),
+        SlowDevice(factor=1.5, num_devices=1),
+        TransientFailure(stall=0.2),
+    )
+    batched = run_ensemble(
+        profile, cluster, plan, models, seeds,
+        sim_engine="batched", **kwargs,
+    )
+    per_seed = run_ensemble(
+        profile, cluster, plan, models, seeds,
+        sim_engine="compiled", **kwargs,
+    )
+    if not batched.identical(per_seed):
+        detail = "report"
+        if not bool((batched.makespans == per_seed.makespans).all()):
+            detail = (
+                f"makespans {batched.makespans!r} vs {per_seed.makespans!r}"
+            )
+        elif batched.clean != per_seed.clean:
+            detail = "clean outcome"
+        elif batched.outcomes != per_seed.outcomes:
+            detail = "seed outcomes"
         report.add(Violation(
-            "oracle-engines",
-            f"makespan diverges: compiled={compiled.makespan!r} "
-            f"reference={reference.makespan!r}",
-        ))
-    rows_c, rows_r = _trace_rows(compiled), _trace_rows(reference)
-    if rows_c != rows_r:
-        bad = next(
-            (c for c, r in zip(rows_c, rows_r) if c != r),
-            rows_c[len(rows_r):][:1] or rows_r[len(rows_c):][:1],
-        )
-        op = bad[0] if isinstance(bad, tuple) else (bad[0][0] if bad else None)
-        report.add(Violation(
-            "oracle-engines",
-            f"trace rows diverge ({len(rows_c)} vs {len(rows_r)} events)",
-            op=op,
-        ))
-    mem_c, mem_r = _memory_rows(compiled), _memory_rows(reference)
-    if mem_c != mem_r:
-        dev = next((d for d in mem_c if mem_c[d] != mem_r.get(d)), None)
-        report.add(Violation(
-            "oracle-engines",
-            "memory peaks/finals diverge between engines",
-            resource=dev,
+            "oracle-batched-ensemble",
+            f"batched ensemble diverges from per-seed compiled path: {detail}",
         ))
     return report
 
@@ -234,5 +291,6 @@ def run_oracles(profile, cluster, plan, gbs: int | None = None,
         report.merge(oracle_planner(profile, cluster, gbs))
     report.merge(oracle_explain(profile, cluster, plan))
     report.merge(oracle_clean_faults(profile, cluster, plan))
+    report.merge(oracle_batched_ensemble(profile, cluster, plan))
     report.merge(oracle_memory_m_independence(profile, cluster, plan))
     return report

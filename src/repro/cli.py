@@ -446,7 +446,7 @@ def cmd_check(args) -> int:
                     )
                 except OutOfMemoryError:
                     rep = None
-                record(name, "oracles", "both", rep)
+                record(name, "oracles", "all", rep)
         for case in generate_cases(args.generated, base_seed=args.seed):
             subject = f"gen seed={case.seed}"
             try:
@@ -510,8 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", default="PA", choices=["PA", "PB"])
     p.add_argument("--recompute", default="none", choices=["none", "boundary", "sqrt"])
     p.add_argument(
-        "--sim-engine", default=None, choices=["compiled", "reference"],
-        help="simulator event loop (default: compiled; reference = oracle)",
+        "--sim-engine", default=None,
+        choices=["compiled", "reference", "batched"],
+        help="simulator event loop (default: compiled; reference = oracle; "
+        "batched = multi-scenario engine, single-scenario here)",
     )
     p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     _add_obs(p)
@@ -543,8 +545,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="'one' checks --model only; 'zoo' sweeps every benchmark model",
     )
     p.add_argument(
-        "--engine", default=None, choices=["compiled", "reference"],
-        help="restrict to one simulator engine (default: check both)",
+        "--engine", default=None,
+        choices=["compiled", "reference", "batched"],
+        help="restrict to one simulator engine (default: check all)",
     )
     p.add_argument(
         "--generated", type=int, default=0, metavar="N",
@@ -607,11 +610,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for ensemble fan-out; 0 = all cores but one",
+        help="worker processes for per-seed ensemble fan-out; 0 = all cores "
+        "but one (orthogonal to --sim-engine batched, which runs the whole "
+        "ensemble in-process and ignores it)",
     )
     p.add_argument(
-        "--sim-engine", default=None, choices=["compiled", "reference"],
-        help="simulator event loop (default: compiled; reference = oracle)",
+        "--sim-engine", default=None,
+        choices=["compiled", "reference", "batched"],
+        help="simulator event loop for ensembles (default: batched, one "
+        "multi-scenario pass; compiled/reference = per-seed)",
     )
     _add_obs(p)
     return parser

@@ -87,6 +87,7 @@ def point(
     factor: float,
     num_seeds: int = 8,
     base_seed: int = 0,
+    sim_engine: str | None = None,
 ) -> StragglerPoint:
     """One grid point — module-level so ``sweep`` can fork it."""
     prof = profile(model)
@@ -99,7 +100,10 @@ def point(
 
     def measure(system: str, plan, schedule: str) -> None:
         try:
-            rep = run_ensemble(prof, clu, plan, models, seeds, schedule=schedule)
+            rep = run_ensemble(
+                prof, clu, plan, models, seeds,
+                schedule=schedule, sim_engine=sim_engine,
+            )
         except OutOfMemoryError:
             systems.append(SystemRobustness(system, plan.notation, math.nan, math.nan))
             return
@@ -128,7 +132,8 @@ def point(
         systems.append(SystemRobustness("DP", "DP", math.nan, math.nan))
 
     rob = robust_plan(
-        prof, clu, gbs, models, seeds, q=ROBUST_QUANTILE, top_k=ROBUST_TOP_K
+        prof, clu, gbs, models, seeds,
+        q=ROBUST_QUANTILE, top_k=ROBUST_TOP_K, sim_engine=sim_engine,
     )
     return StragglerPoint(
         model=model,
@@ -148,9 +153,10 @@ def run(
     num_seeds: int = 8,
     seed: int = 0,
     jobs: int | None = 1,
+    sim_engine: str | None = None,
 ) -> list[StragglerPoint]:
     grid = [
-        (name, cfg, factor, num_seeds, seed)
+        (name, cfg, factor, num_seeds, seed, sim_engine)
         for name in models
         for cfg in configs
         for factor in factors

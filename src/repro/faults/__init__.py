@@ -25,6 +25,7 @@ from repro.faults.analysis import (
     critical_path_stages,
     evaluate_seed,
     run_ensemble,
+    run_ensembles,
     stage_bubble_fractions,
 )
 from repro.faults.inject import (
@@ -39,6 +40,7 @@ from repro.faults.models import (
     PerturbationModel,
     SlowDevice,
     TransientFailure,
+    perturb_durations,
 )
 from repro.faults.robust import CandidateRobustness, RobustPlanResult, robust_plan
 
@@ -49,11 +51,13 @@ __all__ = [
     "DegradedLink",
     "TransientFailure",
     "perturb_graph",
+    "perturb_durations",
     "rebuild_with_durations",
     "execute_plan_faulted",
     "FaultedExecution",
     "evaluate_seed",
     "run_ensemble",
+    "run_ensembles",
     "EnsembleReport",
     "SeedOutcome",
     "critical_path",

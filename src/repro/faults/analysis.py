@@ -12,14 +12,25 @@ Answers three questions about a plan under a perturbation model set:
   whose completion times gate the makespan is extracted from each perturbed
   trace and compared (as a stage signature) against the clean run's.
 
-Each seed is an independent simulation, so ensembles fan out across worker
-processes via :func:`repro.perf.sweep.sweep`; per-seed payloads are small
-summaries (makespan, per-stage busy time, critical-path signature), not full
-traces.
+Two execution strategies sit behind :func:`run_ensemble`:
+
+* ``sim_engine="batched"`` (the default) builds and compiles the plan's
+  graph **once**, turns the model set into an ``(S, ops)`` duration matrix
+  (:func:`repro.faults.models.perturb_durations`), and hands the whole
+  ensemble — clean row included — to the multi-scenario engine
+  (:func:`repro.sim.batched.run_batched`) in a single pass.  Outcomes are
+  summarized from vectorized scenario views, bit-identical to the per-seed
+  path.
+* ``sim_engine="compiled"`` / ``"reference"`` fall back to one independent
+  simulation per seed, fanned out across worker processes via
+  :func:`repro.perf.sweep.sweep` when ``jobs`` allows.  ``jobs`` is
+  orthogonal to in-process batching: the batched engine runs the ensemble
+  in one process and ignores it.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -28,7 +39,11 @@ import numpy as np
 
 import repro.obs as obs
 from repro.faults.inject import FaultedExecution, execute_plan_faulted
+from repro.faults.models import perturb_durations
 from repro.perf.sweep import sweep
+from repro.sim.batched import run_batched
+from repro.sim.compiled import compile_graph
+from repro.sim.engine import ENGINES
 
 __all__ = [
     "SeedOutcome",
@@ -36,10 +51,27 @@ __all__ = [
     "BubbleRow",
     "evaluate_seed",
     "run_ensemble",
+    "run_ensembles",
     "critical_path",
     "critical_path_stages",
     "stage_bubble_fractions",
 ]
+
+#: Engine used by :func:`run_ensemble` when ``sim_engine`` is not given and
+#: ``REPRO_SIM_ENGINE`` is unset.
+DEFAULT_ENSEMBLE_ENGINE = "batched"
+
+
+def _resolve_ensemble_engine(sim_engine: str | None) -> str:
+    """``sim_engine`` > ``REPRO_SIM_ENGINE`` > :data:`DEFAULT_ENSEMBLE_ENGINE`."""
+    engine = (
+        sim_engine
+        or os.environ.get("REPRO_SIM_ENGINE")
+        or DEFAULT_ENSEMBLE_ENGINE
+    )
+    if engine not in ENGINES:
+        raise ValueError(f"unknown sim engine {engine!r} (one of {ENGINES})")
+    return engine
 
 
 # --------------------------------------------------------------------- #
@@ -127,6 +159,71 @@ def stage_bubble_fractions(result) -> dict[int, float]:
 
 
 # --------------------------------------------------------------------- #
+# Batched-scenario summarization (vectorized views, no trace events)
+# --------------------------------------------------------------------- #
+def _critical_ids(view, cg, ops) -> list:
+    """:func:`critical_path`'s backward walk over one batched scenario.
+
+    Operates on the scenario view's per-op start/end arrays and resource
+    sequences instead of trace events, visiting candidates in exactly the
+    same order with the same strict-``>`` tie-breaks, so the returned op-id
+    chain matches the event chain :func:`critical_path` extracts from the
+    equivalent per-seed trace.  (The completion column is end-sorted, so its
+    last entry is the latest max-end event — the walk's anchor.)
+    """
+    if not len(view.order):
+        return []
+    end = view.end_by_op
+    start = view.start_by_op
+    cur = int(view.order[-1])
+    path = [cur]
+    while start[cur] > 0:
+        best = -1
+        best_end = 0.0
+        for p in cg.pred_lists[cur]:
+            if best < 0 or end[p] > best_end:
+                best = p
+                best_end = float(end[p])
+        for r in ops[cur].resources:
+            idx_of = view.resource_index(cg.slot_of[r])
+            k = idx_of[cur]
+            if k > 0:
+                prev = int(view.resource_sequence(cg.slot_of[r])[k - 1])
+                if best < 0 or end[prev] > best_end:
+                    best = prev
+                    best_end = float(end[prev])
+        if best < 0:
+            break
+        path.append(best)
+        cur = best
+    path.reverse()
+    return path
+
+
+def _stage_signature(ops, ids) -> tuple:
+    """:func:`critical_path_stages` over op ids instead of trace events."""
+    sig: list = []
+    for i in ids:
+        stage = ops[i].tags.get("stage")
+        if stage is None:
+            continue
+        if not sig or sig[-1] != stage:
+            sig.append(stage)
+    return tuple(sig)
+
+
+def _stage_bubbles(view, plan, makespan: float) -> tuple:
+    """:func:`stage_bubble_fractions` from a scenario view's busy totals."""
+    if makespan <= 0:
+        return tuple(0.0 for _ in range(plan.num_stages))
+    out = []
+    for stage in plan.stages:
+        busy = [view.busy_time(d.resource_key) for d in stage.devices]
+        out.append(1.0 - (sum(busy) / len(busy)) / makespan)
+    return tuple(out)
+
+
+# --------------------------------------------------------------------- #
 # Per-seed evaluation (module-level so ``sweep`` can fork it)
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -204,13 +301,21 @@ class EnsembleReport:
     clean: SeedOutcome
     outcomes: tuple
     makespans: np.ndarray = field(repr=False)
+    #: Memo for derived statistics (quantiles, convergence curves, bubble
+    #: rows) — computed on first access, excluded from equality/repr.
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def clean_makespan(self) -> float:
         return self.clean.makespan
 
     def quantile(self, q: float) -> float:
-        return float(np.quantile(self.makespans, q))
+        got = self._cache.get(("quantile", q))
+        if got is None:
+            got = self._cache[("quantile", q)] = float(
+                np.quantile(self.makespans, q)
+            )
+        return got
 
     @property
     def p50(self) -> float:
@@ -245,29 +350,42 @@ class EnsembleReport:
         enough for the tail estimate to settle (exported as the
         ``faults.quantile_convergence_delta`` gauge when observability is
         on).
+
+        The curve is computed once per ``q`` and cached; treat the returned
+        array as read-only.
         """
-        ms = self.makespans
-        return np.array(
-            [np.quantile(ms[: k + 1], q) for k in range(len(ms))],
-            dtype=np.float64,
-        )
+        got = self._cache.get(("convergence", q))
+        if got is None:
+            ms = self.makespans
+            got = self._cache[("convergence", q)] = np.array(
+                [np.quantile(ms[: k + 1], q) for k in range(len(ms))],
+                dtype=np.float64,
+            )
+        return got
 
     def bubble_attribution(self) -> list[BubbleRow]:
-        """Per-stage idle-fraction inflation, mean over the ensemble."""
-        rows = []
-        num_stages = len(self.clean.stage_bubbles)
-        for i in range(num_stages):
-            perturbed = float(
-                np.mean([o.stage_bubbles[i] for o in self.outcomes])
-            )
-            rows.append(
-                BubbleRow(
-                    stage=i,
-                    clean_fraction=self.clean.stage_bubbles[i],
-                    perturbed_fraction=perturbed,
+        """Per-stage idle-fraction inflation, mean over the ensemble.
+
+        Rows are computed once and cached (:class:`BubbleRow` is frozen);
+        each call returns a fresh list over the shared rows.
+        """
+        rows = self._cache.get("bubbles")
+        if rows is None:
+            num_stages = len(self.clean.stage_bubbles)
+            rows = []
+            for i in range(num_stages):
+                perturbed = float(
+                    np.mean([o.stage_bubbles[i] for o in self.outcomes])
                 )
-            )
-        return rows
+                rows.append(
+                    BubbleRow(
+                        stage=i,
+                        clean_fraction=self.clean.stage_bubbles[i],
+                        perturbed_fraction=perturbed,
+                    )
+                )
+            rows = self._cache["bubbles"] = tuple(rows)
+        return list(rows)
 
     def identical(self, other: "EnsembleReport") -> bool:
         """Bit-exact equality with another report.
@@ -296,6 +414,65 @@ class EnsembleReport:
         return shifted / len(self.outcomes)
 
 
+def _run_ensemble_batched(
+    profile, cluster, plan, models, seeds, schedule, warmup_policy,
+    recompute, enforce_memory, clean,
+):
+    """One batched pass over the clean row plus every perturbed seed.
+
+    Builds and compiles the plan's graph once, stacks the clean duration
+    column (skipped when the caller supplied ``clean``) on top of the
+    ``(S, ops)`` perturbation matrix, and summarizes each scenario from its
+    vectorized view.  Deduplicated scenarios (identical duration rows) share
+    one view, and the bubble/critical-path summary is memoized per view so
+    repeated seeds cost nothing beyond the dict hit.
+    """
+    from repro.runtime.executor import PipelineExecutor
+
+    executor = PipelineExecutor(
+        profile,
+        cluster,
+        plan,
+        schedule=schedule,
+        warmup_policy=warmup_policy,
+        recompute=recompute,
+        enforce_memory=enforce_memory,
+    )
+    graph = executor.build_graph()
+    cg = compile_graph(graph)
+    ops = graph.ops()
+    matrix = perturb_durations(graph, models, seeds)
+    if clean is None:
+        rows = np.vstack([cg.durations[None, :], matrix])
+        offset = 1
+    else:
+        rows = matrix
+        offset = 0
+    batch = run_batched(cg, rows, record_memory=False)
+    memo: dict[int, tuple] = {}
+
+    def outcome(s: int, seed: int) -> SeedOutcome:
+        view = batch.view(s)
+        got = memo.get(id(view))
+        if got is None:
+            makespan = batch.makespan(s)
+            got = memo[id(view)] = (
+                _stage_bubbles(view, plan, makespan),
+                _stage_signature(ops, _critical_ids(view, cg, ops)),
+            )
+        return SeedOutcome(
+            seed=seed,
+            makespan=batch.makespan(s),
+            stage_bubbles=got[0],
+            critical_stages=got[1],
+        )
+
+    if clean is None:
+        clean = outcome(0, 0)
+    outcomes = [outcome(offset + j, seed) for j, seed in enumerate(seeds)]
+    return clean, outcomes
+
+
 def run_ensemble(
     profile,
     cluster,
@@ -308,34 +485,56 @@ def run_ensemble(
     enforce_memory: bool = True,
     sim_engine: str | None = None,
     jobs: int | None = 1,
+    clean: SeedOutcome | None = None,
 ) -> EnsembleReport:
     """Monte-Carlo ensemble of ``plan`` under ``models`` over ``seeds``.
 
-    The clean (model-free) run anchors the slowdown figures; perturbed seeds
-    fan out over :func:`repro.perf.sweep.sweep` when ``jobs`` allows.
+    With the default ``sim_engine`` (``"batched"``), the whole ensemble —
+    clean run included — is one compiled pass over an ``(S, ops)`` duration
+    matrix; ``jobs`` is ignored.  With ``"compiled"``/``"reference"`` the
+    clean (model-free) run anchors the slowdown figures and perturbed seeds
+    fan out over :func:`repro.perf.sweep.sweep` when ``jobs`` allows.  Both
+    paths produce bit-identical reports (:meth:`EnsembleReport.identical`).
+
+    ``clean`` short-circuits the clean baseline: callers re-scoring the same
+    plan under different model sets (straggler sweeps, robust selection)
+    pass a previous report's ``.clean`` so the baseline trace and its
+    critical-path walk are not recomputed per call.
     """
     seeds = [int(s) for s in seeds]
     if not seeds:
         raise ValueError("ensemble needs at least one seed")
     models = tuple(models)
+    engine = _resolve_ensemble_engine(sim_engine)
     track = obs.enabled()
     t_start = time.perf_counter() if track else 0.0
     with obs.span(
-        "faults.run_ensemble", plan=plan.notation, seeds=len(seeds)
+        "faults.run_ensemble",
+        plan=plan.notation,
+        seeds=len(seeds),
+        engine=engine,
     ):
-        clean = evaluate_seed(
-            profile, cluster, plan, (), 0,
-            schedule=schedule, warmup_policy=warmup_policy, recompute=recompute,
-            enforce_memory=enforce_memory, sim_engine=sim_engine,
-        )
-        tasks = [
-            (
-                profile, cluster, plan, models, s,
-                schedule, warmup_policy, recompute, enforce_memory, sim_engine,
+        if engine == "batched":
+            clean, outcomes = _run_ensemble_batched(
+                profile, cluster, plan, models, seeds, schedule,
+                warmup_policy, recompute, enforce_memory, clean,
             )
-            for s in seeds
-        ]
-        outcomes = sweep(evaluate_seed, tasks, jobs=jobs)
+        else:
+            if clean is None:
+                clean = evaluate_seed(
+                    profile, cluster, plan, (), 0,
+                    schedule=schedule, warmup_policy=warmup_policy,
+                    recompute=recompute,
+                    enforce_memory=enforce_memory, sim_engine=engine,
+                )
+            tasks = [
+                (
+                    profile, cluster, plan, models, s,
+                    schedule, warmup_policy, recompute, enforce_memory, engine,
+                )
+                for s in seeds
+            ]
+            outcomes = sweep(evaluate_seed, tasks, jobs=jobs)
     report = EnsembleReport(
         plan_notation=plan.notation,
         clean=clean,
@@ -345,6 +544,42 @@ def run_ensemble(
     if track:
         _record_ensemble_metrics(report, time.perf_counter() - t_start)
     return report
+
+
+def run_ensembles(
+    profile,
+    cluster,
+    plans: Sequence,
+    models,
+    seeds: Sequence[int],
+    schedule="dapple",
+    warmup_policy: str = "PA",
+    recompute=False,
+    enforce_memory: bool = True,
+    sim_engine: str | None = None,
+    jobs: int | None = 1,
+) -> list:
+    """Ensemble every plan in ``plans`` over the same ``models`` × ``seeds``.
+
+    The S seeds × K plans grid behind robust top-K re-scoring
+    (:func:`repro.faults.robust.robust_plan`): each plan's graph is compiled
+    once and its whole seed ensemble runs as a single batched pass (engine
+    permitting), so the grid costs K batched calls instead of K × (S + 1)
+    independent simulations.  Reports are index-aligned with ``plans``.
+    """
+    plans = list(plans)
+    with obs.span(
+        "faults.run_ensembles", plans=len(plans), seeds=len(seeds)
+    ):
+        return [
+            run_ensemble(
+                profile, cluster, plan, models, seeds,
+                schedule=schedule, warmup_policy=warmup_policy,
+                recompute=recompute, enforce_memory=enforce_memory,
+                sim_engine=sim_engine, jobs=jobs,
+            )
+            for plan in plans
+        ]
 
 
 def _record_ensemble_metrics(report: EnsembleReport, elapsed: float) -> None:

@@ -41,6 +41,7 @@ __all__ = [
     "SlowDevice",
     "DegradedLink",
     "TransientFailure",
+    "perturb_durations",
     "COMPUTE_KINDS",
     "COMM_KINDS",
 ]
@@ -82,6 +83,136 @@ def _comm_resource_keys(ops) -> list:
     return sorted(keys, key=str)
 
 
+class _GraphIndex:
+    """Graph-derived selection caches shared across seeds and models.
+
+    :func:`perturb_durations` applies the same models to the same op list
+    once per seed; everything that depends only on the graph — kind masks,
+    per-resource-key membership, the sorted candidate key lists the victim
+    draws index into — is computed once here instead of S times.  All
+    arrays preserve submission order, so vectorized draws consume the rng
+    in exactly the order the scalar :meth:`PerturbationModel.perturb` loops
+    do.
+    """
+
+    def __init__(self, ops):
+        self.ops = ops
+        self._kind_idx: dict = {}
+        self._key_mask: dict = {}
+        self._key_ops: dict = {}
+        self._ops_by_key: dict | None = None
+        self._compute_keys: list | None = None
+        self._comm_keys: list | None = None
+        self._comm_ids: np.ndarray | None = None
+        self._comm_key_mask: dict = {}
+
+    def compute_keys(self) -> list:
+        if self._compute_keys is None:
+            self._compute_keys = _compute_resource_keys(self.ops)
+        return self._compute_keys
+
+    def comm_keys(self) -> list:
+        if self._comm_keys is None:
+            self._comm_keys = _comm_resource_keys(self.ops)
+        return self._comm_keys
+
+    def jitter_indices(self, kinds) -> np.ndarray:
+        """Indices of ops a :class:`ComputeJitter` with ``kinds`` matches."""
+        got = self._kind_idx.get(kinds)
+        if got is None:
+            if kinds is None:
+                hit = [i for i, op in enumerate(self.ops) if op.duration > 0]
+            else:
+                hit = [
+                    i for i, op in enumerate(self.ops)
+                    if op.tags.get("kind") in kinds
+                ]
+            got = self._kind_idx[kinds] = np.array(hit, dtype=np.int64)
+        return got
+
+    def _incidence(self) -> dict:
+        """resource key -> op indices holding it, submission order.
+
+        Built in ONE pass over the op list; per-key masks and membership
+        lists derive from it, so an ensemble whose seeds each draw a fresh
+        victim (e.g. 32 stragglers over 128 devices) pays O(incidence)
+        once instead of an O(ops) scan per distinct victim."""
+        by = self._ops_by_key
+        if by is None:
+            by = {}
+            for i, op in enumerate(self.ops):
+                for r in op.resources:
+                    lst = by.get(r)
+                    if lst is None:
+                        by[r] = [i]
+                    elif lst[-1] != i:  # once per op, even if a key repeats
+                        lst.append(i)
+            self._ops_by_key = by
+        return by
+
+    def _mask_for(self, key) -> np.ndarray:
+        m = self._key_mask.get(key)
+        if m is None:
+            m = np.zeros(len(self.ops), dtype=bool)
+            m[self._incidence().get(key, ())] = True
+            self._key_mask[key] = m
+        return m
+
+    def holding_any(self, keys) -> np.ndarray:
+        """Boolean mask of ops holding any of ``keys``."""
+        out = np.zeros(len(self.ops), dtype=bool)
+        for key in keys:
+            out |= self._mask_for(key)
+        return out
+
+    def ops_holding(self, key) -> list:
+        """Op indices holding ``key``, submission order."""
+        got = self._key_ops.get(key)
+        if got is None:
+            got = self._key_ops[key] = list(self._incidence().get(key, ()))
+        return got
+
+    def comm_ids(self) -> np.ndarray:
+        if self._comm_ids is None:
+            self._comm_ids = np.array(
+                [
+                    i for i, op in enumerate(self.ops)
+                    if op.tags.get("kind") in COMM_KINDS
+                ],
+                dtype=np.int64,
+            )
+        return self._comm_ids
+
+    def comm_indices_on(self, keys) -> np.ndarray:
+        """Comm-kind op indices holding any of ``keys``, submission order."""
+        ids = self.comm_ids()
+        if ids.size == 0:
+            return ids
+        hit = np.zeros(ids.size, dtype=bool)
+        for key in keys:
+            m = self._comm_key_mask.get(key)
+            if m is None:
+                ops = self.ops
+                m = np.fromiter(
+                    (key in ops[i].resources for i in ids),
+                    dtype=bool, count=ids.size,
+                )
+                self._comm_key_mask[key] = m
+            hit |= m
+        return ids[hit]
+
+
+def _draw_victims(candidates, k: int, rng) -> tuple:
+    """The shared victim draw: ``rng.choice`` without replacement over the
+    sorted candidate list, victims in candidate order.  Must consume the rng
+    exactly like the scalar ``pick_victims`` implementations."""
+    if not candidates:
+        return ()
+    k = min(k, len(candidates))
+    idx = rng.choice(len(candidates), size=k, replace=False)
+    return tuple(candidates[int(i)] for i in sorted(idx))
+
+
 class PerturbationModel:
     """Base class: a seeded duration transform over a task graph.
 
@@ -89,10 +220,30 @@ class PerturbationModel:
     order) and the current duration column to a new duration column,
     consuming ``rng`` deterministically.  Models must not mutate ``ops`` or
     the input list.
+
+    :meth:`perturb_row` is the batched equivalent — same transform over a
+    numpy row, **consuming the rng stream identically** (numpy's sized
+    draws produce the same values as the equivalent sequence of scalar
+    draws), so ``perturb_durations`` rows are bit-equal to per-seed
+    :meth:`perturb` output.  The base implementation round-trips through
+    :meth:`perturb`, so third-party models stay correct without a
+    vectorized override.
     """
 
     def perturb(self, ops, durations: list[float], rng: np.random.Generator) -> list[float]:
         raise NotImplementedError
+
+    def perturb_row(self, ops, row: np.ndarray, rng: np.random.Generator,
+                    index: _GraphIndex) -> np.ndarray:
+        out = np.asarray(
+            self.perturb(ops, row.tolist(), rng), dtype=np.float64
+        )
+        if out.shape != row.shape:
+            raise ValueError(
+                f"{type(self).__name__}.perturb returned {out.size} "
+                f"durations for {row.size} ops"
+            )
+        return out
 
 
 @dataclass(frozen=True)
@@ -148,6 +299,21 @@ class ComputeJitter(PerturbationModel):
             out[i] = durations[i] * factor
         return out
 
+    def perturb_row(self, ops, row, rng, index):
+        idx = index.jitter_indices(self.kinds)
+        out = row.copy()
+        if idx.size:
+            # Sized draws consume the generator exactly like one scalar
+            # draw per matching op, in submission order.
+            if self.distribution == "lognormal":
+                factors = np.exp(self.sigma * rng.standard_normal(idx.size))
+            else:
+                factors = rng.uniform(
+                    1.0 - self.sigma, 1.0 + self.sigma, idx.size
+                )
+            out[idx] = row[idx] * factors
+        return out
+
 
 @dataclass(frozen=True)
 class SlowDevice(PerturbationModel):
@@ -188,6 +354,17 @@ class SlowDevice(PerturbationModel):
         for i, op in enumerate(ops):
             if any(r in victims for r in op.resources):
                 out[i] = durations[i] * self.factor
+        return out
+
+    def perturb_row(self, ops, row, rng, index):
+        if self.devices:
+            victims = tuple(self.devices)
+        else:
+            victims = _draw_victims(index.compute_keys(), self.num_devices, rng)
+        out = row.copy()
+        if victims:
+            mask = index.holding_any(victims)
+            out[mask] = row[mask] * self.factor
         return out
 
 
@@ -237,6 +414,26 @@ class DegradedLink(PerturbationModel):
                 continue
             if self.flaky_prob is None or rng.random() < self.flaky_prob:
                 out[i] = durations[i] * self.factor
+        return out
+
+    def perturb_row(self, ops, row, rng, index):
+        if self.links:
+            victims = tuple(self.links)
+        else:
+            victims = _draw_victims(index.comm_keys(), self.num_links, rng)
+        out = row.copy()
+        if not victims:
+            return out
+        idx = index.comm_indices_on(victims)
+        if idx.size == 0:
+            return out
+        if self.flaky_prob is None:
+            out[idx] = row[idx] * self.factor
+        else:
+            # One uniform draw per candidate transfer, submission order —
+            # the same stream the scalar loop consumes.
+            hit = idx[rng.random(idx.size) < self.flaky_prob]
+            out[hit] = row[hit] * self.factor
         return out
 
 
@@ -299,3 +496,65 @@ class TransientFailure(PerturbationModel):
                 )
             out[device_ops[k]] += self.stall
         return out
+
+    def perturb_row(self, ops, row, rng, index):
+        if self.devices:
+            victims = tuple(self.devices)
+        else:
+            victims = _draw_victims(
+                index.compute_keys(), self.num_failures, rng
+            )
+        out = row.copy()
+        if not victims or self.stall == 0.0:
+            return out
+        for victim in victims:
+            device_ops = index.ops_holding(victim)
+            if not device_ops:
+                continue
+            if self.position is None:
+                k = int(rng.integers(len(device_ops)))
+            else:
+                k = min(
+                    int(self.position * len(device_ops)), len(device_ops) - 1
+                )
+            out[device_ops[k]] += self.stall
+        return out
+
+
+def perturb_durations(graph, models, seeds) -> np.ndarray:
+    """Perturbed duration matrix: one row per seed, one column per op.
+
+    Row ``s`` is bit-identical to the duration column that
+    :func:`repro.faults.inject.perturb_graph` would bake into its rebuilt
+    graph for ``seeds[s]`` — same ``SeedSequence(seed).spawn(len(models))``
+    child-generator layout, same draw order within each model — but without
+    rebuilding ``len(seeds)`` graphs.  The batched simulation engine
+    (:func:`repro.sim.batched.run_batched`) consumes this matrix directly.
+
+    One :class:`_GraphIndex` is built up front and shared across all rows,
+    so per-seed cost is just the random draws plus a few vectorized
+    multiplies rather than repeated O(ops) python scans.
+    """
+    ops = graph.ops()
+    models = list(models)
+    seeds = [int(s) for s in seeds]
+    base = np.array([op.duration for op in ops], dtype=np.float64)
+    out = np.empty((len(seeds), base.size), dtype=np.float64)
+    if not models or not ops:
+        out[:] = base
+        return out
+    index = _GraphIndex(ops)
+    for s, seed in enumerate(seeds):
+        row = base
+        children = np.random.SeedSequence(seed).spawn(len(models))
+        for model, child in zip(models, children):
+            row = model.perturb_row(
+                ops, row, np.random.default_rng(child), index
+            )
+            if row.shape != base.shape:
+                raise ValueError(
+                    f"{type(model).__name__}.perturb_row returned "
+                    f"{row.shape[0]} durations for {len(ops)} ops"
+                )
+        out[s] = row
+    return out

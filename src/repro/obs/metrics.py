@@ -53,21 +53,44 @@ class Counter:
 
 
 class Gauge:
-    """Last-write-wins instantaneous value."""
+    """Last-write-wins instantaneous value.
 
-    __slots__ = ("name", "labels", "value")
+    A gauge can also carry a *collect-time provider* (:meth:`set_fn`, the
+    Prometheus ``set_function`` idiom): instead of paying to compute an
+    expensive value at record time, the producer hands over a zero-argument
+    callable and :attr:`value` evaluates it — once, memoized — when the
+    gauge is actually read (directly or via a registry snapshot).  A later
+    :meth:`set`/:meth:`set_fn` overwrites the pending provider, preserving
+    last-write-wins semantics.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_fn")
     kind = "gauge"
 
     def __init__(self, name: str, labels: tuple = ()):
         self.name = name
         self.labels = labels
-        self.value = 0.0
+        self._value = 0.0
+        self._fn = None
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            self._fn = None
+            self._value = float(fn())
+        return self._value
 
     def set(self, v) -> None:
-        self.value = float(v)
+        self._fn = None
+        self._value = float(v)
+
+    def set_fn(self, fn) -> None:
+        """Defer this gauge's value to ``fn()``, evaluated lazily on read."""
+        self._fn = fn
 
     def add(self, v) -> None:
-        self.value += float(v)
+        self._value = self.value + float(v)
 
 
 class Histogram:
@@ -105,6 +128,35 @@ class Histogram:
             self.min = v
         if self.max is None or v > self.max:
             self.max = v
+
+    def observe_many(self, values) -> None:
+        """Record a whole sample vector in one vectorized pass.
+
+        Bucket counts, count, min, and max land exactly as if
+        :meth:`observe` had been called per value (``np.searchsorted``'s
+        ``side="left"`` is ``bisect_left``); only ``sum`` may differ in the
+        last float bits, since numpy's pairwise summation re-associates the
+        additions.  Hot loops (the simulators) pre-aggregate samples into
+        plain lists and flush through here so instrumentation stays off
+        their per-event path.
+        """
+        import numpy as np
+
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(np.asarray(self.bounds), arr, side="left")
+        counts = self.counts
+        for b, c in zip(*np.unique(idx, return_counts=True)):
+            counts[int(b)] += int(c)
+        self.count += int(arr.size)
+        self.sum += float(arr.sum())
+        mn = float(arr.min())
+        mx = float(arr.max())
+        if self.min is None or mn < self.min:
+            self.min = mn
+        if self.max is None or mx > self.max:
+            self.max = mx
 
     @property
     def mean(self) -> float:
@@ -149,10 +201,16 @@ class _NoopMetric:
     def set(self, v) -> None:
         pass
 
+    def set_fn(self, fn) -> None:
+        pass
+
     def add(self, v) -> None:
         pass
 
     def observe(self, v) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
         pass
 
     def percentile(self, p: float) -> float:

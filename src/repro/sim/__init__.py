@@ -3,14 +3,21 @@
 This package provides the execution engine underneath the DAPPLE runtime:
 a deterministic list-scheduling simulator over a static task graph
 (:mod:`repro.sim.engine`), resource bookkeeping (:mod:`repro.sim.resources`),
-and execution traces with per-device memory timelines
-(:mod:`repro.sim.trace`).
+execution traces with per-device memory timelines (:mod:`repro.sim.trace`),
+and a vectorized multi-scenario engine that simulates whole fault ensembles
+in one pass (:mod:`repro.sim.batched`).
 
 The simulator plays the role that the TensorFlow graph executor plays in the
 paper: it runs operations as soon as their data/control dependencies are
 satisfied and their resources (GPU streams, network links) are free.
 """
 
+from repro.sim.batched import (
+    BatchedSimulation,
+    ScenarioView,
+    run_batched,
+    run_batched_graph,
+)
 from repro.sim.chrome_trace import export_chrome_trace, trace_to_events
 from repro.sim.compiled import (
     ColumnarMemoryTimeline,
@@ -34,6 +41,10 @@ __all__ = [
     "ColumnarMemoryTimeline",
     "compile_graph",
     "run_compiled",
+    "BatchedSimulation",
+    "ScenarioView",
+    "run_batched",
+    "run_batched_graph",
     "Resource",
     "ResourcePool",
     "Trace",

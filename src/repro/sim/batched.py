@@ -1,0 +1,662 @@
+"""Batched multi-scenario simulation: one compiled graph, S duration rows.
+
+Monte-Carlo fault ensembles (:mod:`repro.faults`) simulate the *same* task
+graph many times, varying only the duration column — the structure
+(dependencies, resources, priorities, memory effects) is fixed per plan.
+The per-seed path pays the full cost every time: rebuild the graph, re-intern
+resources, re-run the event loop from t=0.  :func:`run_batched` instead
+compiles the graph once and advances every scenario through shared loop
+state:
+
+* **Scenario-major layout** — durations arrive as one ``(S, ops)`` float64
+  matrix; row ``s`` is scenario ``s``'s duration column.  All structural
+  columns (adjacency, resource slots, priorities, memory effects, the
+  pre-sorted root set) are derived once from the
+  :class:`~repro.sim.compiled.CompiledTaskGraph` and reused by every row, as
+  are the per-resource waiter heaps and busy flags (both drain back to empty
+  when a scenario completes, so reuse is free).
+* **Row dedup** — scenarios whose duration rows are bytewise identical share
+  one simulation (common when a fault model's draw misses the graph).
+* **Incremental re-simulation** — while simulating the baseline row the
+  runner snapshots its full dispatch state at a few op-count milestones
+  (snapshots are only taken at dispatch-pass boundaries, where the fresh
+  list and candidate heap are both empty, so the saved state is complete).
+  A later scenario that differs from the baseline only in ops that start
+  *after* a snapshot's clock replays from that snapshot instead of t=0:
+  durations only influence the simulation from the moment a changed op is
+  dispatched, so every event up to the snapshot is bit-identical to the
+  baseline's and its trace prefix can be sliced instead of recomputed.
+  Scenarios that perturb early ops fall back to a full per-scenario run —
+  same results, no savings.
+
+The event loop body is the compiled engine's (same (priority, submission
+seq) dispatch order, same completion-calendar drain), so per-scenario
+makespans, traces, and memory timelines are **bit-identical** to running
+:func:`repro.sim.compiled.run_compiled` on a graph rebuilt with that row —
+enforced by ``tests/sim/test_batched_equivalence.py`` and the
+``repro check`` oracles.
+
+Observability is pre-aggregated: the loop appends per-timestamp completion
+batch sizes and waiter depths (an O(1) incremental counter, not an O(R)
+scan) to plain lists shared across the whole batch, and records them with
+one bulk :meth:`~repro.obs.metrics.Histogram.observe_many` call per batch —
+this is what brings obs-enabled simulation overhead under 20%.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+
+import numpy as np
+
+import repro.obs as obs
+from repro.sim.compiled import (
+    ColumnarMemoryTimeline,
+    ColumnarTrace,
+    CompiledTaskGraph,
+    compile_graph,
+)
+from repro.sim.trace import PHASE_END, PHASE_START
+
+__all__ = [
+    "run_batched",
+    "BatchedSimulation",
+    "ScenarioView",
+    "DEFAULT_SNAPSHOTS",
+]
+
+#: Dispatch-state snapshots taken along the baseline scenario for the
+#: incremental fast path.
+DEFAULT_SNAPSHOTS = 8
+
+#: Below this op count a full re-run is cheaper than snapshot bookkeeping.
+_INCREMENTAL_MIN_OPS = 512
+
+#: Histogram buckets shared with the compiled engine (same metric names, so
+#: summaries unify across engines).
+_WAITER_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class _Snapshot:
+    """Complete dispatch state at one pass boundary of the baseline run.
+
+    Captured only where the fresh list and candidate heap are both empty, so
+    (busy, waiters, pred_left, completion calendar, clock, seq counter) plus
+    the trace/memory prefix lengths fully determine the rest of the run.
+    """
+
+    __slots__ = (
+        "now", "busy", "waiters", "pred_left", "bucket", "times",
+        "seq", "olen", "mlen", "parked",
+    )
+
+    def __init__(self, now, busy, waiters, pred_left, bucket, times,
+                 seq, olen, mlen, parked):
+        self.now = now
+        self.busy = busy
+        self.waiters = waiters
+        self.pred_left = pred_left
+        self.bucket = bucket
+        self.times = times
+        self.seq = seq
+        self.olen = olen
+        self.mlen = mlen
+        self.parked = parked
+
+
+class _BatchRunner:
+    """Shared per-graph loop state, reused across scenario rows.
+
+    Busy flags and waiter heaps are owned by the runner: both are empty
+    again after every successful run (every op completes, every parked op is
+    eventually promoted), so consecutive scenarios pay zero re-allocation.
+    A failed run (cycle/deadlock) leaves them dirty — the exception aborts
+    the whole batch, so the runner is never reused after one.
+    """
+
+    def __init__(self, cg: CompiledTaskGraph, record_memory: bool, track: bool):
+        self.cg = cg
+        n = cg.num_ops
+        prio = cg.priorities.tolist()
+        self.prio = prio
+        self.succ = cg._succ_lists
+        self.res = cg._res_lists
+        self.record_memory = record_memory
+        if record_memory:
+            self.mem_start = cg.mem_start
+            self.mem_end = cg.mem_end
+        else:
+            # All-empty effect columns: the loop's ``if ms:`` guards never
+            # fire, so skipping memory costs nothing extra per op.
+            self.mem_start = self.mem_end = [()] * n
+        self.pred0 = list(cg._pred_list)
+        self.busy = [False] * cg.num_resources
+        self.waiters: list[list] = [[] for _ in range(cg.num_resources)]
+        # Roots carry the same (priority, seq, id) tuples the compiled loop
+        # would build — seq assigned in graph order — pre-sorted once.
+        roots = []
+        seq = 0
+        for i in range(n):
+            if not self.pred0[i]:
+                roots.append((prio[i], seq, i))
+                seq += 1
+        roots.sort()
+        self.roots = roots
+        self.root_seq = seq
+        # Per-batch obs pre-aggregation (bulk-recorded by run_batched).
+        self.batch_sizes: list | None = [] if track else None
+        self.depths: list | None = [] if track else None
+
+    def run(self, dur, thresholds=None, resume=None, base=None):
+        """Simulate one duration row; returns (order, ends, mem, snapshots).
+
+        ``thresholds`` (op-count milestones) requests snapshots along this
+        run; ``resume`` replays from a prior run's snapshot, with ``base``
+        supplying the (order, ends, mem) columns to slice the prefix from.
+        """
+        cg = self.cg
+        n = cg.num_ops
+        prio = self.prio
+        succ = self.succ
+        res = self.res
+        mem_start = self.mem_start
+        mem_end = self.mem_end
+        busy = self.busy
+        waiters = self.waiters
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        P_START = PHASE_START
+        P_END = PHASE_END
+        batch_sizes = self.batch_sizes
+        depths = self.depths
+        track = depths is not None
+
+        if resume is None:
+            pred_left = self.pred0[:]
+            order_col: list[int] = []
+            ends_col: list[float] = []
+            mem_rows: list[tuple] = []
+            fresh = self.roots[:]
+            seq = self.root_seq
+            run_bucket: dict = {}
+            run_times: list[float] = []
+            now = 0.0
+            parked = 0
+        else:
+            base_order, base_ends, base_mem = base
+            pred_left = resume.pred_left[:]
+            order_col = base_order[:resume.olen]
+            ends_col = base_ends[:resume.olen]
+            mem_rows = base_mem[:resume.mlen] if self.record_memory else []
+            busy[:] = resume.busy
+            for r, w in enumerate(resume.waiters):
+                if w:
+                    waiters[r][:] = w
+            fresh = []
+            seq = resume.seq
+            run_bucket = {t: b[:] for t, b in resume.bucket.items()}
+            run_times = resume.times[:]
+            now = resume.now
+            parked = resume.parked
+
+        add_ord = order_col.append
+        add_end = ends_col.append
+        add_mem = mem_rows.append
+        add_fresh = fresh.append
+        cand: list = []
+        get_bucket = run_bucket.get
+        snaps: list[_Snapshot] = []
+        ti = 0
+
+        while True:
+            # Dispatch pass — identical to the compiled engine's: start
+            # candidates in (priority, seq) order, park blocked ones on the
+            # first busy resource they need.
+            fn = len(fresh)
+            if fn > 1:
+                fresh.sort()
+            fi = 0
+            while True:
+                if fi < fn:
+                    f = fresh[fi]
+                    if cand:
+                        c0 = cand[0]
+                        fp = f[0]
+                        if c0[0] < fp or (c0[0] == fp and c0[1] < f[1]):
+                            pr, sq, i, src = heappop(cand)
+                        else:
+                            pr, sq, i = f
+                            src = -1
+                            fi += 1
+                    else:
+                        pr, sq, i = f
+                        src = -1
+                        fi += 1
+                elif cand:
+                    pr, sq, i, src = heappop(cand)
+                else:
+                    break
+                rs = res[i]
+                if type(rs) is int:
+                    if busy[rs]:
+                        heappush(waiters[rs], (pr, sq, i))
+                        parked += 1
+                        if src >= 0 and not busy[src]:
+                            w = waiters[src]
+                            if w:
+                                wp, ws, wi = heappop(w)
+                                parked -= 1
+                                heappush(cand, (wp, ws, wi, src))
+                        continue
+                    busy[rs] = True
+                elif rs is not None:
+                    r_blocked = -1
+                    for r in rs:
+                        if busy[r]:
+                            r_blocked = r
+                            break
+                    if r_blocked >= 0:
+                        heappush(waiters[r_blocked], (pr, sq, i))
+                        parked += 1
+                        if src >= 0 and not busy[src]:
+                            w = waiters[src]
+                            if w:
+                                wp, ws, wi = heappop(w)
+                                parked -= 1
+                                heappush(cand, (wp, ws, wi, src))
+                        continue
+                    for r in rs:
+                        busy[r] = True
+                ms = mem_start[i]
+                if ms:
+                    add_mem((now, P_START, ms))
+                end = now + dur[i]
+                b = get_bucket(end)
+                if b is None:
+                    run_bucket[end] = [(sq, i)]
+                    heappush(run_times, end)
+                else:
+                    b.append((sq, i))
+            del fresh[:]
+
+            if thresholds is not None and ti < len(thresholds):
+                oc = len(order_col)
+                if oc >= thresholds[ti]:
+                    if oc < n:
+                        snaps.append(_Snapshot(
+                            now, busy[:], [w[:] for w in waiters],
+                            pred_left[:],
+                            {t: b[:] for t, b in run_bucket.items()},
+                            run_times[:], seq, oc, len(mem_rows), parked,
+                        ))
+                    while ti < len(thresholds) and thresholds[ti] <= oc:
+                        ti += 1
+
+            if not run_times:
+                break
+            now = heappop(run_times)
+            batch = run_bucket.pop(now)
+            if track:
+                # Pre-aggregate per distinct timestamp: the waiter depth is
+                # an incrementally-maintained counter, not an O(R) scan, and
+                # both series are histogram-recorded in bulk after the batch.
+                batch_sizes.append(len(batch))
+                depths.append(parked)
+            batch.sort()
+            for sq, i in batch:
+                rs = res[i]
+                if type(rs) is int:
+                    busy[rs] = False
+                    w = waiters[rs]
+                    if w:
+                        wp, ws, wi = heappop(w)
+                        parked -= 1
+                        heappush(cand, (wp, ws, wi, rs))
+                elif rs is not None:
+                    for r in rs:
+                        busy[r] = False
+                        w = waiters[r]
+                        if w:
+                            wp, ws, wi = heappop(w)
+                            parked -= 1
+                            heappush(cand, (wp, ws, wi, r))
+                me = mem_end[i]
+                if me:
+                    add_mem((now, P_END, me))
+                add_ord(i)
+                add_end(now)
+                for s in succ[i]:
+                    c = pred_left[s] - 1
+                    pred_left[s] = c
+                    if not c:
+                        add_fresh((prio[s], seq, s))
+                        seq += 1
+
+        if len(order_col) != n:
+            # Cold path — same diagnostics as the compiled engine.
+            indeg = list(self.pred0)
+            queue = [i for i, d in enumerate(indeg) if not d]
+            seen = 0
+            while queue:
+                u = queue.pop()
+                seen += 1
+                for v in succ[u]:
+                    c = indeg[v] - 1
+                    indeg[v] = c
+                    if not c:
+                        queue.append(v)
+            if seen != n:
+                raise ValueError("task graph contains a dependency cycle")
+            stuck = [cg.ops[i].name for i in range(n) if pred_left[i] > 0]
+            raise RuntimeError(
+                f"simulation deadlocked: {n - len(order_col)} ops never ran "
+                f"(first few blocked: {stuck[:5]})"
+            )
+        return order_col, ends_col, mem_rows, snaps
+
+
+class ScenarioView:
+    """Vectorized read-only view of one scenario's schedule.
+
+    Exposes per-op start/end arrays and per-resource busy totals / op
+    sequences that are bit-identical to what :class:`~repro.sim.trace.Trace`
+    derives event-by-event (enforced by the batched-equivalence tests):
+
+    * starts are ``end - duration`` elementwise — the same float expression
+      the trace evaluates per event;
+    * per-resource busy totals accumulate event widths with ``np.add.at`` in
+      ``by_resource`` order ((start, end)-sorted, stable over completion
+      order), which applies additions sequentially and therefore reproduces
+      ``Trace.busy_time``'s left-to-right sum bit-for-bit (``reduceat``-style
+      pairwise reduction would not);
+    * :meth:`resource_sequence` is ``by_resource`` as op ids, backing the
+      critical-path walk in :mod:`repro.faults.analysis`.
+    """
+
+    def __init__(self, compiled: CompiledTaskGraph, order, ends, durations):
+        self.compiled = compiled
+        n = compiled.num_ops
+        order_arr = np.asarray(order, dtype=np.int64)
+        ends_arr = np.asarray(ends, dtype=np.float64)
+        dur = np.asarray(durations, dtype=np.float64)
+        end_by_op = np.empty(n, dtype=np.float64)
+        end_by_op[order_arr] = ends_arr
+        pos = np.empty(n, dtype=np.int64)
+        pos[order_arr] = np.arange(n, dtype=np.int64)
+        self.order = order_arr
+        self.end_by_op = end_by_op
+        self.start_by_op = end_by_op - dur
+        self.pos_by_op = pos
+        self._sorted: tuple | None = None
+        self._busy: np.ndarray | None = None
+        self._seq_cache: dict = {}
+        self._seq_pos: dict = {}
+
+    def _sorted_incidence(self) -> tuple:
+        """(op ids, resource slots) of every event×resource entry, sorted by
+        (resource, start, end, completion order) — by_resource order, all
+        resources concatenated."""
+        if self._sorted is None:
+            ops_e, res_e = self.compiled.res_incidence
+            idx = np.lexsort((
+                self.pos_by_op[ops_e],
+                self.end_by_op[ops_e],
+                self.start_by_op[ops_e],
+                res_e,
+            ))
+            self._sorted = (ops_e[idx], res_e[idx])
+        return self._sorted
+
+    def busy_by_slot(self) -> np.ndarray:
+        """Per-resource-slot total busy time (see class docstring)."""
+        if self._busy is None:
+            cg = self.compiled
+            busy = np.zeros(cg.num_resources, dtype=np.float64)
+            if cg.num_ops:
+                ops_s, res_s = self._sorted_incidence()
+                widths = self.end_by_op - self.start_by_op
+                np.add.at(busy, res_s, widths[ops_s])
+            self._busy = busy
+        return self._busy
+
+    def busy_time(self, key) -> float:
+        """``Trace.busy_time(key)``, bit-identical (0.0 for unknown keys)."""
+        slot = self.compiled.slot_of.get(key)
+        if slot is None:
+            return 0.0
+        return float(self.busy_by_slot()[slot])
+
+    def resource_sequence(self, slot: int) -> np.ndarray:
+        """Op ids that occupied resource ``slot``, in ``by_resource`` order."""
+        seq = self._seq_cache.get(slot)
+        if seq is None:
+            ops_s, res_s = self._sorted_incidence()
+            lo = np.searchsorted(res_s, slot, side="left")
+            hi = np.searchsorted(res_s, slot, side="right")
+            seq = ops_s[lo:hi]
+            self._seq_cache[slot] = seq
+        return seq
+
+    def resource_index(self, slot: int) -> dict:
+        """op id → position within :meth:`resource_sequence`."""
+        m = self._seq_pos.get(slot)
+        if m is None:
+            m = {int(o): k for k, o in enumerate(self.resource_sequence(slot))}
+            self._seq_pos[slot] = m
+        return m
+
+
+class BatchedSimulation:
+    """Results of one :func:`run_batched` call over S scenarios.
+
+    Holds the shared compiled graph, the duration matrix, and per-scenario
+    columnar (order, ends, memory) buffers — deduplicated scenarios alias
+    the same buffers.  Full :class:`~repro.sim.engine.SimulationResult`
+    objects and :class:`ScenarioView` analysis views materialize lazily.
+    """
+
+    def __init__(self, compiled, durations, orders, ends, mems, kinds):
+        self.compiled = compiled
+        #: The (S, ops) duration matrix actually simulated.
+        self.durations = durations
+        self._orders = orders
+        self._ends = ends
+        self._mems = mems
+        #: Per-scenario provenance: "full", "reused", or "incremental".
+        self.scenario_kinds = kinds
+        #: Scenario makespans, index-aligned with the input rows.
+        self.makespans = np.array(
+            [e[-1] if e else 0.0 for e in ends], dtype=np.float64
+        )
+        self._views: dict[int, ScenarioView] = {}
+
+    @property
+    def num_scenarios(self) -> int:
+        return len(self._orders)
+
+    def makespan(self, s: int) -> float:
+        """Scenario ``s``'s makespan as the native python float the per-seed
+        path would report."""
+        ends = self._ends[s]
+        return ends[-1] if ends else 0.0
+
+    def result(self, s: int):
+        """Materialize scenario ``s`` as a full SimulationResult."""
+        from repro.sim.engine import SimulationResult
+
+        if self._mems is None:
+            raise RuntimeError(
+                "run_batched(record_memory=False) keeps no memory timelines; "
+                "use view()/makespan() or re-run with record_memory=True"
+            )
+        trace = ColumnarTrace(
+            self.compiled, self._orders[s], self._ends[s],
+            durations=self.durations[s],
+        )
+        memory = ColumnarMemoryTimeline(self.compiled.device_keys, self._mems[s])
+        return SimulationResult(
+            makespan=trace.makespan(), trace=trace, memory=memory
+        )
+
+    def view(self, s: int) -> ScenarioView:
+        """Analysis view of scenario ``s``; deduplicated scenarios share one
+        view (and therefore its lazily-computed derived arrays)."""
+        key = id(self._ends[s])
+        v = self._views.get(key)
+        if v is None:
+            v = ScenarioView(
+                self.compiled, self._orders[s], self._ends[s],
+                self.durations[s],
+            )
+            self._views[key] = v
+        return v
+
+
+def run_batched(
+    cg: CompiledTaskGraph,
+    durations,
+    *,
+    record_memory: bool = True,
+    snapshots: int = DEFAULT_SNAPSHOTS,
+) -> BatchedSimulation:
+    """Simulate every row of a ``(S, ops)`` duration matrix over one graph.
+
+    Row 0 is the *baseline*: it always runs in full and anchors both the
+    dedup table and the incremental fast path (callers stacking perturbed
+    rows under the clean duration column get maximal prefix sharing for
+    free).  ``snapshots`` bounds how many dispatch-state snapshots the
+    baseline records (0 disables the incremental path); ``record_memory=False``
+    skips memory-timeline collection for analysis-only ensembles.
+
+    Every scenario's (order, ends, memory) output is bit-identical to
+    :func:`~repro.sim.compiled.run_compiled` on a graph rebuilt with that
+    row's durations.
+    """
+    rows = np.asarray(durations, dtype=np.float64)
+    if rows.ndim != 2:
+        raise ValueError(
+            f"durations must be a (scenarios, ops) matrix, got shape {rows.shape}"
+        )
+    S, n = rows.shape
+    if n != cg.num_ops:
+        raise ValueError(
+            f"duration matrix has {n} columns for {cg.num_ops} ops"
+        )
+    if S == 0:
+        raise ValueError("need at least one scenario row")
+    if n and float(rows.min()) < 0:
+        s, i = np.unravel_index(int(rows.argmin()), rows.shape)
+        raise ValueError(
+            f"perturbed duration for op {cg.ops[int(i)].name!r} is negative "
+            f"({rows[s, i]}) in scenario {s}"
+        )
+    track = obs.enabled()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with obs.span("sim.run_batched", scenarios=S, ops=n):
+            sim = _run_batch(cg, rows, record_memory, snapshots, track)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if track:
+        _record_batch_metrics(sim)
+    return sim
+
+
+def _run_batch(cg, rows, record_memory, snapshots, track) -> BatchedSimulation:
+    n = cg.num_ops
+    S = rows.shape[0]
+    runner = _BatchRunner(cg, record_memory, track)
+
+    thresholds = None
+    if snapshots and S > 1 and n >= _INCREMENTAL_MIN_OPS:
+        step = n // (snapshots + 1)
+        if step > 0:
+            thresholds = [step * k for k in range(1, snapshots + 1)]
+
+    base_row = rows[0]
+    order0, ends0, mem0, snaps = runner.run(
+        base_row.tolist(), thresholds=thresholds
+    )
+    orders = [order0]
+    ends = [ends0]
+    mems = [mem0]
+    kinds = ["full"]
+    seen = {base_row.tobytes(): 0}
+
+    start0 = None
+    if S > 1 and snaps:
+        # Baseline per-op start times gate snapshot validity: a snapshot at
+        # clock t is replayable for a scenario iff every changed op starts
+        # strictly after t in the baseline (so nothing divergent was
+        # dispatched at or before the snapshot).
+        order_arr = np.asarray(order0, dtype=np.int64)
+        start0 = np.empty(n, dtype=np.float64)
+        start0[order_arr] = np.asarray(ends0) - base_row[order_arr]
+
+    for s in range(1, S):
+        row = rows[s]
+        key = row.tobytes()
+        hit = seen.get(key)
+        if hit is not None:
+            orders.append(orders[hit])
+            ends.append(ends[hit])
+            mems.append(mems[hit])
+            kinds.append("reused")
+            continue
+        snap = None
+        if start0 is not None:
+            changed = np.flatnonzero(row != base_row)
+            if changed.size:
+                t_star = float(start0[changed].min())
+                for cs in reversed(snaps):
+                    if cs.now < t_star:
+                        snap = cs
+                        break
+        if snap is not None:
+            o, e, m, _ = runner.run(
+                row.tolist(), resume=snap, base=(order0, ends0, mem0)
+            )
+            kinds.append("incremental")
+        else:
+            o, e, m, _ = runner.run(row.tolist())
+            kinds.append("full")
+        seen[key] = s
+        orders.append(o)
+        ends.append(e)
+        mems.append(m)
+
+    if track:
+        # One bulk histogram call per series for the whole batch — the loop
+        # itself only did list appends.
+        obs.histogram(
+            "sim.waiter_depth", buckets=_WAITER_BUCKETS
+        ).observe_many(runner.depths)
+        obs.histogram(
+            "sim.completion_batch", buckets=_BATCH_BUCKETS
+        ).observe_many(runner.batch_sizes)
+
+    return BatchedSimulation(
+        cg, rows, orders, ends, mems if record_memory else None, tuple(kinds),
+    )
+
+
+def _record_batch_metrics(sim: BatchedSimulation) -> None:
+    """Publish per-batch scenario provenance counters (obs enabled only)."""
+    kinds = sim.scenario_kinds
+    obs.counter("sim.batched_scenarios").inc(len(kinds))
+    obs.counter("sim.batched_reused").inc(kinds.count("reused"))
+    obs.counter("sim.batched_incremental").inc(kinds.count("incremental"))
+
+
+def run_batched_graph(graph, durations=None, **kwargs) -> BatchedSimulation:
+    """Convenience wrapper: compile ``graph`` and run its own durations
+    (plus any extra rows) batched.  ``durations=None`` runs the single
+    unperturbed row."""
+    cg = compile_graph(graph)
+    if durations is None:
+        durations = cg.durations[None, :]
+    return run_batched(cg, durations, **kwargs)

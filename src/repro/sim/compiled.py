@@ -49,6 +49,8 @@ from __future__ import annotations
 
 import gc
 import heapq
+import itertools
+import operator
 from functools import cached_property
 
 import numpy as np
@@ -73,7 +75,7 @@ class CompiledTaskGraph:
 
     def __init__(self, ops, succ_lists, res_lists, pred_count, resource_keys,
                  device_keys, mem_start, mem_end, id_of,
-                 durations=None, priorities=None):
+                 durations=None, priorities=None, res_flat=None):
         #: Original Op objects in id order (id = submission order); names,
         #: tags, and resource-key tuples are read from here when trace rows
         #: are lazily materialized.
@@ -93,6 +95,11 @@ class CompiledTaskGraph:
         self._succ_lists = succ_lists
         self._res_lists = res_lists
         self._pred_list = pred_count
+        #: Optional pre-flattened (op ids, resource slots) incidence columns
+        #: maintained incrementally by the graph (same op-major order the
+        #: CSR expansion would produce); ``res_incidence`` wraps them
+        #: directly instead of rebuilding the CSR on the first query.
+        self._res_flat = res_flat
 
     @property
     def num_ops(self) -> int:
@@ -130,6 +137,39 @@ class CompiledTaskGraph:
             for rs in self._res_lists
         ])
 
+    @cached_property
+    def res_incidence(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened op×resource incidence: parallel (op id, resource slot)
+        arrays, op-major with each op's slots in declaration order — the
+        expansion batched analyses sort per scenario."""
+        if self._res_flat is not None:
+            ops_l, slots_l = self._res_flat
+            return (
+                np.array(ops_l, dtype=np.int64),
+                np.array(slots_l, dtype=np.int64),
+            )
+        indptr, indices = self.res_csr
+        ops_e = np.repeat(
+            np.arange(self.num_ops, dtype=np.int64), np.diff(indptr)
+        )
+        return ops_e, indices
+
+    @cached_property
+    def slot_of(self) -> dict:
+        """Resource key → dense slot (inverse of :attr:`resource_keys`)."""
+        return {k: i for i, k in enumerate(self.resource_keys)}
+
+    @cached_property
+    def pred_lists(self) -> list[list[int]]:
+        """Predecessors of each op, in predecessor-submission order (the
+        iteration order the critical-path walk in :mod:`repro.faults`
+        tie-breaks on)."""
+        preds: list[list[int]] = [[] for _ in range(self.num_ops)]
+        for i, succs in enumerate(self._succ_lists):
+            for j in succs:
+                preds[j].append(i)
+        return preds
+
 
 def _to_csr(lists) -> tuple[np.ndarray, np.ndarray]:
     """Pack a list of index tuples into (indptr, indices) CSR arrays."""
@@ -164,6 +204,7 @@ def compile_graph(graph) -> CompiledTaskGraph:
         graph._id_of,
         graph._dur_col,
         graph._prio_col,
+        res_flat=(graph._res_flat_ops, graph._res_flat_slots),
     )
 
 
@@ -181,12 +222,16 @@ class ColumnarTrace(Trace):
     index.
     """
 
-    def __init__(self, compiled: CompiledTaskGraph, order, ends) -> None:
+    def __init__(self, compiled: CompiledTaskGraph, order, ends,
+                 durations=None) -> None:
         # Deliberately does not call Trace.__init__: ``events`` is a lazy
         # property here, not an eagerly-filled list.
         self._compiled = compiled
         self._order = order
         self._ends_list = ends
+        # Per-scenario duration override (batched engine): the compiled
+        # graph's column describes the clean graph, not the row simulated.
+        self._durations = durations
         self._events: list[TraceEvent] | None = None
         self._event_cache: dict[int, TraceEvent] = {}
         self._op_to_event: dict[int, int] | None = None
@@ -203,10 +248,14 @@ class ColumnarTrace(Trace):
 
     def _starts_col(self) -> list[float]:
         if self._starts is None:
-            cg = self._compiled
             order, ends = self._cols()
+            dur = self._durations
+            if dur is None:
+                dur = self._compiled.durations
             starts = np.asarray(ends, dtype=np.float64)
-            starts = starts - cg.durations[np.asarray(order, dtype=np.int64)]
+            starts = starts - np.asarray(dur, dtype=np.float64)[
+                np.asarray(order, dtype=np.int64)
+            ]
             self._starts = starts.tolist()
         return self._starts
 
@@ -260,6 +309,50 @@ class ColumnarTrace(Trace):
             self._op_to_event = {i: k for k, i in enumerate(order)}
         return self._event(self._op_to_event[op_id])
 
+    def busy_totals(self) -> dict | None:
+        """Per-resource busy time, vectorized; ``None`` once mutated.
+
+        Bit-identical to summing event widths in ``iter_rows`` order (the
+        accumulation :func:`repro.sim.engine._record_sim_metrics` performs):
+        ``np.add.at`` applies additions sequentially, and the incidence
+        entries are expanded op-major in completion order — the same
+        left-to-right sum per resource.
+        """
+        if self._mutated:
+            return None
+        cg = self._compiled
+        order, ends = self._cols()
+        if not order:
+            return {}
+        ops_e, res_e = cg.res_incidence
+        # Event index (completion position) of each incidence entry; numpy
+        # argsort(stable) over it reproduces the python loop's visit order.
+        order_a = np.asarray(order, dtype=np.int64)
+        pos = np.empty(cg.num_ops, dtype=np.int64)
+        pos[order_a] = np.arange(len(order), dtype=np.int64)
+        entry_pos = pos[ops_e]
+        sort_idx = np.argsort(entry_pos, kind="stable")
+        # Width of each event, ``end - start``.  ``start`` is defined as
+        # ``end - duration`` (see ``_starts_col``), so the width must be
+        # computed as the round-trip ``end - (end - duration)`` — NOT as
+        # ``duration`` directly — to stay bit-equal to the per-event
+        # subtraction the scalar accumulation performs.
+        dur = self._durations
+        if dur is None:
+            dur = cg.durations
+        ends_a = np.asarray(ends, dtype=np.float64)
+        widths = ends_a - (
+            ends_a - np.asarray(dur, dtype=np.float64)[order_a]
+        )
+        busy = np.zeros(cg.num_resources, dtype=np.float64)
+        np.add.at(busy, res_e[sort_idx], widths[entry_pos[sort_idx]])
+        keys = cg.resource_keys
+        # Resources actually touched: bincount+flatnonzero gives the same
+        # set as np.unique(res_e) (sorted ascending) at a fraction of the
+        # cost on this scale of incidence column.
+        seen = np.flatnonzero(np.bincount(res_e, minlength=cg.num_resources))
+        return {keys[int(r)]: float(busy[int(r)]) for r in seen}
+
 
 class ColumnarMemoryTimeline(MemoryTimeline):
     """A :class:`~repro.sim.trace.MemoryTimeline` fed from a packed buffer.
@@ -302,6 +395,58 @@ class ColumnarMemoryTimeline(MemoryTimeline):
         self._thaw()
         return super()._materialize(device)
 
+    def peak_all(self) -> dict:
+        """Peak live bytes per device, vectorized over the packed buffer.
+
+        Bit-identical to the base class's per-device materialization:
+        ``np.lexsort`` keyed ``(delta, phase, time, device)`` reproduces,
+        within each device segment, exactly the ascending ``(time, phase,
+        delta)`` tuple order of ``sorted(rows)`` (ties stay in record order
+        — both sorts are stable), and the running sum is taken per segment
+        with ``np.cumsum`` — the same left-to-right addition sequence the
+        base class performs on that device's delta column.  Answering from
+        the packed rows directly skips the python thaw loop entirely.
+        """
+        if self._pending is None:
+            return super().peak_all()
+        device_keys, mem_rows = self._pending
+        if not mem_rows:
+            return {}
+        # Column extraction stays at C speed: map(itemgetter)/chain feed
+        # fromiter directly, with no python-level loop over the rows.
+        n = len(mem_rows)
+        get0, get1, get2 = (
+            operator.itemgetter(0), operator.itemgetter(1),
+            operator.itemgetter(2),
+        )
+        effs = list(map(get2, mem_rows))
+        counts = np.fromiter(map(len, effs), dtype=np.int64, count=n)
+        pairs = list(itertools.chain.from_iterable(effs))
+        if not pairs:
+            return {}
+        m = len(pairs)
+        dev_a = np.fromiter(map(get0, pairs), dtype=np.int64, count=m)
+        val_a = np.fromiter(map(get1, pairs), dtype=np.float64, count=m)
+        t_a = np.repeat(
+            np.fromiter(map(get0, mem_rows), dtype=np.float64, count=n),
+            counts,
+        )
+        p_a = np.repeat(
+            np.fromiter(map(get1, mem_rows), dtype=np.int64, count=n),
+            counts,
+        )
+        order = np.lexsort((val_a, p_a, t_a, dev_a))
+        dev_s = dev_a[order]
+        val_s = val_a[order]
+        cuts = np.flatnonzero(dev_s[1:] != dev_s[:-1]) + 1
+        starts = np.concatenate(([0], cuts))
+        stops = np.concatenate((cuts, [dev_s.size]))
+        out = {}
+        for a, b in zip(starts.tolist(), stops.tolist()):
+            key = device_keys[int(dev_s[a])]
+            out[key] = float(np.cumsum(val_s[a:b]).max(initial=0.0))
+        return dict(sorted(out.items(), key=lambda kv: str(kv[0])))
+
 
 def run_compiled(cg: CompiledTaskGraph):
     """Execute a compiled graph; returns a SimulationResult.
@@ -318,23 +463,26 @@ def run_compiled(cg: CompiledTaskGraph):
     import repro.obs as obs
     from repro.sim.engine import SimulationResult
 
-    stats = None
-    if obs.enabled():
-        stats = (
-            obs.histogram(
-                "sim.waiter_depth", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128)
-            ),
-            obs.histogram(
-                "sim.completion_batch", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
-            ),
-        )
+    # Pre-aggregation buffers: the loop appends per-timestamp samples to
+    # plain lists; the histograms are recorded in one bulk observe_many call
+    # each after the run, keeping the enabled-path overhead on the loop to
+    # two list appends per distinct completion timestamp.
+    stats = ([], []) if obs.enabled() else None
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        return _run_compiled_loop(cg, SimulationResult, stats)
+        result = _run_compiled_loop(cg, SimulationResult, stats)
     finally:
         if gc_was_enabled:
             gc.enable()
+    if stats is not None:
+        obs.histogram(
+            "sim.waiter_depth", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128)
+        ).observe_many(stats[0])
+        obs.histogram(
+            "sim.completion_batch", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+        ).observe_many(stats[1])
+    return result
 
 
 def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
@@ -391,6 +539,12 @@ def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
             add_fresh((prio[i], seq, i))
             seq += 1
     cand: list[tuple[float, int, int, int]] = []
+    # Total ops currently parked across all waiter heaps, maintained
+    # incrementally so the per-timestamp obs sample below is O(1) instead of
+    # an O(resources) scan.
+    parked = 0
+    if stats is not None:
+        depth_samples, batch_samples = stats
 
     # Completion calendar: a heap of *distinct* end times plus a bucket of
     # (seq, op id) pairs per time.  Simulated ops complete in large batches
@@ -439,6 +593,7 @@ def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
             if type(rs) is int:
                 if busy[rs]:
                     heappush(waiters[rs], (pr, sq, i))
+                    parked += 1
                     # The candidate left its source queue without acquiring
                     # the source: promote that queue's next waiter (if the
                     # source is still free) so its minimum stays in ``cand``.
@@ -446,6 +601,7 @@ def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
                         w = waiters[src]
                         if w:
                             wp, ws, wi = heappop(w)
+                            parked -= 1
                             heappush(cand, (wp, ws, wi, src))
                     continue
                 busy[rs] = True
@@ -457,10 +613,12 @@ def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
                         break
                 if r_blocked >= 0:
                     heappush(waiters[r_blocked], (pr, sq, i))
+                    parked += 1
                     if src >= 0 and not busy[src]:
                         w = waiters[src]
                         if w:
                             wp, ws, wi = heappop(w)
+                            parked -= 1
                             heappush(cand, (wp, ws, wi, src))
                     continue
                 for r in rs:
@@ -487,10 +645,10 @@ def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
         # reference's tie-break.
         batch = run_bucket.pop(now)
         if stats is not None:
-            # One branch per distinct timestamp, not per op, so the
-            # disabled path costs a single ``is not None`` check here.
-            stats[1].observe(len(batch))
-            stats[0].observe(sum(len(w) for w in waiters))
+            # One branch per distinct timestamp, not per op; samples land in
+            # plain lists and are histogram-recorded in bulk after the loop.
+            batch_samples.append(len(batch))
+            depth_samples.append(parked)
         batch.sort()
         for sq, i in batch:
             rs = res[i]
@@ -499,6 +657,7 @@ def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
                 w = waiters[rs]
                 if w:
                     wp, ws, wi = heappop(w)
+                    parked -= 1
                     heappush(cand, (wp, ws, wi, rs))
             elif rs is not None:
                 for r in rs:
@@ -506,6 +665,7 @@ def _run_compiled_loop(cg: CompiledTaskGraph, SimulationResult, stats=None):
                     w = waiters[r]
                     if w:
                         wp, ws, wi = heappop(w)
+                        parked -= 1
                         heappush(cand, (wp, ws, wi, r))
             me = mem_end[i]
             if me:

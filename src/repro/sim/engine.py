@@ -30,6 +30,10 @@ Two engines implement these semantics:
 * ``"reference"`` — the original name-keyed drain-everything loop below,
   kept as the bit-identical oracle for debugging and equivalence testing
   (``tests/sim/test_compiled_equivalence.py``).
+* ``"batched"`` — the multi-scenario engine (:mod:`repro.sim.batched`)
+  invoked as a one-row batch; same loop body as compiled, same results.
+  Fault ensembles use it directly with a whole (seeds × ops) duration
+  matrix, which is where it earns its keep.
 
 Select globally with the ``REPRO_SIM_ENGINE`` environment variable or per
 run via ``Simulator(graph, engine=...)``.
@@ -124,6 +128,11 @@ class TaskGraph:
         # ``None`` (no resources), a bare ``int`` (the overwhelmingly common
         # single-resource op), or a tuple of slots.
         self._res_col: list = []
+        # Flat op×resource incidence (parallel op-id / slot columns,
+        # op-major, slots in declaration order) — the expansion vectorized
+        # analyses consume; maintained here so compile stays O(1).
+        self._res_flat_ops: list[int] = []
+        self._res_flat_slots: list[int] = []
         self._dev_slot_of: dict = {}
         self._dev_keys: list = []
         self._mem_start_col: list[tuple] = []
@@ -145,8 +154,11 @@ class TaskGraph:
         self._prio_col.append(op.priority)
         resources = op.resources
         if resources:
+            op_id = self._id_of[name]
             slot_of = self._res_slot_of
             keys = self._res_keys
+            flat_ops = self._res_flat_ops
+            flat_slots = self._res_flat_slots
             slots = []
             for key in resources:
                 s = slot_of.get(key)
@@ -154,6 +166,8 @@ class TaskGraph:
                     s = slot_of[key] = len(keys)
                     keys.append(key)
                 slots.append(s)
+                flat_ops.append(op_id)
+                flat_slots.append(s)
             self._res_col.append(slots[0] if len(slots) == 1 else tuple(slots))
         else:
             self._res_col.append(None)
@@ -232,8 +246,12 @@ class SimulationResult:
         return self.memory.peak(device)
 
 
-#: Valid ``Simulator(engine=...)`` values.
-ENGINES = ("compiled", "reference")
+#: Valid ``Simulator(engine=...)`` values.  ``"batched"`` routes a single
+#: run through the multi-scenario engine (:mod:`repro.sim.batched`) as a
+#: one-row batch — bit-identical to ``"compiled"``; its real payoff is
+#: multi-seed ensembles (``repro.faults``), which hand the batched engine a
+#: whole duration matrix at once.
+ENGINES = ("compiled", "reference", "batched")
 
 
 class Simulator:
@@ -293,6 +311,16 @@ class Simulator:
     def _run(self) -> SimulationResult:
         if self.engine == "reference":
             return self._run_reference()
+        if self.engine == "batched":
+            from repro.sim.batched import run_batched
+            from repro.sim.compiled import compile_graph
+
+            cg = compile_graph(self._graph)
+            # One-row batch over the graph's own duration column; no
+            # snapshots — there is nothing to replay incrementally.
+            return run_batched(
+                cg, cg.durations[None, :], snapshots=0
+            ).result(0)
         from repro.sim.compiled import compile_graph, run_compiled
 
         return run_compiled(compile_graph(self._graph))
@@ -391,21 +419,64 @@ class Simulator:
 def _record_sim_metrics(result: SimulationResult) -> None:
     """Publish post-run metrics: event count, per-resource occupancy,
     per-device memory peaks.  Called only while observability is enabled;
-    the single ``iter_rows`` pass runs outside the event loop so the hot
-    path stays untouched."""
-    events = 0
-    busy: dict = {}
-    for _name, start, end, resources, _tags in result.trace.iter_rows():
-        events += 1
-        width = end - start
-        for r in resources:
-            busy[r] = busy.get(r, 0.0) + width
-    obs.counter("sim.events").inc(events)
+    columnar traces answer through a vectorized busy-time pass
+    (:meth:`~repro.sim.compiled.ColumnarTrace.busy_totals`, bit-identical to
+    the row scan), and the python ``iter_rows`` fallback keeps plain traces
+    working — either way the event loop itself stays untouched."""
+    trace = result.trace
     makespan = result.makespan
-    if makespan > 0:
-        for r in sorted(busy, key=str):
-            obs.gauge("sim.occupancy", resource=str(r)).set(busy[r] / makespan)
-    for dev in sorted(result.memory.devices(), key=str):
-        obs.gauge("sim.memory_peak_bytes", device=str(dev)).set(
-            result.memory.peak(dev)
-        )
+    fast = getattr(trace, "busy_totals", None)
+    if fast is not None and not trace._mutated:
+        # Columnar trace: the per-resource occupancy gauges are registered
+        # with collect-time providers (Gauge.set_fn) sharing one memoized
+        # busy_totals() pass — the vectorized sum runs once, at first read,
+        # off the simulation's critical path.  The label set needs no
+        # computation: every interned resource key appears in at least one
+        # op's incidence, so it matches busy_totals' key set exactly.
+        events = len(trace._cols()[0])
+        if makespan > 0:
+            cache: list = []
+
+            def _busy() -> dict:
+                if not cache:
+                    cache.append(fast() or {})
+                return cache[0]
+
+            for r in sorted(trace._compiled.resource_keys, key=str):
+                obs.gauge("sim.occupancy", resource=str(r)).set_fn(
+                    lambda r=r: _busy().get(r, 0.0) / makespan
+                )
+    else:
+        events = 0
+        busy = {}
+        for _name, start, end, resources, _tags in trace.iter_rows():
+            events += 1
+            width = end - start
+            for r in resources:
+                busy[r] = busy.get(r, 0.0) + width
+        if makespan > 0:
+            for r in sorted(busy, key=str):
+                obs.gauge("sim.occupancy", resource=str(r)).set(
+                    busy[r] / makespan
+                )
+    obs.counter("sim.events").inc(events)
+    # Memory peaks likewise: the columnar timeline's packed buffer names
+    # every device up front, and peak_all (vectorized, bit-identical to
+    # per-device peak()) is deferred behind one shared memoized provider.
+    memory = result.memory
+    pending = getattr(memory, "_pending", None)
+    if pending is not None:
+        mem_cache: list = []
+
+        def _peaks() -> dict:
+            if not mem_cache:
+                mem_cache.append(memory.peak_all())
+            return mem_cache[0]
+
+        for dev in sorted(pending[0], key=str):
+            obs.gauge("sim.memory_peak_bytes", device=str(dev)).set_fn(
+                lambda d=dev: _peaks().get(d, 0.0)
+            )
+    else:
+        for dev, peak in memory.peak_all().items():
+            obs.gauge("sim.memory_peak_bytes", device=str(dev)).set(peak)

@@ -38,7 +38,7 @@ class TestOraclesPass:
         prof, cluster, plan = tiny
         report = run_oracles(prof, cluster, plan, gbs=plan.global_batch_size)
         assert report.ok, report.render()
-        assert len(report.checks) == 5
+        assert len(report.checks) == 6
 
 
 class TestOraclesCatchDivergence:

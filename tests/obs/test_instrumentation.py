@@ -127,6 +127,27 @@ class TestFaultsMetrics:
         assert delta == pytest.approx(abs(float(conv[-1]) - float(conv[-2])))
         names = [r.name for r in obs.tracer().spans()]
         assert "faults.run_ensemble" in names
+        # Default engine is batched: the whole ensemble (clean row + 4
+        # seeds) is one multi-scenario pass, no per-seed spans.
+        assert "sim.run_batched" in names
+        assert names.count("faults.seed") == 0
+
+    def test_per_seed_engine_publishes_seed_spans(self, small_problem):
+        from repro.faults import ComputeJitter, run_ensemble
+
+        prof, cluster = small_problem
+        d = cluster.devices
+        plan = ParallelPlan(
+            prof.graph, [Stage(0, 3, (d[0],)), Stage(3, 6, (d[1],))], 16, 4
+        )
+        obs.enable()
+        run_ensemble(
+            prof, cluster, plan, (ComputeJitter(sigma=0.1),), range(4),
+            sim_engine="compiled",
+        )
+        assert obs.registry().counter("faults.seeds_evaluated").value == 4
+        names = [r.name for r in obs.tracer().spans()]
+        assert "faults.run_ensemble" in names
         assert names.count("faults.seed") == 5  # clean + 4 seeds
         assert "perf.sweep" in names
 

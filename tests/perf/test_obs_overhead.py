@@ -16,6 +16,8 @@ The full enabled-vs-disabled A/B measurement lives in
 
 import time
 
+import pytest
+
 import repro.obs as obs
 from repro.cluster import config_a
 from repro.core import profile_model
@@ -29,6 +31,11 @@ from repro.obs.tracer import NOOP_SPAN
 #: Instrumentation budget: the no-op path may cost at most this fraction of
 #: the benchmark simulation's wall time.
 MAX_OVERHEAD_FRACTION = 0.02
+
+#: Enabled-path budget: a fully instrumented simulation (spans, counters,
+#: bulk histograms, collect-time gauges) may cost at most this fraction
+#: over the uninstrumented run.
+MAX_ENABLED_OVERHEAD_FRACTION = 0.20
 
 
 def _sim_benchmark():
@@ -90,4 +97,98 @@ def test_noop_overhead_under_two_percent_of_sim_benchmark():
         f"no-op instrumentation cost estimate {cost * 1e3:.2f}ms exceeds "
         f"{MAX_OVERHEAD_FRACTION:.0%} of the {sim_elapsed * 1e3:.0f}ms "
         f"benchmark simulation"
+    )
+
+
+def test_enabled_gauges_are_collect_time_providers():
+    """The expensive per-resource/per-device gauges are deferred: after an
+    instrumented run they hold pending collect-time providers, the first
+    read evaluates the shared vectorized pass (memoized — no second
+    evaluation), and the value matches the result's own accounting."""
+    from repro.cluster import config_b
+    from repro.models import uniform_model
+
+    model = uniform_model("obs-lazy", 6, 9e9, 1_000_000, 1e6, profile_batch=2)
+    prof = profile_model(model)
+    cluster = config_b(2)
+    d = cluster.devices
+    plan = ParallelPlan(
+        prof.graph, [Stage(0, 3, (d[0],)), Stage(3, 6, (d[1],))], 16, 4
+    )
+    graph = PipelineExecutor(prof, cluster, plan).build_graph()
+    obs.enable(reset_state=True)
+    try:
+        res = Simulator(graph, engine="compiled").run()
+        reg = obs.registry()
+        peak_g = reg.gauge("sim.memory_peak_bytes", device="gpu:0")
+        occ_g = reg.gauge("sim.occupancy", resource="gpu:0")
+        # Providers pending: the simulation did not pay to compute them.
+        assert peak_g._fn is not None
+        assert occ_g._fn is not None
+        assert peak_g.value == res.memory.peak("gpu:0")
+        busy = res.trace.busy_totals()
+        assert occ_g.value == busy["gpu:0"] / res.makespan
+        # Evaluated exactly once: reads are answered from the memo.
+        assert peak_g._fn is None
+        assert occ_g._fn is None
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+@pytest.mark.slow
+def test_enabled_overhead_under_twenty_percent_of_sim_benchmark():
+    """Wall-clock A/B of the instrumented vs. plain benchmark simulation.
+
+    The collect-time gauges keep the enabled path to list appends plus two
+    bulk histogram records, so even a wall-clock comparison has margin:
+    the measured overhead is a few percent of a run the 20% budget caps.
+    The arms are interleaved within each round (host slow phases bias both
+    sides) and it runs in the nightly slow pass — wall-clock A/Bs at this
+    resolution are too sensitive to suite-wide allocator state for tier-1,
+    where ``test_enabled_gauges_are_collect_time_providers`` enforces the
+    same budget structurally.  ``benchmarks/perf_obs.py`` is the full
+    measurement."""
+    prof = profile_model(get_model("bert48"))
+    cluster = config_a(16)
+    d = cluster.devices
+    plan = ParallelPlan(
+        prof.graph,
+        [Stage(0, 25, tuple(d[:8])), Stage(25, 50, tuple(d[8:]))],
+        256,
+        128,
+    )
+
+    def run_once(enabled):
+        graph = PipelineExecutor(
+            prof, cluster, plan, enforce_memory=False
+        ).build_graph()
+        if enabled:
+            obs.enable(reset_state=True)
+        else:
+            obs.disable()
+        t0 = time.perf_counter()
+        res = Simulator(graph, engine="compiled").run()
+        elapsed = time.perf_counter() - t0
+        obs.disable()
+        obs.reset()
+        assert res.makespan > 0
+        return elapsed
+
+    disabled = enabled = None
+    try:
+        for _ in range(3):
+            dt = run_once(False)
+            disabled = dt if disabled is None else min(disabled, dt)
+            dt = run_once(True)
+            enabled = dt if enabled is None else min(enabled, dt)
+    finally:
+        obs.disable()
+        obs.reset()
+    cap = disabled * (1 + MAX_ENABLED_OVERHEAD_FRACTION)
+    assert enabled <= cap, (
+        f"obs-enabled simulation took {enabled * 1e3:.1f}ms vs "
+        f"{disabled * 1e3:.1f}ms disabled "
+        f"(+{(enabled / disabled - 1) * 100:.1f}%), over the "
+        f"{MAX_ENABLED_OVERHEAD_FRACTION:.0%} budget"
     )
