@@ -1,0 +1,101 @@
+"""Gate nightly benchmark runs on the committed baseline JSON.
+
+Compares freshly measured ``results/perf_*.json`` records against the
+versions committed at ``HEAD`` (``git show HEAD:results/<name>.json``),
+entry by entry.  An entry regresses when its measured wall is more than
+``--threshold`` (default 25%) slower than the committed baseline; any
+regression fails the run with exit code 1.
+
+Entries present on only one side are reported but never fail the gate
+(benchmarks grow arms over time), and entries faster than baseline are
+reported as improvements.  Sub-millisecond rows (e.g. warm cache hits)
+are compared with a 0.25 ms absolute floor so scheduler noise on a
+microsecond-scale measurement cannot trip a percentage gate.
+
+Usage (after re-running the ``perf_*`` scripts)::
+
+    python benchmarks/check_regression.py perf_planner perf_ensemble
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ABS_FLOOR_MS = 0.25
+
+
+def committed_record(name: str):
+    out = subprocess.run(
+        ["git", "show", f"HEAD:results/{name}.json"],
+        cwd=REPO, capture_output=True, text=True,
+    )
+    if out.returncode != 0:
+        return None
+    return json.loads(out.stdout)
+
+
+def fresh_record(name: str):
+    path = REPO / "results" / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def compare(name: str, threshold: float) -> list[str]:
+    """Returns regression messages for one benchmark (empty = pass)."""
+    base = committed_record(name)
+    fresh = fresh_record(name)
+    if fresh is None:
+        return [f"{name}: no fresh results/{name}.json — run benchmarks/{name}.py first"]
+    if base is None:
+        print(f"{name}: no committed baseline at HEAD — skipping (first run?)")
+        return []
+    base_ms = {e["name"]: e["ms"] for e in base["entries"]}
+    regressions = []
+    for entry in fresh["entries"]:
+        ename, ms = entry["name"], entry["ms"]
+        if ename not in base_ms:
+            print(f"{name}/{ename}: new entry ({ms:.2f} ms), no baseline")
+            continue
+        ref = base_ms.pop(ename)
+        limit = max(ref * (1.0 + threshold), ref + ABS_FLOOR_MS)
+        verdict = "REGRESSION" if ms > limit else ("ok" if ms >= ref else "improved")
+        print(
+            f"{name}/{ename}: {ms:9.2f} ms vs baseline {ref:9.2f} ms "
+            f"({ms / ref:5.2f}x) {verdict}"
+        )
+        if ms > limit:
+            regressions.append(
+                f"{name}/{ename}: {ms:.2f} ms > {limit:.2f} ms "
+                f"(baseline {ref:.2f} ms + {threshold:.0%})"
+            )
+    for ename in base_ms:
+        print(f"{name}/{ename}: entry dropped from fresh run")
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmarks", nargs="+", help="e.g. perf_planner perf_ensemble")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed slowdown fraction vs baseline (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    failures = []
+    for name in args.benchmarks:
+        failures += compare(name, args.threshold)
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK: no benchmark regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from repro.core.plan import ParallelPlan, Stage
 from repro.faults import ComputeJitter, SlowDevice, run_ensemble
 from repro.faults.analysis import evaluate_seed
 from repro.models import get_model
+from repro.perf.record import write_bench_json
 from repro.runtime.executor import PipelineExecutor
 from repro.sim import Simulator
 
@@ -164,11 +165,34 @@ def main():
         f"ensemble runs in {factor:.2f}x one clean evaluation, "
         f"bit-identical to the per-seed path\n",
     ]
-    out = pathlib.Path(__file__).resolve().parent.parent / "results" / "perf_ensemble.txt"
-    out.parent.mkdir(parents=True, exist_ok=True)
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    out = results_dir / "perf_ensemble.txt"
     out.write_text("".join(lines))
     sys.stdout.write("".join(lines))
     sys.stdout.write(f"\nwrote {out}\n")
+
+    entries = [
+        {"name": "sim_only", "ms": sim_only * 1e3},
+        {"name": "single_eval", "ms": single * 1e3},
+        {"name": "straggler_batched", "ms": straggler[0] * 1e3,
+         "speedup": straggler[1] / straggler[0]},
+        {"name": "straggler_per_seed", "ms": straggler[1] * 1e3},
+        {"name": "straggler_batched_obs", "ms": straggler[2] * 1e3},
+        {"name": "straggler_per_seed_obs", "ms": straggler[3] * 1e3},
+        {"name": "heavy_batched", "ms": heavy[0] * 1e3,
+         "speedup": heavy[1] / heavy[0]},
+        {"name": "heavy_per_seed", "ms": heavy[1] * 1e3},
+    ]
+    json_out = write_bench_json(
+        results_dir / "perf_ensemble.json",
+        "perf_ensemble",
+        {"model": "bert48", "cluster": "A", "num_seeds": NUM_SEEDS,
+         "rounds": ROUNDS},
+        entries,
+        repo_root=results_dir.parent,
+    )
+    sys.stdout.write(f"wrote {json_out}\n")
     if not ok:
         raise SystemExit(1)
 

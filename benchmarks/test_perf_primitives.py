@@ -77,8 +77,13 @@ def test_planner_search_vgg_config_c_scalar(benchmark):
 
 
 def test_planner_search_bert48_before_after():
-    """BERT-48 / Config A: scalar vs vectorized search, recorded to
-    ``results/perf_planner.txt`` so the speedup is tracked in-repo."""
+    """BERT-48 / Config A: scalar vs per-state vs level-batched search.
+
+    Asserts three-way bit-identity and the expected speedup ordering; the
+    recorded artifact (``results/perf_planner.txt`` + ``.json``) is owned
+    by the standalone ``benchmarks/perf_planner.py`` script, which measures
+    the bigger Config B problem best-of-N.
+    """
     prof = profile("bert48")
     clu = cluster("A")
     gbs = 64
@@ -87,23 +92,19 @@ def test_planner_search_bert48_before_after():
     scalar = Planner(prof, clu, gbs, PlannerConfig(use_fast_scan=False)).search()
     t_scalar = time.perf_counter() - t0
     t0 = time.perf_counter()
-    fast = Planner(prof, clu, gbs, PlannerConfig(use_fast_scan=True)).search()
-    t_fast = time.perf_counter() - t0
+    per_state = Planner(prof, clu, gbs, PlannerConfig(level_batch=False)).search()
+    t_per_state = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    level = Planner(prof, clu, gbs, PlannerConfig()).search()
+    t_level = time.perf_counter() - t0
 
-    assert fast.estimate.latency == scalar.estimate.latency
-    assert fast.plan.notation == scalar.plan.notation
+    for other in (scalar, per_state):
+        assert level.estimate.latency == other.estimate.latency
+        assert level.plan.notation == other.plan.notation
+        assert level.plans_evaluated == other.plans_evaluated
 
-    out = pathlib.Path(__file__).resolve().parent.parent / "results" / "perf_planner.txt"
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(
-        "planner search, BERT-48 on Config A (16 GPUs), GBS=64\n"
-        f"before (scalar evaluate_plan loop) : {t_scalar * 1e3:9.1f} ms\n"
-        f"after  (vectorized scan_completions): {t_fast * 1e3:9.1f} ms\n"
-        f"speedup                             : {t_scalar / t_fast:9.1f}x\n"
-        f"plan                                : {fast.plan.notation} "
-        f"({fast.plan.split_notation}), latency {fast.estimate.latency * 1e3:.2f} ms\n"
-    )
-    assert t_fast < t_scalar
+    assert t_level < t_scalar
+    assert t_per_state < t_scalar
 
 
 def _bert48_pipeline_graph(num_micro_batches):

@@ -30,6 +30,7 @@ from repro.check.oracles import (
     oracle_engines,
     oracle_explain,
     oracle_memory_m_independence,
+    oracle_plan_cache,
     oracle_planner,
     run_oracles,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "oracle_engines",
     "oracle_explain",
     "oracle_memory_m_independence",
+    "oracle_plan_cache",
     "oracle_planner",
     "run_oracles",
     "GeneratedCase",

@@ -140,30 +140,92 @@ def oracle_batched_ensemble(
 
 def oracle_planner(profile, cluster, gbs: int,
                    config=None, subject: str = "planner") -> ConformanceReport:
-    """Fast-scan and scalar planner paths pick identical plans."""
+    """Level-batched, per-state fast-scan, and scalar searches agree exactly."""
     from repro.core.planner import Planner, PlannerConfig
 
     report = ConformanceReport(subject=subject)
     report.ran("oracle-planner")
     base = config or PlannerConfig()
-    fast = Planner(
-        profile, cluster, gbs, dataclasses.replace(base, use_fast_scan=True)
-    ).search()
-    slow = Planner(
-        profile, cluster, gbs, dataclasses.replace(base, use_fast_scan=False)
-    ).search()
-    for field, a, b in (
-        ("plan", fast.plan.notation, slow.plan.notation),
-        ("split", fast.plan.split_notation, slow.plan.split_notation),
-        ("M", fast.plan.num_micro_batches, slow.plan.num_micro_batches),
-        ("latency", fast.estimate.latency, slow.estimate.latency),
-        ("plans_evaluated", fast.plans_evaluated, slow.plans_evaluated),
-        ("infeasible_plans", fast.infeasible_plans, slow.infeasible_plans),
-    ):
+    arms = {
+        "level-batched": dataclasses.replace(
+            base, use_fast_scan=True, level_batch=True
+        ),
+        "per-state": dataclasses.replace(
+            base, use_fast_scan=True, level_batch=False
+        ),
+        "scalar": dataclasses.replace(base, use_fast_scan=False),
+    }
+    results = {
+        name: Planner(profile, cluster, gbs, cfg).search()
+        for name, cfg in arms.items()
+    }
+    ref_name, ref = "level-batched", results["level-batched"]
+    for name in ("per-state", "scalar"):
+        other = results[name]
+        for field, a, b in (
+            ("plan", ref.plan.notation, other.plan.notation),
+            ("split", ref.plan.split_notation, other.plan.split_notation),
+            ("M", ref.plan.num_micro_batches, other.plan.num_micro_batches),
+            ("latency", ref.estimate.latency, other.estimate.latency),
+            ("plans_evaluated", ref.plans_evaluated, other.plans_evaluated),
+            ("infeasible_plans", ref.infeasible_plans, other.infeasible_plans),
+        ):
+            if a != b:
+                report.add(Violation(
+                    "oracle-planner",
+                    f"{ref_name} and {name} search disagree on {field}: "
+                    f"{a!r} vs {b!r}",
+                ))
+    return report
+
+
+def oracle_plan_cache(profile, cluster, gbs: int,
+                      config=None, subject: str = "plan-cache") -> ConformanceReport:
+    """A round-tripped cache hit is byte-identical to a fresh search.
+
+    Runs a fresh search, stores it through a disk-backed
+    :class:`~repro.core.plancache.PlanCache`, drops the in-memory tier to
+    force the serialization round-trip, and demands the disk hit reproduce
+    the plan signature, latency, search counters, and the full top-K beam.
+    """
+    import tempfile
+
+    from repro.core.plancache import PlanCache
+    from repro.core.planner import Planner, PlannerConfig, plan_best
+
+    report = ConformanceReport(subject=subject)
+    report.ran("oracle-plan-cache")
+    cfg = config or PlannerConfig()
+    fresh = Planner(profile, cluster, gbs, cfg).search()
+    with tempfile.TemporaryDirectory(prefix="plancache-oracle-") as tmp:
+        cache = PlanCache(tmp)
+        cache.store(profile, cluster, gbs, cfg, fresh)
+        cache.clear_memory()  # force the on-disk JSON round-trip
+        hit = plan_best(profile, cluster, gbs, cfg, cache=cache)
+    if cache.hits != 1 or cache.misses != 0:
+        report.add(Violation(
+            "oracle-plan-cache",
+            f"stored entry did not hit: hits={cache.hits} misses={cache.misses}",
+        ))
+        return report
+    checks = [
+        ("plan", fresh.plan.notation, hit.plan.notation),
+        ("split", fresh.plan.split_notation, hit.plan.split_notation),
+        ("M", fresh.plan.num_micro_batches, hit.plan.num_micro_batches),
+        ("latency", fresh.estimate.latency, hit.estimate.latency),
+        ("states_explored", fresh.states_explored, hit.states_explored),
+        ("plans_evaluated", fresh.plans_evaluated, hit.plans_evaluated),
+        ("infeasible_plans", fresh.infeasible_plans, hit.infeasible_plans),
+        ("top_plans", len(fresh.top_plans), len(hit.top_plans)),
+    ]
+    for (lat_a, plan_a), (lat_b, plan_b) in zip(fresh.top_plans, hit.top_plans):
+        checks.append(("top_plans.latency", lat_a, lat_b))
+        checks.append(("top_plans.plan", plan_a.notation, plan_b.notation))
+    for field, a, b in checks:
         if a != b:
             report.add(Violation(
-                "oracle-planner",
-                f"fast-scan and scalar search disagree on {field}: "
+                "oracle-plan-cache",
+                f"cached result diverges from fresh search on {field}: "
                 f"{a!r} vs {b!r}",
             ))
     return report
@@ -289,6 +351,7 @@ def run_oracles(profile, cluster, plan, gbs: int | None = None,
     report.merge(oracle_engines(graph))
     if gbs is not None:
         report.merge(oracle_planner(profile, cluster, gbs))
+        report.merge(oracle_plan_cache(profile, cluster, gbs))
     report.merge(oracle_explain(profile, cluster, plan))
     report.merge(oracle_clean_faults(profile, cluster, plan))
     report.merge(oracle_batched_ensemble(profile, cluster, plan))

@@ -39,6 +39,8 @@ import sys
 import repro.obs as obs
 from repro.cluster import config_by_name
 from repro.core import Planner, PlannerConfig, profile_model
+from repro.core.plancache import configure_default, default_cache
+from repro.core.planner import plan_best
 from repro.core.serialization import load_plan, save_plan
 from repro.models import PAPER_FIGURES, get_model, model_names
 from repro.runtime import execute_plan
@@ -61,6 +63,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="hardware config (paper Table III)")
     p.add_argument("--devices", type=int, default=16, help="total GPUs")
     p.add_argument("--gbs", type=int, default=None, help="global batch size")
+
+
+def _add_plan_cache(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--plan-cache", metavar="DIR", default=None,
+        help="directory for the content-addressed plan cache (adds an "
+        "on-disk tier so repeated invocations skip the planner search)",
+    )
+    p.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="disable plan caching entirely (always search)",
+    )
 
 
 def _add_obs(p: argparse.ArgumentParser) -> None:
@@ -114,7 +128,7 @@ def cmd_plan(args) -> int:
         min_stages=2 if args.pipeline_only else 1,
         keep_top_k=4 if args.explain else 0,
     )
-    result = Planner(prof, cluster, gbs, cfg).search()
+    result = plan_best(prof, cluster, gbs, cfg, cache=default_cache())
     plan = result.plan
     est = result.estimate
     print(f"model   : {model.name} ({model.total_params / 1e6:.0f}M params)")
@@ -314,7 +328,9 @@ def cmd_faults(args) -> int:
             f"{rep.critical_path_shift():.0%}",
         ])
 
-    measure("DAPPLE", Planner(prof, cluster, gbs).search().plan, "dapple")
+    measure(
+        "DAPPLE", plan_best(prof, cluster, gbs, cache=default_cache()).plan, "dapple"
+    )
     try:
         measure("GPipe", gpipe_plan(prof, cluster, gbs), "gpipe")
     except ValueError as e:
@@ -501,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the winner's Tw/Ts/Te per-stage decomposition and the "
         "runner-up comparison",
     )
+    _add_plan_cache(p)
     _add_obs(p)
 
     p = sub.add_parser("run", help="simulate one training iteration")
@@ -533,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="base RNG seed for seeded experiments (convergence/"
         f"straggler_sweep); default {DEFAULT_SEED} keeps runs reproducible",
     )
+    _add_plan_cache(p)
     _add_obs(p)
 
     p = sub.add_parser(
@@ -620,6 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator event loop for ensembles (default: batched, one "
         "multi-scenario pass; compiled/reference = per-seed)",
     )
+    _add_plan_cache(p)
     _add_obs(p)
     return parser
 
@@ -634,6 +653,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "plan" and args.beam == 0:
         args.beam = None
+    if getattr(args, "no_plan_cache", False):
+        configure_default(enabled=False)
+    elif getattr(args, "plan_cache", None):
+        configure_default(directory=args.plan_cache)
     handlers = {
         "models": cmd_models,
         "plan": cmd_plan,

@@ -86,22 +86,36 @@ def append_first(cluster: Cluster, used: tuple[int, ...], want: int) -> Allocati
 
 
 def scatter_first(cluster: Cluster, used: tuple[int, ...], want: int) -> Allocation | None:
-    """Spread the allocation as evenly as possible over all machines."""
+    """Spread the allocation as evenly as possible over all machines.
+
+    Equivalent to round-robinning one GPU at a time over machines with
+    remaining capacity, but computed in closed form: after ``t`` complete
+    rounds machine ``i`` holds ``min(free_i, t)`` GPUs, so the water level
+    ``t`` is the largest round count whose total fits in ``want`` (found by
+    bisection on the monotone fill curve), and the remainder goes one GPU
+    each to the lowest-indexed machines still above the level — O(M·log C)
+    for M machines of capacity C instead of O(want·M).
+    """
     free = _capacity(cluster, used)
-    alloc = [0] * len(free)
-    remaining = want
-    # Round-robin one GPU at a time over machines with remaining capacity.
-    while remaining > 0:
-        progressed = False
-        for i in range(len(free)):
-            if remaining == 0:
-                break
-            if free[i] - alloc[i] > 0:
-                alloc[i] += 1
-                remaining -= 1
-                progressed = True
-        if not progressed:
-            return None
+    if sum(free) < want:
+        return None
+    # Largest t with sum(min(free_i, t)) <= want.
+    lo, hi = 0, max(free)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if sum(min(f, mid) for f in free) <= want:
+            lo = mid
+        else:
+            hi = mid - 1
+    level = lo
+    alloc = [min(f, level) for f in free]
+    remaining = want - sum(alloc)
+    for i, f in enumerate(free):
+        if remaining == 0:
+            break
+        if f > level:
+            alloc[i] += 1
+            remaining -= 1
     return tuple(alloc)
 
 

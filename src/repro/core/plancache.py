@@ -1,0 +1,266 @@
+"""Content-addressed plan cache: search results keyed by problem fingerprint.
+
+The planner is deterministic: the winning plan is a pure function of the
+layer statistics, the cluster topology, the global batch size, and the
+:class:`~repro.core.planner.PlannerConfig`.  This module derives a SHA-256
+fingerprint from exactly those inputs — canonical bytes of every float
+array and scalar field, never Python ``hash()`` — so equal problems collide
+onto one cache line and *any* changed field changes the key (no stale-plan
+reuse, no invalidation protocol; the paper's "offline … within a few
+seconds" search becomes a content-addressed lookup).
+
+Two tiers:
+
+* **in-memory** — a per-process dict.  ``repro.perf.sweep`` workers fork
+  from the parent, so a warm parent tier is inherited by every worker for
+  free and repeated grid points (fig12-style GBS sweeps re-plan the same
+  (model, cluster, config) dozens of times) hit without touching disk.
+* **on-disk** (optional) — one ``<digest>.json`` per entry under a cache
+  directory, written atomically (temp file + rename).  Covers spawn-based
+  pools, repeated CLI invocations, and CI runs.
+
+A hit stores only the *plan* (via :mod:`repro.core.serialization`) plus the
+search counters; the :class:`~repro.core.latency.PlanEstimate` is recomputed
+with :func:`~repro.core.latency.evaluate_plan`, which is deterministic given
+(profile, cluster, plan) — so a cached :class:`PlanResult` is bit-identical
+to a fresh search, a property ``repro check``'s plan-cache oracle enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from dataclasses import fields
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+import repro.obs as obs
+
+from repro.cluster.topology import Cluster
+from repro.core.latency import evaluate_plan
+from repro.core.profiler import ModelProfile
+from repro.core.serialization import plan_from_dict, plan_to_dict
+
+#: Payload schema version; bump to invalidate every existing cache entry.
+SCHEMA = "plan-cache-v1"
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprinting
+# --------------------------------------------------------------------------- #
+def _feed_scalars(h, *values) -> None:
+    """Hash scalars via a canonical text encoding (repr round-trips floats)."""
+    for v in values:
+        h.update(repr(v).encode())
+        h.update(b"\x00")
+
+
+def _feed_array(h, arr: np.ndarray) -> None:
+    a = np.ascontiguousarray(np.asarray(arr, dtype=np.float64))
+    h.update(struct.pack("<q", a.size))
+    h.update(a.tobytes())
+
+
+def fingerprint(
+    profile: ModelProfile,
+    cluster: Cluster,
+    global_batch_size: int,
+    config,
+) -> str:
+    """SHA-256 hex digest of everything the search result depends on.
+
+    Covers the model graph scalars and per-layer stat arrays, the GPU spec,
+    the full cluster topology (per-machine shape and both link classes),
+    the global batch size, and every :class:`PlannerConfig` field (iterated
+    via ``dataclasses.fields``, so newly added knobs automatically
+    invalidate old entries).
+    """
+    h = hashlib.sha256()
+    _feed_scalars(h, SCHEMA)
+
+    g = profile.graph
+    _feed_scalars(
+        h, g.name, profile.num_layers, g.profile_batch, g.optimizer, g.fixed_overhead_fwd
+    )
+    _feed_scalars(h, *[l.name for l in profile.layers])
+    _feed_array(h, [l.fwd_time for l in profile.layers])
+    _feed_array(h, [l.bwd_time for l in profile.layers])
+    _feed_array(h, [float(l.params) for l in profile.layers])
+    _feed_array(h, [l.param_bytes for l in profile.layers])
+    _feed_array(h, [l.activation_out_bytes for l in profile.layers])
+    _feed_array(h, [l.stored_bytes for l in profile.layers])
+    _feed_array(h, profile.boundary_act)
+    _feed_scalars(h, profile.gpu.name, profile.gpu.memory_bytes, profile.gpu.flops)
+
+    _feed_scalars(
+        h,
+        cluster.name,
+        cluster.num_machines,
+        cluster.inter.name,
+        cluster.inter.bandwidth,
+        cluster.inter.latency,
+    )
+    for m in cluster.machines:
+        _feed_scalars(
+            h,
+            m.num_gpus,
+            m.intra_bw,
+            m.intra_lat,
+            m.gpu_spec.name,
+            m.gpu_spec.memory_bytes,
+            m.gpu_spec.flops,
+        )
+
+    _feed_scalars(h, int(global_batch_size))
+    for f in fields(config):
+        _feed_scalars(h, f.name, getattr(config, f.name))
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# The cache
+# --------------------------------------------------------------------------- #
+class PlanCache:
+    """Two-tier (memory + optional disk) content-addressed result store."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._mem: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------ payload -------------------------------- #
+    @staticmethod
+    def _encode(result) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "plan": plan_to_dict(result.plan),
+            "states_explored": result.states_explored,
+            "plans_evaluated": result.plans_evaluated,
+            "infeasible_plans": result.infeasible_plans,
+            "top_plans": [[lat, plan_to_dict(p)] for lat, p in result.top_plans],
+        }
+
+    def _decode(self, payload: dict[str, Any], profile, cluster):
+        from repro.core.planner import PlanResult
+
+        plan = plan_from_dict(payload["plan"], profile.graph, cluster)
+        return PlanResult(
+            plan=plan,
+            estimate=evaluate_plan(profile, cluster, plan),
+            states_explored=payload["states_explored"],
+            plans_evaluated=payload["plans_evaluated"],
+            infeasible_plans=payload["infeasible_plans"],
+            top_plans=[
+                (lat, plan_from_dict(p, profile.graph, cluster))
+                for lat, p in payload["top_plans"]
+            ],
+        )
+
+    def _disk_path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.json"
+
+    # ------------------------------- API ----------------------------------- #
+    def lookup(self, profile, cluster, global_batch_size, config):
+        """Return the cached :class:`PlanResult` for this problem, or None."""
+        digest = fingerprint(profile, cluster, global_batch_size, config)
+        payload = self._mem.get(digest)
+        if payload is None and self.directory is not None:
+            path = self._disk_path(digest)
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                data = None
+            if data is not None and data.get("schema") == SCHEMA:
+                payload = data
+                self._mem[digest] = payload
+        if payload is None:
+            self.misses += 1
+            obs.counter("planner.cache.miss").inc()
+            return None
+        try:
+            result = self._decode(payload, profile, cluster)
+        except (KeyError, ValueError):
+            # Corrupt or mismatched entry: treat as a miss and drop it.
+            self._mem.pop(digest, None)
+            self.misses += 1
+            obs.counter("planner.cache.miss").inc()
+            return None
+        self.hits += 1
+        obs.counter("planner.cache.hit").inc()
+        return result
+
+    def store(self, profile, cluster, global_batch_size, config, result) -> str:
+        """Cache one search result; returns its fingerprint digest."""
+        digest = fingerprint(profile, cluster, global_batch_size, config)
+        payload = self._encode(result)
+        self._mem[digest] = payload
+        if self.directory is not None:
+            path = self._disk_path(digest)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        return digest
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk entries survive)."""
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+
+# --------------------------------------------------------------------------- #
+# Process-default cache
+# --------------------------------------------------------------------------- #
+_default: PlanCache | None = None
+_enabled = True
+
+
+def default_cache() -> PlanCache | None:
+    """The process-wide cache (lazily created, memory-only), or None if off.
+
+    ``repro.perf.sweep`` uses fork workers, so warming this cache in the
+    parent warms every worker.  Use :func:`configure_default` to attach a
+    disk tier (spawn pools, cross-run reuse) or disable caching entirely.
+    """
+    global _default
+    if not _enabled:
+        return None
+    if _default is None:
+        _default = PlanCache()
+    return _default
+
+
+def configure_default(
+    directory: str | Path | None = None, enabled: bool = True
+) -> PlanCache | None:
+    """(Re)configure the process-default cache; returns the active cache."""
+    global _default, _enabled
+    _enabled = enabled
+    _default = PlanCache(directory) if enabled else None
+    return _default
+
+
+def set_default_cache(cache: PlanCache | None) -> None:
+    """Install a specific cache instance as the process default."""
+    global _default, _enabled
+    _default = cache
+    _enabled = cache is not None

@@ -33,7 +33,7 @@ import numpy as np
 import repro.obs as obs
 
 from repro.cluster.topology import Cluster
-from repro.core.fast_scan import CompletionScanner
+from repro.core.fast_scan import shared_scanner
 from repro.core.latency import PlanEstimate, evaluate_plan
 from repro.core.placement import allocate
 from repro.core.plan import ParallelPlan, Stage
@@ -80,6 +80,13 @@ class PlannerConfig:
     #: faster.  False keeps the reference scalar path (used by the
     #: equivalence suite and available for debugging).
     use_fast_scan: bool = True
+    #: Batch each whole frontier level into one scanner kernel call
+    #: (:meth:`repro.core.fast_scan.CompletionScanner.scan_level`) instead of
+    #: one call per state, with memoized allocation rows / free-device tuples
+    #: and a vectorized beam-dedup replay — still bit-identical.  Only
+    #: meaningful with ``use_fast_scan=True``; False keeps the per-state
+    #: kernel path (the previous behaviour, used as the benchmark baseline).
+    level_batch: bool = True
     #: Also collect the K best distinct complete plans seen during the
     #: search into :attr:`PlanResult.top_plans` (0 = don't).  Robust
     #: planning (:mod:`repro.faults.robust`) re-scores these runners-up
@@ -165,6 +172,12 @@ class Planner:
         # (split j', replication m') -> number of candidate scorings, filled
         # only while observability is enabled (see _flush_obs).
         self._score_counts: dict[tuple[int, int], int] = {}
+        # Per-occupancy memoization for the level-batched path: allocation
+        # rows are a function of (used,) only, and the free-device tuple of
+        # each resulting occupancy recurs across states and levels.
+        self._rows_cache: dict[tuple, tuple] = {}
+        self._free_cache: dict[tuple, tuple] = {}
+        self._sig_cache: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Plan completion & evaluation
@@ -174,6 +187,38 @@ class Planner:
         for mid, machine in enumerate(self.cluster.machines):
             out.extend(machine.devices[used[mid] :])
         return out
+
+    def _free_tuple(self, used: tuple) -> tuple:
+        """Memoized tuple of free devices for one occupancy signature."""
+        out = self._free_cache.get(used)
+        if out is None:
+            out = tuple(self._free_devices(used))
+            self._free_cache[used] = out
+        return out
+
+    def _alloc_rows(self, used: tuple) -> tuple:
+        """Memoized ``(rows, groups, tails, row_key)`` for one occupancy.
+
+        The per-state search loop rebuilds this row list (every replication
+        count × every policy) for each frontier state; occupancy signatures
+        recur heavily across states and levels, so the level-batched path
+        caches the rows, their device/tail tuples, and a hashable row_key
+        under which the scanner memoizes per-row coefficient bundles.
+        """
+        entry = self._rows_cache.get(used)
+        if entry is None:
+            free_total = self.cluster.num_devices - sum(used)
+            rows = []
+            for m2 in range(1, free_total):
+                rows.extend(allocate(self.cluster, used, m2, self.config.policies))
+            entry = (
+                rows,
+                [p.devices for p in rows],
+                [self._free_tuple(p.new_used) for p in rows],
+                (self.config.policies, used),
+            )
+            self._rows_cache[used] = entry
+        return entry
 
     def _num_micro_batches(self, stages: list[Stage]) -> int:
         # Global micro-batch = the profiling batch (Table II); replicated
@@ -369,6 +414,98 @@ class Planner:
         for (split, repl), cnt in sorted(self._score_counts.items()):
             obs.counter("planner.scored", split=split, repl=repl).inc(cnt)
 
+    def _replay_level(self, specs: list, res, next_level: dict):
+        """Vectorized replay of the scalar beam loop over one level's scores.
+
+        The scalar loop iterates candidates in (state, split, row) order and,
+        per dedup key ``(j2, sorted occupancy, gpus)``: inserts the key at
+        its first finite candidate, keeps the lowest-latency candidate with
+        ties broken by arrival, and updates the global best on strict
+        improvement.  All three reduce to lexsorts over a rank array encoding
+        that iteration order, so ``next_level`` ends up with identical
+        contents *and* insertion order (``heapq.nsmallest`` is stable, so
+        dict order feeds beam tie-breaking).  Top-K collection depends on
+        evolving heap state, so with ``keep_top_k`` it replays sequentially
+        in rank order over candidates prefiltered by the entry threshold
+        (which never rises while the heap is full).
+
+        Returns ``(latency, j2, new_used, stages)`` for the level's winning
+        candidate (lowest latency, earliest arrival) or ``None``.
+        """
+        lat = res.latency
+        finite = np.isfinite(lat)
+        if not finite.any():
+            return None
+        t_idx, k_idx = np.nonzero(finite)
+        lats = lat[finite]
+        n = self.profile.num_layers
+        spec_of = res.row_state
+        r_within = res.row_index
+        j2s = res.splits[k_idx]
+        J = res.splits.size
+        r_max = int(r_within.max()) + 1
+        # Scalar iteration order: state asc, split asc, row asc.
+        rank = (spec_of[t_idx] * J + k_idx) * r_max + r_within[t_idx]
+
+        # Dedup-key codes: occupancy signatures shared across states.
+        sig_cache = self._sig_cache
+        code_of: dict[tuple, int] = {}
+        row_code = np.empty(lat.shape[0], dtype=np.int64)
+        for t in range(lat.shape[0]):
+            placed = specs[spec_of[t]][1][r_within[t]]
+            sig = sig_cache.get(placed.new_used)
+            if sig is None:
+                sig = tuple(sorted(placed.new_used))
+                sig_cache[placed.new_used] = sig
+            c = code_of.get(sig)
+            if c is None:
+                c = len(code_of)
+                code_of[sig] = c
+            row_code[t] = c
+        keys = row_code[t_idx] * (n + 1) + j2s
+
+        def materialize(pos: int):
+            t = t_idx[pos]
+            state, rows = specs[spec_of[t]]
+            placed = rows[r_within[t]]
+            j2 = int(j2s[pos])
+            stages = state.stages + (Stage(state.j, j2, placed.devices),)
+            return state, placed, j2, stages
+
+        # Top-K heap replay (heap state evolves with arrival order).
+        if self._topk_cap:
+            order = np.argsort(rank)
+            if len(self._topk) >= self._topk_cap:
+                order = order[lats[order] < -self._topk[0][0]]
+            for pos in order:
+                lat_v = float(lats[pos])
+                if not self._topk_accepts(lat_v):
+                    continue
+                _state, placed, j2, stages = materialize(pos)
+                self._note_candidate(lat_v, (j2, placed.new_used, stages))
+
+        # Per-key winners: lowest latency, ties to the earliest candidate.
+        order_win = np.lexsort((rank, lats, keys))
+        kw = keys[order_win]
+        first_w = np.ones(kw.size, dtype=bool)
+        first_w[1:] = kw[1:] != kw[:-1]
+        winners = order_win[first_w]  # one per distinct key, keys ascending
+        # Insertion order: each key enters the dict at its first finite
+        # candidate, so order keys by their minimum rank.
+        order_ins = np.lexsort((rank, keys))
+        ki = keys[order_ins]
+        first_i = np.ones(ki.size, dtype=bool)
+        first_i[1:] = ki[1:] != ki[:-1]
+        touch_rank = rank[order_ins[first_i]]  # aligned with winners
+        for pos in winners[np.argsort(touch_rank)]:
+            _state, placed, j2, stages = materialize(pos)
+            key = (j2, sig_cache[placed.new_used], sum(placed.new_used))
+            next_level[key] = _State(float(lats[pos]), j2, placed.new_used, stages)
+
+        best_pos = int(np.lexsort((rank, lats))[0])
+        _state, placed, j2, stages = materialize(best_pos)
+        return float(lats[best_pos]), j2, placed.new_used, stages
+
     def _search(self) -> PlanResult:
         n = self.profile.num_layers
         g_total = self.cluster.num_devices
@@ -399,13 +536,15 @@ class Planner:
                 consider(plan)
         frontier: list[_State] = [_State(root_latency, 0, zeros, ())]
         scanner = (
-            CompletionScanner(self.profile, self.cluster)
+            shared_scanner(self.profile, self.cluster)
             if self.config.use_fast_scan
             else None
         )
         # Hoisted enabled-check: scoring-count bookkeeping touches the
         # innermost loops, so the disabled path must skip it entirely.
         track = obs.enabled()
+
+        level_batched = scanner is not None and self.config.level_batch
 
         # Levels advance in j; dedupe on (sorted occupancy, gpus used).
         while frontier:
@@ -414,6 +553,73 @@ class Planner:
                     "planner.frontier_size", buckets=(1, 4, 16, 64, 256, 1024)
                 ).observe(len(frontier))
             next_level: dict[tuple, _State] = {}
+            if level_batched:
+                # Level-batched path: collect every state's allocation rows
+                # (memoized per occupancy), score the whole level in one
+                # kernel call, then replay the scalar insertion order over
+                # the latency matrix.
+                specs: list[tuple[_State, list]] = []
+                spec_rows: list[tuple] = []
+                for state in frontier:
+                    states_explored += 1
+                    if (
+                        self.config.max_stages is not None
+                        and len(state.stages) + 2 > self.config.max_stages
+                    ):
+                        continue
+                    rows, groups, tails, row_key = self._alloc_rows(state.used)
+                    if not rows or state.j + 1 >= n:
+                        continue
+                    if track:
+                        per_repl: dict[int, int] = {}
+                        for placed in rows:
+                            r_count = len(placed.devices)
+                            per_repl[r_count] = per_repl.get(r_count, 0) + 1
+                        sc = self._score_counts
+                        for j2 in range(state.j + 1, n):
+                            for r_count, cnt in per_repl.items():
+                                key = (j2, r_count)
+                                sc[key] = sc.get(key, 0) + cnt
+                    specs.append((state, rows))
+                    spec_rows.append((groups, tails, row_key))
+                if specs:
+                    res = scanner.scan_level(
+                        [
+                            (st.j, st.stages, groups, tails, row_key)
+                            for (st, _rows), (groups, tails, row_key) in zip(
+                                specs, spec_rows
+                            )
+                        ],
+                        global_batch_size=self.gbs,
+                        num_micro_batches=self._m_multi,
+                        enforce_memory=self.config.enforce_memory,
+                        min_stages=self.config.min_stages,
+                        stage_overhead_frac=self.config.stage_overhead_frac,
+                    )
+                    self._plans_evaluated += res.evaluated
+                    self._infeasible += res.infeasible
+                    if track:
+                        obs.histogram(
+                            "planner.level_batch", buckets=(1, 4, 16, 64, 256, 1024)
+                        ).observe(res.latency.shape[0])
+                    winner = self._replay_level(specs, res, next_level)
+                    if winner is not None and winner[0] < best_latency:
+                        lat_v, j2, new_used, stages = winner
+                        best_plan = self.complete(j2, new_used, stages)
+                        best_est = evaluate_plan(self.profile, self.cluster, best_plan)
+                        best_latency = lat_v
+                candidates = list(next_level.values())
+                if (
+                    self.config.beam_width is not None
+                    and len(candidates) > self.config.beam_width
+                ):
+                    if track:
+                        obs.counter("planner.beam_pruned").inc(
+                            len(candidates) - self.config.beam_width
+                        )
+                    candidates = heapq.nsmallest(self.config.beam_width, candidates)
+                frontier = candidates
+                continue
             for state in frontier:
                 states_explored += 1
                 free_total = g_total - sum(state.used)
@@ -547,9 +753,25 @@ def plan_best(
     cluster: Cluster,
     global_batch_size: int,
     config: PlannerConfig | None = None,
+    *,
+    cache=None,
 ) -> PlanResult:
-    """One-call façade: search and return the best plan."""
-    return Planner(profile, cluster, global_batch_size, config).search()
+    """One-call façade: search (or recall) and return the best plan.
+
+    ``cache`` is an optional :class:`repro.core.plancache.PlanCache`; a hit
+    returns a :class:`PlanResult` bit-identical to a fresh search (the plan
+    is content-addressed by the problem fingerprint and the estimate is
+    recomputed deterministically), a miss searches and stores.
+    """
+    cfg = config or PlannerConfig()
+    if cache is not None:
+        cached = cache.lookup(profile, cluster, global_batch_size, cfg)
+        if cached is not None:
+            return cached
+    result = Planner(profile, cluster, global_batch_size, cfg).search()
+    if cache is not None:
+        cache.store(profile, cluster, global_batch_size, cfg, result)
+    return result
 
 
 def plan_paper_family(

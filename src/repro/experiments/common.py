@@ -6,7 +6,8 @@ from functools import lru_cache
 
 from repro.cluster import Cluster, config_by_name
 from repro.core import Planner, PlannerConfig, profile_model
-from repro.core.planner import PlanResult, plan_paper_family
+from repro.core.plancache import default_cache
+from repro.core.planner import PlanResult, plan_best, plan_paper_family
 from repro.core.profiler import ModelProfile
 from repro.models import PAPER_FIGURES, get_model
 from repro.runtime import execute_plan
@@ -26,9 +27,16 @@ def cluster(config_letter: str, num_devices: int = 16) -> Cluster:
 @lru_cache(maxsize=None)
 def best_plan(model_name: str, config_letter: str, gbs: int | None = None,
               num_devices: int = 16) -> PlanResult:
-    """Unrestricted planner search (cached)."""
+    """Unrestricted planner search (lru-cached per argument tuple, plus the
+    process-wide content-addressed plan cache for cross-experiment reuse —
+    fork-based sweep workers inherit both tiers warm)."""
     gbs = gbs or PAPER_FIGURES[model_name].global_batch_size
-    return Planner(profile(model_name), cluster(config_letter, num_devices), gbs).search()
+    return plan_best(
+        profile(model_name),
+        cluster(config_letter, num_devices),
+        gbs,
+        cache=default_cache(),
+    )
 
 
 @lru_cache(maxsize=None)
@@ -57,14 +65,15 @@ def best_simulated_plan(model_name: str, clu: Cluster, gbs: int):
         return _SIM_CACHE[key]
     prof = profile(model_name)
     planner = Planner(prof, clu, gbs)
-    candidates = [planner.search()]
+    candidates = [plan_best(prof, clu, gbs, cache=default_cache())]
     fam = plan_paper_family(prof, clu, gbs)
     if fam.plan.notation != candidates[0].plan.notation:
         candidates.append(fam)
     try:
-        two_stage = Planner(
-            prof, clu, gbs, PlannerConfig(min_stages=2, max_stages=2)
-        ).search()
+        two_stage = plan_best(
+            prof, clu, gbs, PlannerConfig(min_stages=2, max_stages=2),
+            cache=default_cache(),
+        )
         if all(two_stage.plan.notation != c.plan.notation for c in candidates):
             candidates.append(two_stage)
     except RuntimeError:

@@ -1,0 +1,91 @@
+"""Machine-readable benchmark records.
+
+``benchmarks/perf_*.py`` scripts historically wrote human-oriented ``.txt``
+reports to ``results/``; this module adds a structured JSON sibling so CI
+can diff runs mechanically (``benchmarks/check_regression.py`` gates
+nightly runs on these files).  One record per benchmark script:
+
+.. code-block:: json
+
+    {
+      "schema": "bench-v1",
+      "bench": "perf_planner",
+      "config": {"model": "bert48", "cluster": "B", "gbs": 64},
+      "git_rev": "7f02317",
+      "entries": [
+        {"name": "level_batched", "ms": 68.2, "speedup": 3.96}
+      ]
+    }
+
+``ms`` is the measured wall (best-of-N, matching the ``.txt``); ``speedup``
+is relative to whichever baseline the script designates and may be absent
+for reference rows.  Extra per-entry keys are allowed and preserved.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Any
+
+SCHEMA = "bench-v1"
+
+
+def git_rev(repo_root: str | Path | None = None) -> str:
+    """Short git revision of ``repo_root`` (or cwd), or "unknown"."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def bench_record(
+    bench: str,
+    config: dict[str, Any],
+    entries: list[dict[str, Any]],
+    repo_root: str | Path | None = None,
+) -> dict[str, Any]:
+    """Assemble one benchmark record (see module docstring for the schema)."""
+    for e in entries:
+        if "name" not in e or "ms" not in e:
+            raise ValueError(f"bench entry needs 'name' and 'ms': {e!r}")
+    return {
+        "schema": SCHEMA,
+        "bench": bench,
+        "config": config,
+        "git_rev": git_rev(repo_root),
+        "entries": entries,
+    }
+
+
+def write_bench_json(
+    path: str | Path,
+    bench: str,
+    config: dict[str, Any],
+    entries: list[dict[str, Any]],
+    repo_root: str | Path | None = None,
+) -> Path:
+    """Write a benchmark record to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = bench_record(bench, config, entries, repo_root=repo_root)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path: str | Path) -> dict[str, Any]:
+    """Load and schema-check a benchmark record."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    return data

@@ -16,7 +16,12 @@ Workers must be *module-level* functions called with picklable positional
 arguments (strings, ints), because each point re-derives profiles and
 clusters inside the worker via the experiment layer's ``lru_cache``'d
 helpers.  The ``fork`` start method is used where available so workers
-inherit already-warm caches from the parent.
+inherit already-warm caches from the parent — including the process-default
+content-addressed :class:`~repro.core.plancache.PlanCache` in-memory tier
+that ``repro.experiments.common`` threads through every planner call, so a
+grid point re-planning an already-seen (model, cluster, GBS, config) hits
+instead of searching.  Spawn-based pools get the same reuse from the
+cache's optional on-disk tier (``repro … --plan-cache DIR``).
 """
 
 from __future__ import annotations

@@ -5,6 +5,7 @@ from repro.check import (
     oracle_engines,
     oracle_explain,
     oracle_memory_m_independence,
+    oracle_plan_cache,
     oracle_planner,
     run_oracles,
 )
@@ -18,6 +19,11 @@ class TestOraclesPass:
     def test_planner_fast_vs_scalar(self, tiny):
         prof, cluster, plan = tiny
         report = oracle_planner(prof, cluster, plan.global_batch_size)
+        assert report.ok, report.render()
+
+    def test_plan_cache_round_trip(self, tiny):
+        prof, cluster, plan = tiny
+        report = oracle_plan_cache(prof, cluster, plan.global_batch_size)
         assert report.ok, report.render()
 
     def test_explain_decomposition(self, tiny):
@@ -38,7 +44,7 @@ class TestOraclesPass:
         prof, cluster, plan = tiny
         report = run_oracles(prof, cluster, plan, gbs=plan.global_batch_size)
         assert report.ok, report.render()
-        assert len(report.checks) == 6
+        assert len(report.checks) == 7
 
 
 class TestOraclesCatchDivergence:

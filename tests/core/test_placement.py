@@ -1,8 +1,12 @@
 """Unit tests for the three device-assignment policies (paper Fig. 5)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster import config_a, config_b
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Cluster, LinkSpec
 from repro.core.placement import (
     allocate,
     append_first,
@@ -65,6 +69,56 @@ class TestScatterFirst:
 
     def test_insufficient_returns_none(self, hier):
         assert scatter_first(hier, (8, 8, 7), 2) is None
+
+
+def _scatter_round_robin(cluster, used, want):
+    """Reference implementation: the original one-GPU-per-round loop."""
+    free = [m.num_gpus - u for m, u in zip(cluster.machines, used)]
+    alloc = [0] * len(free)
+    remaining = want
+    while remaining > 0:
+        progressed = False
+        for i in range(len(free)):
+            if remaining == 0:
+                break
+            if free[i] - alloc[i] > 0:
+                alloc[i] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            return None
+    return tuple(alloc)
+
+
+class TestScatterClosedForm:
+    """Closed-form scatter_first must match the round-robin loop exactly."""
+
+    @staticmethod
+    def _cluster(capacities):
+        link = LinkSpec("eth", 25e9 / 8, 5e-6)
+        machines = [
+            Machine(machine_id=i, num_gpus=c, intra_bw=1.2e11, intra_lat=1e-6)
+            for i, c in enumerate(capacities)
+        ]
+        return Cluster(machines, link, name="prop")
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_matches_round_robin(self, data):
+        capacities = data.draw(
+            st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6)
+        )
+        used = tuple(
+            data.draw(st.integers(min_value=0, max_value=c), label=f"used[{i}]")
+            for i, c in enumerate(capacities)
+        )
+        total_free = sum(c - u for c, u in zip(capacities, used))
+        # Include infeasible wants (up to total_free + 2) to cover the None path.
+        want = data.draw(st.integers(min_value=1, max_value=max(total_free, 1) + 2))
+        cluster = self._cluster(capacities)
+        assert scatter_first(cluster, used, want) == _scatter_round_robin(
+            cluster, used, want
+        )
 
 
 class TestAllocate:

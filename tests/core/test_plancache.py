@@ -1,0 +1,253 @@
+"""Content-addressed plan cache: fingerprint sensitivity and hit fidelity.
+
+The cache's safety argument is the fingerprint: *any* field that the search
+result depends on must change the key (else a stale plan is served), and
+equal problems must collide onto one key across processes (else the cache
+never hits).  Hit fidelity is the other half: a round-tripped entry must be
+bit-identical to a fresh search.
+"""
+
+import dataclasses
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from repro.cluster import config_a
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Cluster, LinkSpec
+from repro.core import Planner, PlannerConfig, profile_model
+from repro.core.plancache import (
+    PlanCache,
+    configure_default,
+    default_cache,
+    fingerprint,
+    set_default_cache,
+)
+from repro.core.planner import plan_best
+from repro.core.profiler import ModelProfile
+from repro.models import uniform_model
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _problem():
+    graph = uniform_model("pc-test", 6, 2e9, 500_000, 2e6, profile_batch=4)
+    prof = profile_model(graph)
+    clu = config_a(4)
+    return prof, clu, 64, PlannerConfig()
+
+
+def _replace_layer(prof, idx, **changes):
+    layers = list(prof.layers)
+    layers[idx] = dataclasses.replace(layers[idx], **changes)
+    return ModelProfile(graph=prof.graph, gpu=prof.gpu, layers=layers)
+
+
+class TestFingerprintSensitivity:
+    def test_stable_for_equal_inputs(self):
+        prof, clu, gbs, cfg = _problem()
+        assert fingerprint(prof, clu, gbs, cfg) == fingerprint(prof, clu, gbs, cfg)
+        # A structurally equal but distinct problem object hits the same key.
+        prof2, clu2, _, cfg2 = _problem()
+        assert fingerprint(prof, clu, gbs, cfg) == fingerprint(prof2, clu2, gbs, cfg2)
+
+    def test_gbs_changes_key(self):
+        prof, clu, gbs, cfg = _problem()
+        assert fingerprint(prof, clu, gbs, cfg) != fingerprint(prof, clu, gbs * 2, cfg)
+
+    def test_every_config_field_changes_key(self):
+        """Perturbing any PlannerConfig field yields a different digest."""
+        prof, clu, gbs, cfg = _problem()
+        base = fingerprint(prof, clu, gbs, cfg)
+        perturb = {
+            bool: lambda v: not v,
+            int: lambda v: (v or 0) + 1,
+            float: lambda v: (v or 0.0) + 0.5,
+        }
+        for f in dataclasses.fields(cfg):
+            v = getattr(cfg, f.name)
+            if isinstance(v, tuple):
+                changed = v[:-1] if len(v) > 1 else v + v
+            elif v is None:
+                changed = 7
+            else:
+                changed = perturb[type(v)](v)
+            other = dataclasses.replace(cfg, **{f.name: changed})
+            assert fingerprint(prof, clu, gbs, other) != base, f.name
+
+    def test_layer_stats_change_key(self):
+        prof, clu, gbs, cfg = _problem()
+        base = fingerprint(prof, clu, gbs, cfg)
+        for field in ("fwd_time", "bwd_time", "param_bytes",
+                      "activation_out_bytes", "stored_bytes"):
+            bumped = _replace_layer(
+                prof, 2, **{field: getattr(prof.layers[2], field) * 1.001 + 1}
+            )
+            assert fingerprint(bumped, clu, gbs, cfg) != base, field
+
+    def test_cluster_topology_changes_key(self):
+        prof, clu, gbs, cfg = _problem()
+        base = fingerprint(prof, clu, gbs, cfg)
+        slower_inter = Cluster(
+            machines=list(clu.machines),
+            inter=LinkSpec(clu.inter.name, clu.inter.bandwidth / 2, clu.inter.latency),
+            name=clu.name,
+        )
+        assert fingerprint(prof, slower_inter, gbs, cfg) != base
+        m0 = clu.machines[0]
+        slower_intra = Cluster(
+            machines=[
+                Machine(
+                    machine_id=m0.machine_id, num_gpus=m0.num_gpus,
+                    intra_bw=m0.intra_bw / 2, intra_lat=m0.intra_lat,
+                    gpu_spec=m0.gpu_spec,
+                )
+            ] + list(clu.machines[1:]),
+            inter=clu.inter,
+            name=clu.name,
+        )
+        assert fingerprint(prof, slower_intra, gbs, cfg) != base
+
+    def test_stable_across_processes(self):
+        """The digest is canonical bytes, never id()/hash() — a fresh
+        interpreter computes the same key."""
+        prof, clu, gbs, cfg = _problem()
+        here = fingerprint(prof, clu, gbs, cfg)
+        code = (
+            "from repro.core.plancache import fingerprint\n"
+            "from repro.core import PlannerConfig, profile_model\n"
+            "from repro.cluster import config_a\n"
+            "from repro.models import uniform_model\n"
+            "g = uniform_model('pc-test', 6, 2e9, 500_000, 2e6, profile_batch=4)\n"
+            "print(fingerprint(profile_model(g), config_a(4), 64, PlannerConfig()))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == here
+
+
+def _signature(result):
+    return (
+        result.plan.notation,
+        result.plan.split_notation,
+        result.plan.num_micro_batches,
+        result.estimate.latency,
+        result.states_explored,
+        result.plans_evaluated,
+        result.infeasible_plans,
+        tuple((lat, p.notation) for lat, p in result.top_plans),
+    )
+
+
+class TestPlanCache:
+    def test_memory_and_disk_hits_are_bit_identical(self, tmp_path):
+        prof, clu, gbs, cfg = _problem()
+        fresh = Planner(prof, clu, gbs, cfg).search()
+        cache = PlanCache(tmp_path)
+
+        miss = plan_best(prof, clu, gbs, cfg, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert _signature(miss) == _signature(fresh)
+
+        mem_hit = plan_best(prof, clu, gbs, cfg, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert _signature(mem_hit) == _signature(fresh)
+
+        cache.clear_memory()
+        disk_hit = plan_best(prof, clu, gbs, cfg, cache=cache)
+        assert (cache.hits, cache.misses) == (2, 1)
+        assert _signature(disk_hit) == _signature(fresh)
+
+    def test_memory_only_cache(self):
+        prof, clu, gbs, cfg = _problem()
+        cache = PlanCache()
+        plan_best(prof, clu, gbs, cfg, cache=cache)
+        hit = plan_best(prof, clu, gbs, cfg, cache=cache)
+        assert cache.hits == 1 and len(cache) == 1
+        assert hit.plan.notation
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        prof, clu, gbs, cfg = _problem()
+        cache = PlanCache(tmp_path)
+        digest = cache.store(
+            prof, clu, gbs, cfg, Planner(prof, clu, gbs, cfg).search()
+        )
+        (tmp_path / f"{digest}.json").write_text("{not json")
+        cache.clear_memory()
+        assert cache.lookup(prof, clu, gbs, cfg) is None
+        assert cache.misses == 1
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        prof, clu, gbs, cfg = _problem()
+        cache = PlanCache(tmp_path)
+        digest = cache.store(
+            prof, clu, gbs, cfg, Planner(prof, clu, gbs, cfg).search()
+        )
+        path = tmp_path / f"{digest}.json"
+        payload = json.loads(path.read_text())
+        payload["schema"] = "plan-cache-v0"
+        path.write_text(json.dumps(payload))
+        cache.clear_memory()
+        assert cache.lookup(prof, clu, gbs, cfg) is None
+
+    def test_obs_counters_track_hits_and_misses(self):
+        prof, clu, gbs, cfg = _problem()
+        cache = PlanCache()
+        obs.enable(reset_state=True)
+        try:
+            plan_best(prof, clu, gbs, cfg, cache=cache)
+            plan_best(prof, clu, gbs, cfg, cache=cache)
+            plan_best(prof, clu, gbs * 2, cfg, cache=cache)
+            assert obs.counter("planner.cache.hit").value == 1
+            assert obs.counter("planner.cache.miss").value == 2
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_cached_sweep_hit_rate(self):
+        """A fig12-style GBS sweep re-plans each grid point once: with a
+        shared cache the second pass is all hits."""
+        prof, clu, _, cfg = _problem()
+        cache = PlanCache()
+        points = [16, 32, 64]
+        obs.enable(reset_state=True)
+        try:
+            for _ in range(2):
+                for gbs in points:
+                    plan_best(prof, clu, gbs, cfg, cache=cache)
+            assert obs.counter("planner.cache.hit").value == len(points)
+            assert obs.counter("planner.cache.miss").value == len(points)
+        finally:
+            obs.disable()
+            obs.reset()
+        assert cache.hits == len(points)
+
+
+class TestDefaultCache:
+    def teardown_method(self):
+        configure_default(enabled=True)
+        set_default_cache(None)
+        configure_default(enabled=True)
+
+    def test_default_is_lazy_memory_only(self):
+        configure_default(enabled=True)
+        c = default_cache()
+        assert c is not None and c.directory is None
+        assert default_cache() is c
+
+    def test_disable(self):
+        configure_default(enabled=False)
+        assert default_cache() is None
+
+    def test_directory(self, tmp_path):
+        c = configure_default(directory=tmp_path)
+        assert default_cache() is c
+        assert c.directory == tmp_path

@@ -37,6 +37,73 @@ class TestHelpers:
 
         check()
 
+    def test_largest_divisor_properties(self):
+        """Divides n, respects the (clamped) cap, and is maximal."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=300, deadline=None)
+        @given(st.integers(1, 100_000), st.integers(-5, 100_005))
+        def check(n, cap):
+            d = _largest_divisor_leq(n, cap)
+            eff_cap = max(1, min(cap, n))
+            assert n % d == 0
+            assert 1 <= d <= eff_cap
+            assert not any(
+                n % e == 0 for e in range(d + 1, eff_cap + 1)
+            )
+
+        check()
+
+    def test_num_micro_batches_properties(self):
+        """M divides GBS, respects the micro-batch cap, and is maximal.
+
+        Pipelines target M = GBS / b (global micro-batch at the profiling
+        size); single-stage DP plans target M = GBS / (b · replicas)
+        (per-device gradient accumulation).  Either way the returned M must
+        divide GBS exactly, never exceed the target, and be the largest
+        such divisor.
+        """
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.plan import Stage
+
+        m = uniform_model("mb", 4, 1e9, 1000, 1e6, profile_batch=2)
+        prof = profile_model(m)
+        clu = config_a(4)
+        d = clu.devices
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            st.integers(1, 4096),
+            st.sampled_from([None, 1, 2, 3, 4, 8]),
+            st.integers(1, 4),
+            st.booleans(),
+        )
+        def check(gbs, mbs, replicas, single_stage):
+            planner = Planner(
+                prof, clu, gbs, PlannerConfig(micro_batch_size=mbs)
+            )
+            if single_stage:
+                stages = [Stage(0, 4, tuple(d[:replicas]))]
+                target = max(1, gbs // (planner._mbs_dev * replicas))
+            else:
+                stages = [
+                    Stage(0, 2, tuple(d[:replicas])),
+                    Stage(2, 4, tuple(d[replicas:])) if replicas < 4
+                    else Stage(2, 4, tuple(d[:1])),
+                ]
+                target = max(1, gbs // planner._mbs_dev)
+            got = planner._num_micro_batches(stages)
+            assert gbs % got == 0
+            assert 1 <= got <= max(1, min(target, gbs))
+            assert not any(
+                gbs % e == 0 for e in range(got + 1, min(target, gbs) + 1)
+            )
+
+        check()
+
 
 class TestBasicSearch:
     def test_compute_dense_model_prefers_dp(self):

@@ -42,26 +42,40 @@ def plan_signature(result):
     )
 
 
+def beam_signature(result):
+    return tuple(
+        (lat, p.notation, p.split_notation) for lat, p in result.top_plans
+    )
+
+
 class TestSearchEquivalence:
     @pytest.mark.parametrize("config", CONFIGS)
     @pytest.mark.parametrize("model", ZOO)
     def test_vectorized_matches_scalar(self, model, config):
+        """Three-way: level-batched (default) vs per-state scan vs scalar."""
         prof = profile_model(get_model(model))
         cluster = config_by_name(config, 16)
         for gbs in GBS_POINTS[model]:
-            fast = Planner(
-                prof, cluster, gbs, PlannerConfig(beam_width=8, use_fast_scan=True)
+            level = Planner(
+                prof, cluster, gbs, PlannerConfig(beam_width=8)
+            ).search()
+            per_state = Planner(
+                prof, cluster, gbs,
+                PlannerConfig(beam_width=8, level_batch=False),
             ).search()
             slow = Planner(
                 prof, cluster, gbs, PlannerConfig(beam_width=8, use_fast_scan=False)
             ).search()
-            assert plan_signature(fast) == plan_signature(slow)
-            # Bit-identical, not allclose: both paths run the same IEEE-754
-            # operation sequence.
-            assert fast.estimate.latency == slow.estimate.latency
-            assert fast.states_explored == slow.states_explored
-            assert fast.plans_evaluated == slow.plans_evaluated
-            assert fast.infeasible_plans == slow.infeasible_plans
+            for other in (per_state, slow):
+                assert plan_signature(level) == plan_signature(other)
+                # Bit-identical, not allclose: all paths run the same
+                # IEEE-754 operation sequence.
+                assert level.estimate.latency == other.estimate.latency
+                assert level.states_explored == other.states_explored
+                assert level.plans_evaluated == other.plans_evaluated
+                assert level.infeasible_plans == other.infeasible_plans
+                # The whole beam, not just the winner.
+                assert beam_signature(level) == beam_signature(other)
 
 
 class TestMemoryFeasibilityEquivalence:

@@ -11,11 +11,18 @@ falls back to per-plan scalar evaluation (~10× slower).
 import time
 
 from repro.cluster import config_c
-from repro.core import Planner, profile_model
+from repro.core import Planner, PlannerConfig, profile_model
+from repro.core.plancache import PlanCache
+from repro.core.planner import plan_best
 from repro.models import vgg19
 
 #: Observed fast-path time ≈ 0.2 s; scalar path ≈ 1.5 s.  10× margin.
 WALLCLOCK_CAP_S = 2.0
+
+#: Observed warm in-memory hit ≈ 0.5 ms; the benchmark gates ≤ 5 ms.
+#: 100× margin here so slow CI never flakes while a hit that silently
+#: re-runs the search (hundreds of ms) still fails loudly.
+CACHE_HIT_CAP_S = 0.05
 
 
 def test_vgg19_config_c_search_under_cap():
@@ -28,4 +35,23 @@ def test_vgg19_config_c_search_under_cap():
     assert elapsed < WALLCLOCK_CAP_S, (
         f"planner search took {elapsed:.2f}s (cap {WALLCLOCK_CAP_S}s) — "
         "did the vectorized scan path regress?"
+    )
+
+
+def test_warm_cache_hit_under_cap():
+    """A warm plan-cache hit must cost decode+evaluate, never a search."""
+    prof = profile_model(vgg19())
+    cluster = config_c(16)
+    cfg = PlannerConfig()
+    cache = PlanCache()
+    fresh = plan_best(prof, cluster, 2048, cfg, cache=cache)
+    t0 = time.perf_counter()
+    hit = plan_best(prof, cluster, 2048, cfg, cache=cache)
+    elapsed = time.perf_counter() - t0
+    assert cache.hits == 1
+    assert hit.plan.notation == fresh.plan.notation
+    assert hit.estimate.latency == fresh.estimate.latency
+    assert elapsed < CACHE_HIT_CAP_S, (
+        f"warm cache hit took {elapsed * 1e3:.1f}ms "
+        f"(cap {CACHE_HIT_CAP_S * 1e3:.0f}ms)"
     )

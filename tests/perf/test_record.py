@@ -1,0 +1,37 @@
+"""Benchmark JSON records round-trip and schema-check."""
+
+import json
+
+import pytest
+
+from repro.perf.record import SCHEMA, load_bench_json, write_bench_json
+
+
+def test_round_trip(tmp_path):
+    path = write_bench_json(
+        tmp_path / "perf_x.json",
+        "perf_x",
+        {"model": "bert48", "gbs": 64},
+        [
+            {"name": "baseline", "ms": 100.0, "speedup": 1.0},
+            {"name": "fast", "ms": 25.0, "speedup": 4.0},
+        ],
+    )
+    data = load_bench_json(path)
+    assert data["schema"] == SCHEMA
+    assert data["bench"] == "perf_x"
+    assert data["config"]["model"] == "bert48"
+    assert isinstance(data["git_rev"], str) and data["git_rev"]
+    assert [e["name"] for e in data["entries"]] == ["baseline", "fast"]
+
+
+def test_entries_need_name_and_ms(tmp_path):
+    with pytest.raises(ValueError):
+        write_bench_json(tmp_path / "x.json", "x", {}, [{"name": "no-ms"}])
+
+
+def test_schema_mismatch_rejected(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"schema": "bench-v0", "entries": []}))
+    with pytest.raises(ValueError):
+        load_bench_json(p)
