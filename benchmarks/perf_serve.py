@@ -1,0 +1,153 @@
+"""Closed-loop load benchmark for the planner service (``repro.serve``).
+
+Starts an in-process :class:`~repro.serve.PlanServer` on an ephemeral port
+and drives it with a closed-loop client (one request in flight at a time,
+submit -> poll -> fetch-result per iteration), measuring end-to-end request
+latency through the full stack: HTTP parse, request decode, job queue,
+worker execution, artifact store, poll, artifact fetch.
+
+Two phases over the same problem set (VGG-19 on Config C, 16 GPUs, a grid
+of global batch sizes):
+
+* **cold**  — every request is a fresh planner search (empty plan cache).
+* **warm**  — the identical requests again: each short-circuits through
+  the content-addressed plan cache in O(1), so the measured latency is
+  pure service overhead.
+
+Headline target: warm p95 under 50 ms on localhost — the served-from-cache
+path must cost milliseconds, not a re-search.  Results go to
+``results/perf_serve.txt`` and, machine-readable, ``results/perf_serve.json``
+(schema in :mod:`repro.perf.record`; nightly CI diffs it via
+``benchmarks/check_regression.py``).
+"""
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import tempfile
+
+from repro.perf.record import write_bench_json
+from repro.serve import PlanClient, PlanServer
+
+MODEL = "vgg19"
+CONFIG = "C"
+DEVICES = 16
+GBS_GRID = [256, 512, 1024, 2048]
+WARM_ROUNDS = 8
+POLL_INTERVAL_S = 0.002
+WARM_P95_TARGET_MS = 50.0
+
+
+def _percentile(samples, q):
+    xs = sorted(samples)
+    idx = min(len(xs) - 1, max(0, round(q / 100 * (len(xs) - 1))))
+    return xs[idx]
+
+
+def _drive(client, requests):
+    """One closed-loop pass; returns per-request end-to-end seconds."""
+    latencies = []
+    for body in requests:
+        t0 = time.perf_counter()
+        job = client.wait(
+            client.submit(body)["job_id"], timeout=300.0,
+            poll_interval=POLL_INTERVAL_S,
+        )
+        result = client.result(job)
+        latencies.append(time.perf_counter() - t0)
+        assert result["plan"]["stages"], "served an empty plan"
+    return latencies
+
+
+def _stats(latencies):
+    total = sum(latencies)
+    return {
+        "p50_ms": _percentile(latencies, 50) * 1e3,
+        "p95_ms": _percentile(latencies, 95) * 1e3,
+        "mean_ms": total / len(latencies) * 1e3,
+        "rps": len(latencies) / total,
+        "n": len(latencies),
+    }
+
+
+def main():
+    requests = [
+        {"model": MODEL, "config": CONFIG, "devices": DEVICES, "gbs": gbs}
+        for gbs in GBS_GRID
+    ]
+    with tempfile.TemporaryDirectory(prefix="perf-serve-") as tmp:
+        server = PlanServer(
+            workers=2, queue_depth=32, exec_mode="fork", data_dir=tmp
+        ).start()
+        try:
+            client = PlanClient(server.url, timeout=300.0)
+            mode = client.health()["exec_mode"]
+
+            cold = _drive(client, requests)
+            warm = []
+            for _ in range(WARM_ROUNDS):
+                warm.extend(_drive(client, requests))
+
+            served = client.cache_stats()["served"]
+            assert served["jobs_done"] == len(cold) + len(warm)
+            assert served["cache_hits"] == len(warm), (
+                "warm phase was not served from the plan cache: "
+                f"{served['cache_hits']}/{len(warm)} hits"
+            )
+        finally:
+            server.close()
+
+    cs, ws = _stats(cold), _stats(warm)
+    ok = ws["p95_ms"] <= WARM_P95_TARGET_MS
+
+    lines = [
+        f"planner service closed-loop load: {MODEL} on Config {CONFIG} "
+        f"({DEVICES} GPUs), GBS grid {GBS_GRID}\n",
+        f"exec mode: {mode}, 2 workers, in-process server on localhost\n",
+        "\n",
+        f"  cold (fresh search), n={cs['n']:<3}        : "
+        f"p50 {cs['p50_ms']:8.1f} ms   p95 {cs['p95_ms']:8.1f} ms   "
+        f"{cs['rps']:6.1f} req/s\n",
+        f"  warm (plan-cache hit), n={ws['n']:<3}      : "
+        f"p50 {ws['p50_ms']:8.1f} ms   p95 {ws['p95_ms']:8.1f} ms   "
+        f"{ws['rps']:6.1f} req/s\n",
+        f"  cold/warm p50 ratio                 : "
+        f"{cs['p50_ms'] / ws['p50_ms']:9.1f} x\n",
+        "\n",
+        f"{'OK' if ok else 'FAIL'}: warm p95 {ws['p95_ms']:.1f} ms "
+        f"(target <= {WARM_P95_TARGET_MS:.0f} ms); every warm request "
+        f"served from the content-addressed cache\n",
+    ]
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    out = results_dir / "perf_serve.txt"
+    out.write_text("".join(lines))
+    sys.stdout.write("".join(lines))
+    sys.stdout.write(f"\nwrote {out}\n")
+
+    entries = [
+        {"name": "cold_p50", "ms": cs["p50_ms"], "rps": cs["rps"]},
+        {"name": "cold_p95", "ms": cs["p95_ms"]},
+        {"name": "warm_p50", "ms": ws["p50_ms"], "rps": ws["rps"],
+         "speedup": cs["p50_ms"] / ws["p50_ms"]},
+        {"name": "warm_p95", "ms": ws["p95_ms"]},
+    ]
+    json_out = write_bench_json(
+        results_dir / "perf_serve.json",
+        "perf_serve",
+        {"model": MODEL, "cluster": CONFIG, "devices": DEVICES,
+         "gbs_grid": GBS_GRID, "warm_rounds": WARM_ROUNDS,
+         "exec_mode": mode},
+        entries,
+        repo_root=results_dir.parent,
+    )
+    sys.stdout.write(f"wrote {json_out}\n")
+    if not ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from repro.check.oracles import (
     oracle_memory_m_independence,
     oracle_plan_cache,
     oracle_planner,
+    oracle_served_plan,
     run_oracles,
 )
 from repro.check.generators import GeneratedCase, generate_cases, random_case
@@ -50,6 +51,7 @@ __all__ = [
     "oracle_memory_m_independence",
     "oracle_plan_cache",
     "oracle_planner",
+    "oracle_served_plan",
     "run_oracles",
     "GeneratedCase",
     "generate_cases",

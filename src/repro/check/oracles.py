@@ -23,6 +23,8 @@ from repro.core.scheduler import warmup_counts
 __all__ = [
     "oracle_engines",
     "oracle_planner",
+    "oracle_plan_cache",
+    "oracle_served_plan",
     "oracle_explain",
     "oracle_clean_faults",
     "oracle_batched_ensemble",
@@ -231,6 +233,84 @@ def oracle_plan_cache(profile, cluster, gbs: int,
     return report
 
 
+def oracle_served_plan(profile, cluster, gbs: int,
+                       config=None, subject: str = "served-plan") -> ConformanceReport:
+    """A plan served over HTTP is bit-identical to a direct ``plan_best``.
+
+    Starts an ephemeral in-process :class:`~repro.serve.PlanServer` (inline
+    execution, fresh temp data dir), submits the problem as an inline
+    graph + cluster request, and demands the served plan reproduce the
+    direct search's stage map, latency, and search counters exactly.
+    Environments that cannot bind a localhost socket report the oracle as
+    skipped rather than failing.
+    """
+    from repro.core.planner import plan_best
+    from repro.core.serialization import (
+        cluster_to_dict,
+        graph_to_dict,
+        plan_to_dict,
+        planner_config_to_dict,
+    )
+
+    report = ConformanceReport(subject=subject)
+    try:
+        from repro.serve import PlanClient, PlanServer
+    except ImportError:  # pragma: no cover - serve is part of the package
+        return report
+    report.ran("oracle-served-plan")
+
+    from repro.core.planner import PlannerConfig
+
+    cfg = config or PlannerConfig()
+    direct = plan_best(profile, cluster, gbs, cfg)
+    request = {
+        "graph": graph_to_dict(profile.graph),
+        "cluster": cluster_to_dict(cluster),
+        "gbs": gbs,
+        "planner": planner_config_to_dict(cfg),
+    }
+    try:
+        server = PlanServer(workers=1, exec_mode="inline", queue_depth=4).start()
+    except OSError:  # no sockets available (sandbox): cannot test
+        return report
+    try:
+        client = PlanClient(server.url, timeout=30.0)
+        job = client.wait(client.submit(request)["job_id"], timeout=120.0)
+        served = client.result(job)
+    except Exception as e:
+        report.add(Violation(
+            "oracle-served-plan", f"service round-trip failed: {e}"
+        ))
+        return report
+    finally:
+        server.close()
+
+    checks = [
+        ("plan", plan_to_dict(direct.plan), served["plan"]),
+        ("notation", direct.plan.notation, served["notation"]),
+        ("split", direct.plan.split_notation, served["split"]),
+        ("M", direct.plan.num_micro_batches, served["num_micro_batches"]),
+        ("latency", direct.estimate.latency, served["estimate"]["latency"]),
+        ("warmup", direct.estimate.warmup, served["estimate"]["warmup"]),
+        ("steady", direct.estimate.steady, served["estimate"]["steady"]),
+        ("ending", direct.estimate.ending, served["estimate"]["ending"]),
+        ("states_explored", direct.states_explored,
+         served["counters"]["states_explored"]),
+        ("plans_evaluated", direct.plans_evaluated,
+         served["counters"]["plans_evaluated"]),
+        ("infeasible_plans", direct.infeasible_plans,
+         served["counters"]["infeasible_plans"]),
+    ]
+    for field, a, b in checks:
+        if a != b:
+            report.add(Violation(
+                "oracle-served-plan",
+                f"served plan diverges from direct plan_best on {field}: "
+                f"{a!r} vs {b!r}",
+            ))
+    return report
+
+
 def oracle_explain(profile, cluster, plan,
                    subject: str = "explain") -> ConformanceReport:
     """``breakdown_plan`` decomposition re-sums to ``evaluate_plan`` exactly."""
@@ -352,6 +432,7 @@ def run_oracles(profile, cluster, plan, gbs: int | None = None,
     if gbs is not None:
         report.merge(oracle_planner(profile, cluster, gbs))
         report.merge(oracle_plan_cache(profile, cluster, gbs))
+        report.merge(oracle_served_plan(profile, cluster, gbs))
     report.merge(oracle_explain(profile, cluster, plan))
     report.merge(oracle_clean_faults(profile, cluster, plan))
     report.merge(oracle_batched_ensemble(profile, cluster, plan))

@@ -22,6 +22,14 @@ Commands
     Deterministic fault injection: clean vs perturbed makespans for DAPPLE,
     GPipe, and DP under seeded stragglers/jitter/link faults, with optional
     robust (quantile-based) plan re-selection.
+``serve``
+    Long-running planner service (``repro.serve``): async job queue, worker
+    pool, content-addressed artifact store, graceful SIGTERM drain.
+``submit``
+    Client for ``repro serve``: POST a plan request, poll the job, print
+    the served plan (stdlib urllib, no extra deps).
+``cache``
+    Inspect (``stats``) or empty (``clear``) an on-disk plan-cache tier.
 
 Observability: ``plan``/``run``/``experiment``/``check``/``faults`` accept
 ``--trace FILE`` (``.jsonl`` = schema-validated event log, anything else =
@@ -490,6 +498,144 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: run the planner service until SIGTERM/SIGINT."""
+    import signal
+    import threading
+
+    from repro.serve import PlanServer
+
+    server = PlanServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        data_dir=args.data_dir,
+        exec_mode=args.exec,
+        access_log=args.access_log,
+    )
+    server.start()
+    print(f"serving  : {server.url}", flush=True)
+    print(f"data dir : {server.data_dir}")
+    print(f"workers  : {server.pool.workers} ({server.pool.mode}), "
+          f"queue depth {server.queue.max_depth}")
+    print("endpoints: POST /v1/plans | GET /v1/jobs/<id> "
+          "/v1/artifacts/<digest> /v1/cache/stats /healthz", flush=True)
+
+    stop = threading.Event()
+
+    def _drain(signum, _frame):
+        print(f"\nsignal {signal.Signals(signum).name}: draining "
+              f"({server.queue.depth} queued, {server.queue.in_flight} running)",
+              flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    stop.wait()
+    clean = server.drain(timeout=args.drain_timeout)
+    stats = server.queue.stats()
+    print(f"drained  : {stats['completed']} done, {stats['failed']} failed, "
+          f"{stats['rejected']} rejected ({'clean' if clean else 'timed out'})")
+    return 0 if clean else 1
+
+
+def cmd_submit(args) -> int:
+    """``repro submit``: send one plan request to a running service."""
+    import json as _json
+
+    from repro.serve import PlanClient, ServiceError
+
+    request = {
+        "model": args.model,
+        "config": args.config,
+        "devices": args.devices,
+        "explain": args.explain,
+        "check": args.check,
+    }
+    if args.gbs is not None:
+        request["gbs"] = args.gbs
+    planner = {}
+    if args.beam != 48:
+        planner["beam_width"] = args.beam or None
+    if args.max_stages is not None:
+        planner["max_stages"] = args.max_stages
+    if args.pipeline_only:
+        planner["min_stages"] = 2
+    if args.explain:
+        planner["keep_top_k"] = 4
+    if planner:
+        request["planner"] = planner
+
+    client = PlanClient(args.url, timeout=args.timeout)
+    try:
+        submitted = client.submit(request)
+        job_id = submitted["job_id"]
+        if not args.json:
+            print(f"job      : {job_id} @ {args.url}")
+        if args.no_wait:
+            print(f"status   : {args.url}{submitted['status_url']}")
+            return 0
+        job = client.wait(job_id, timeout=args.timeout)
+        result = client.result(job)
+    except ServiceError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2 if e.status == 400 else 1
+    if args.json:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    est = result["estimate"]
+    print(f"plan     : {result['notation']} (layers {result['split']}, "
+          f"M={result['num_micro_batches']})")
+    print(f"latency  : {est['latency'] * 1e3:.1f} ms estimated "
+          f"(Tw={est['warmup'] * 1e3:.1f} Ts={est['steady'] * 1e3:.1f} "
+          f"Te={est['ending'] * 1e3:.1f}, pivot stage {est['pivot']})")
+    print(f"searched : {result['counters']['plans_evaluated']} plans "
+          f"({'plan-cache hit' if result['cache_hit'] else 'fresh search'})")
+    for name, digest in job.get("artifacts", {}).items():
+        print(f"artifact : {name} = /v1/artifacts/{digest}")
+    if args.explain and "explain" in result:
+        print()
+        print(result["explain"])
+    if args.check and "check" in result:
+        check = result["check"]
+        print(f"check    : {'ok' if check.get('ok') else 'FAILED'} "
+              f"({len(check.get('invariants', []))} invariants)")
+        if not check.get("ok"):
+            print(check.get("render", ""), file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """``repro cache``: inspect or clear an on-disk plan-cache tier."""
+    from pathlib import Path
+
+    from repro.core.plancache import PlanCache
+    from repro.experiments.reporting import format_table
+
+    directory = Path(args.dir)
+    if args.action == "clear" and not directory.exists():
+        print(f"error: no such cache directory {directory}", file=sys.stderr)
+        return 2
+    cache = PlanCache(directory)
+    if args.action == "clear":
+        removed = cache.clear_disk()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {directory}")
+        return 0
+    stats = cache.stats()
+    rows = [
+        ["disk entries", stats["disk_entries"]],
+        ["disk bytes", f"{stats['disk_bytes']:,}"],
+        ["max disk bytes", stats["max_disk_bytes"] or "unbounded"],
+        ["directory", stats["directory"]],
+    ]
+    print(format_table(["field", "value"], rows,
+                       title=f"plan cache @ {directory}"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     from repro import __version__
@@ -640,6 +786,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_plan_cache(p)
     _add_obs(p)
+
+    p = sub.add_parser(
+        "serve", help="run the planner as a long-lived HTTP service"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = ephemeral; default 8080)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent plan workers (default 2)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="max pending jobs before 429 backpressure (default 64)")
+    p.add_argument("--data-dir", metavar="DIR", default=None,
+                   help="artifact store + plan-cache directory "
+                   "(default: a fresh temp dir)")
+    p.add_argument("--exec", default="fork", choices=["fork", "inline"],
+                   help="job execution: 'fork' = process pool inheriting the "
+                   "warm plan cache (falls back to inline where unavailable); "
+                   "'inline' = in the worker threads")
+    p.add_argument("--access-log", metavar="FILE", default=None,
+                   help="append one JSONL line per HTTP request")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to wait for in-flight jobs on SIGTERM")
+    _add_obs(p)
+
+    p = sub.add_parser(
+        "submit", help="submit one plan request to a running service"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8080",
+                   help="service base URL (default http://127.0.0.1:8080)")
+    _add_common(p)
+    p.add_argument("--beam", type=int, default=48, help="beam width (0 = exhaustive)")
+    p.add_argument("--max-stages", type=int, default=None)
+    p.add_argument("--pipeline-only", action="store_true", help="exclude pure DP")
+    p.add_argument("--explain", action="store_true",
+                   help="also fetch the Tw/Ts/Te breakdown report")
+    p.add_argument("--check", action="store_true",
+                   help="also run the conformance battery on the served plan")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and exit without polling")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="submit/poll deadline in seconds (default 120)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw result artifact as JSON")
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear an on-disk plan-cache tier"
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--plan-cache", dest="dir", metavar="DIR", required=True,
+                   help="cache directory (same as --plan-cache elsewhere)")
     return parser
 
 
@@ -665,6 +861,9 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "check": cmd_check,
         "faults": cmd_faults,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "cache": cmd_cache,
     }
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)

@@ -126,10 +126,22 @@ def fingerprint(
 # The cache
 # --------------------------------------------------------------------------- #
 class PlanCache:
-    """Two-tier (memory + optional disk) content-addressed result store."""
+    """Two-tier (memory + optional disk) content-addressed result store.
 
-    def __init__(self, directory: str | Path | None = None):
+    ``max_disk_bytes`` bounds the disk tier: after every store, entries are
+    evicted least-recently-used first (file mtime, refreshed on every disk
+    hit) until the tier fits.  ``None`` keeps the historical unbounded
+    behaviour; long-running consumers (:mod:`repro.serve`) pass a bound so
+    heavy traffic cannot grow the cache without limit.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_disk_bytes: int | None = None,
+    ):
         self.directory = Path(directory) if directory is not None else None
+        self.max_disk_bytes = max_disk_bytes
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._mem: dict[str, dict[str, Any]] = {}
@@ -178,18 +190,28 @@ class PlanCache:
                 data = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
                 data = None
-            if data is not None and data.get("schema") == SCHEMA:
+            if data is not None and isinstance(data, dict) and data.get("schema") == SCHEMA:
                 payload = data
                 self._mem[digest] = payload
+                try:  # refresh LRU recency for the eviction policy
+                    os.utime(path)
+                except OSError:
+                    pass
         if payload is None:
             self.misses += 1
             obs.counter("planner.cache.miss").inc()
             return None
         try:
             result = self._decode(payload, profile, cluster)
-        except (KeyError, ValueError):
-            # Corrupt or mismatched entry: treat as a miss and drop it.
+        except (KeyError, ValueError, TypeError, IndexError):
+            # Corrupt or mismatched entry: treat as a miss and drop it from
+            # both tiers so a truncated/tampered file cannot re-fail forever.
             self._mem.pop(digest, None)
+            if self.directory is not None:
+                try:
+                    os.unlink(self._disk_path(digest))
+                except OSError:
+                    pass
             self.misses += 1
             obs.counter("planner.cache.miss").inc()
             return None
@@ -217,11 +239,87 @@ class PlanCache:
                 except OSError:
                     pass
                 raise
+            self._evict_disk()
         return digest
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (disk entries survive)."""
         self._mem.clear()
+
+    # ---------------------------- disk tier -------------------------------- #
+    def _disk_files(self) -> list[Path]:
+        if self.directory is None:
+            return []
+        try:
+            return [p for p in self.directory.glob("*.json") if not p.name.startswith(".tmp-")]
+        except OSError:
+            return []
+
+    def _evict_disk(self) -> int:
+        """Evict least-recently-used entries until the disk tier fits.
+
+        Returns the number of entries removed.  Races with concurrent
+        processes are benign: a file deleted under us is simply skipped,
+        and a reader losing its entry sees an ordinary miss.
+        """
+        if self.directory is None or self.max_disk_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        for p in self._disk_files():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, p))
+            total += st.st_size
+        evicted = 0
+        entries.sort()  # oldest mtime first
+        for _mtime, size, p in entries:
+            if total <= self.max_disk_bytes:
+                break
+            try:
+                os.unlink(p)
+            except OSError:
+                continue
+            self._mem.pop(p.stem, None)
+            total -= size
+            evicted += 1
+        if evicted:
+            obs.counter("planner.cache.evicted").inc(evicted)
+        return evicted
+
+    def clear_disk(self) -> int:
+        """Remove every disk entry; returns the number deleted."""
+        removed = 0
+        for p in self._disk_files():
+            try:
+                os.unlink(p)
+            except OSError:
+                continue
+            self._mem.pop(p.stem, None)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters plus per-tier occupancy (JSON-safe)."""
+        disk_entries = 0
+        disk_bytes = 0
+        for p in self._disk_files():
+            try:
+                disk_bytes += p.stat().st_size
+            except OSError:
+                continue
+            disk_entries += 1
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_entries": len(self._mem),
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "max_disk_bytes": self.max_disk_bytes,
+            "directory": str(self.directory) if self.directory else None,
+        }
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -250,12 +348,14 @@ def default_cache() -> PlanCache | None:
 
 
 def configure_default(
-    directory: str | Path | None = None, enabled: bool = True
+    directory: str | Path | None = None,
+    enabled: bool = True,
+    max_disk_bytes: int | None = None,
 ) -> PlanCache | None:
     """(Re)configure the process-default cache; returns the active cache."""
     global _default, _enabled
     _enabled = enabled
-    _default = PlanCache(directory) if enabled else None
+    _default = PlanCache(directory, max_disk_bytes=max_disk_bytes) if enabled else None
     return _default
 
 
@@ -264,3 +364,21 @@ def set_default_cache(cache: PlanCache | None) -> None:
     global _default, _enabled
     _default = cache
     _enabled = cache is not None
+
+
+def swap_default(cache: PlanCache | None, enabled: bool = True):
+    """Install ``(cache, enabled)`` as process default; return prior state.
+
+    For embedded consumers (an in-process :mod:`repro.serve` server, test
+    fixtures) that must take over the default cache temporarily and hand
+    the caller's configuration back afterwards::
+
+        prev = swap_default(PlanCache(tmpdir))
+        try: ...
+        finally: swap_default(*prev)
+    """
+    global _default, _enabled
+    prior = (_default, _enabled)
+    _default = cache
+    _enabled = enabled
+    return prior

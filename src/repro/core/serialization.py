@@ -1,20 +1,29 @@
-"""Plan (de)serialization to plain dictionaries / JSON.
+"""Plan / problem (de)serialization to plain dictionaries / JSON.
 
 A serialized plan is portable across processes: it references devices by
 global id and the model by registry name (or carries layer counts for
 custom graphs), so a plan searched once can be cached, shipped to a
 runner, or inspected by the CLI.
+
+Beyond plans, this module round-trips every *input* of a planner problem —
+:class:`~repro.core.planner.PlannerConfig`, :class:`~repro.models.graph.LayerGraph`,
+:class:`~repro.cluster.device.GPUSpec`, and :class:`~repro.cluster.topology.Cluster`
+— so a complete plan request can cross a process or HTTP boundary
+(:mod:`repro.serve`) and be rebuilt bit-identically on the other side.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 from typing import Any
 
-from repro.cluster.topology import Cluster
+from repro.cluster.device import GPUSpec
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Cluster, LinkSpec
 from repro.core.plan import ParallelPlan, Stage
-from repro.models.graph import LayerGraph
+from repro.models.graph import LayerGraph, LayerSpec
 
 
 def plan_to_dict(plan: ParallelPlan) -> dict[str, Any]:
@@ -86,3 +95,142 @@ def load_plan(path: str | Path, model: LayerGraph, cluster: Cluster) -> Parallel
     """Read a JSON plan back against ``model`` and ``cluster``."""
     data = json.loads(Path(path).read_text())
     return plan_from_dict(data, model, cluster)
+
+
+# --------------------------------------------------------------------------- #
+# Planner configuration
+# --------------------------------------------------------------------------- #
+def planner_config_to_dict(config) -> dict[str, Any]:
+    """Serialize a :class:`~repro.core.planner.PlannerConfig` field-by-field."""
+    out: dict[str, Any] = {}
+    for f in dataclass_fields(config):
+        v = getattr(config, f.name)
+        out[f.name] = list(v) if isinstance(v, tuple) else v
+    return out
+
+
+def planner_config_from_dict(data: dict[str, Any]):
+    """Rebuild a :class:`~repro.core.planner.PlannerConfig` from a dict.
+
+    Only known fields are accepted — an unknown key raises ``ValueError``
+    rather than being silently dropped, so a client typo cannot produce a
+    plan searched under different knobs than requested.  Omitted fields
+    take their defaults; JSON lists are coerced back to tuples where the
+    dataclass default is a tuple (``policies``).
+    """
+    from repro.core.planner import PlannerConfig
+
+    valid = {f.name: f for f in dataclass_fields(PlannerConfig)}
+    unknown = sorted(set(data) - set(valid))
+    if unknown:
+        raise ValueError(
+            f"unknown PlannerConfig field(s) {unknown}; "
+            f"valid fields: {sorted(valid)}"
+        )
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    return PlannerConfig(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Model graphs and GPU specs
+# --------------------------------------------------------------------------- #
+def graph_to_dict(graph: LayerGraph) -> dict[str, Any]:
+    """Serialize a :class:`LayerGraph` (inline custom-model requests)."""
+    return {
+        "name": graph.name,
+        "profile_batch": graph.profile_batch,
+        "optimizer": graph.optimizer,
+        "fixed_overhead_fwd": graph.fixed_overhead_fwd,
+        "layers": [
+            {
+                "name": l.name,
+                "flops_fwd": l.flops_fwd,
+                "params": l.params,
+                "activation_out_bytes": l.activation_out_bytes,
+                "stored_bytes": l.stored_bytes,
+                "bwd_flops_ratio": l.bwd_flops_ratio,
+            }
+            for l in graph.layers
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> LayerGraph:
+    """Rebuild a :class:`LayerGraph`; malformed payloads raise ``ValueError``."""
+    try:
+        layers = [LayerSpec(**l) for l in data["layers"]]
+        return LayerGraph(
+            name=str(data["name"]),
+            layers=layers,
+            profile_batch=int(data["profile_batch"]),
+            optimizer=data.get("optimizer", "adam"),
+            fixed_overhead_fwd=float(data.get("fixed_overhead_fwd", 20e-6)),
+        )
+    except (KeyError, TypeError) as e:
+        raise ValueError(f"malformed layer-graph payload: {e}") from e
+
+
+def gpu_spec_to_dict(spec: GPUSpec) -> dict[str, Any]:
+    return {"name": spec.name, "memory_bytes": spec.memory_bytes, "flops": spec.flops}
+
+
+def gpu_spec_from_dict(data: dict[str, Any]) -> GPUSpec:
+    try:
+        return GPUSpec(
+            name=str(data["name"]),
+            memory_bytes=int(data["memory_bytes"]),
+            flops=float(data["flops"]),
+        )
+    except (KeyError, TypeError) as e:
+        raise ValueError(f"malformed GPU-spec payload: {e}") from e
+
+
+# --------------------------------------------------------------------------- #
+# Clusters
+# --------------------------------------------------------------------------- #
+def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
+    """Serialize a :class:`Cluster` topology (per-machine shape + links)."""
+    return {
+        "name": cluster.name,
+        "inter": {
+            "name": cluster.inter.name,
+            "bandwidth": cluster.inter.bandwidth,
+            "latency": cluster.inter.latency,
+        },
+        "machines": [
+            {
+                "num_gpus": m.num_gpus,
+                "intra_bw": m.intra_bw,
+                "intra_lat": m.intra_lat,
+                "gpu_spec": gpu_spec_to_dict(m.gpu_spec),
+            }
+            for m in cluster.machines
+        ],
+    }
+
+
+def cluster_from_dict(data: dict[str, Any]) -> Cluster:
+    """Rebuild a :class:`Cluster`; malformed payloads raise ``ValueError``."""
+    try:
+        inter = LinkSpec(
+            name=str(data["inter"]["name"]),
+            bandwidth=float(data["inter"]["bandwidth"]),
+            latency=float(data["inter"]["latency"]),
+        )
+        machines = [
+            Machine(
+                machine_id=i,
+                num_gpus=int(m["num_gpus"]),
+                intra_bw=float(m["intra_bw"]),
+                intra_lat=float(m["intra_lat"]),
+                gpu_spec=gpu_spec_from_dict(m["gpu_spec"]),
+            )
+            for i, m in enumerate(data["machines"])
+        ]
+        return Cluster(machines, inter, name=str(data.get("name", "custom")))
+    except (KeyError, TypeError) as e:
+        raise ValueError(f"malformed cluster payload: {e}") from e

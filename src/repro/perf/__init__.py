@@ -6,6 +6,6 @@ points across worker processes with deterministic result ordering.
 """
 
 from repro.perf.record import load_bench_json, write_bench_json
-from repro.perf.sweep import default_jobs, sweep
+from repro.perf.sweep import ForkPool, default_jobs, sweep
 
-__all__ = ["default_jobs", "load_bench_json", "sweep", "write_bench_json"]
+__all__ = ["ForkPool", "default_jobs", "load_bench_json", "sweep", "write_bench_json"]

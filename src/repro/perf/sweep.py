@@ -31,7 +31,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 import repro.obs as obs
 
-__all__ = ["default_jobs", "sweep"]
+__all__ = ["default_jobs", "sweep", "ForkPool"]
 
 
 def default_jobs() -> int:
@@ -41,6 +41,94 @@ def default_jobs() -> int:
 
 def _run_serial(fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
     return [fn(*t) for t in tasks]
+
+
+class ForkPool:
+    """Persistent fork-preferred process pool with inline degradation.
+
+    The machinery :func:`sweep` historically created per call, factored out
+    so long-running consumers (the :mod:`repro.serve` worker pool) can hold
+    one pool across many submissions: workers fork from the parent *once*
+    and inherit its already-warm in-memory state — including the
+    process-default :class:`~repro.core.plancache.PlanCache` tier — for the
+    lifetime of the pool.
+
+    Degradation is permanent and silent: if the platform cannot spawn
+    processes (sandboxed CI) or the pool breaks, every subsequent call runs
+    ``fn`` inline in the calling thread — same results, no crash.  Pass
+    ``inline=True`` to skip processes entirely (deterministic single-process
+    testing).
+    """
+
+    def __init__(self, jobs: int | None = None, *, inline: bool = False):
+        import threading
+
+        self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        self._inline = inline
+        self._pool = None
+        self._lock = threading.Lock()  # submit() may come from many threads
+
+    @property
+    def mode(self) -> str:
+        """``"fork"`` while a process pool is live/possible, else ``"inline"``."""
+        return "inline" if self._inline else "fork"
+
+    def _ensure(self):
+        with self._lock:
+            if self._pool is None:
+                import multiprocessing as mp
+                from concurrent.futures import ProcessPoolExecutor
+
+                try:
+                    context = mp.get_context("fork")
+                except ValueError:  # platform without fork (e.g. Windows)
+                    context = mp.get_context()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=context
+                )
+            return self._pool
+
+    def _degrade(self) -> None:
+        self.shutdown(wait=False)
+        self._inline = True
+
+    def run(self, fn: Callable[..., Any], *args) -> Any:
+        """Execute ``fn(*args)`` on a pool worker (or inline) and return it.
+
+        Exceptions raised *by fn* propagate unchanged in both modes; only
+        pool-infrastructure failures trigger inline degradation.
+        """
+        if self._inline:
+            return fn(*args)
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            return self._ensure().submit(fn, *args).result()
+        except (OSError, PermissionError, BrokenProcessPool):
+            self._degrade()
+            return fn(*args)
+
+    def map_ordered(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+        """Apply ``fn`` to every task, returning results in task order."""
+        if self._inline:
+            return _run_serial(fn, tasks)
+        try:
+            pool = self._ensure()
+            futures = [pool.submit(fn, *t) for t in tasks]
+            return [f.result() for f in futures]
+        except (OSError, PermissionError):
+            # Process spawn blocked (sandbox, fd limits): fall back to serial.
+            self._degrade()
+            return _run_serial(fn, tasks)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=wait)
+            except Exception:
+                pass
 
 
 def sweep(
@@ -74,17 +162,8 @@ def sweep(
         if jobs <= 1:
             return _run_serial(fn, tasks)
 
-        import multiprocessing as mp
-        from concurrent.futures import ProcessPoolExecutor
-
+        pool = ForkPool(jobs)
         try:
-            context = mp.get_context("fork")
-        except ValueError:  # platform without fork (e.g. Windows): use default
-            context = mp.get_context()
-        try:
-            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-                futures = [pool.submit(fn, *t) for t in tasks]
-                return [f.result() for f in futures]
-        except (OSError, PermissionError):
-            # Process spawn blocked (sandbox, fd limits): fall back to serial.
-            return _run_serial(fn, tasks)
+            return pool.map_ordered(fn, tasks)
+        finally:
+            pool.shutdown()

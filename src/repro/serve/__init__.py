@@ -1,0 +1,52 @@
+"""Planner-as-a-service: a zero-dependency HTTP plan server.
+
+The repo's planner has so far been a one-shot CLI; this package turns it
+into a long-running service — the ROADMAP's "serves heavy traffic" shape —
+built entirely on the standard library (``http.server`` + ``json``):
+
+* :mod:`repro.serve.protocol` — the ``plan-request-v1`` wire schema and its
+  decoding into ``(ModelProfile, Cluster, GBS, PlannerConfig)`` via
+  :mod:`repro.core.serialization`;
+* :mod:`repro.serve.store` — content-addressed artifact store (SHA-256 of
+  the payload bytes), holding results, ``--explain`` breakdowns, and
+  ``repro.check`` conformance reports;
+* :mod:`repro.serve.jobs` — bounded async job queue with backpressure
+  (429 + ``Retry-After`` once full) and drain semantics;
+* :mod:`repro.serve.workers` — worker pool executing ``plan_best`` through
+  :class:`repro.perf.sweep.ForkPool` (fork workers inherit the warm
+  in-memory plan-cache tier; the shared disk tier serves cross-worker and
+  cross-restart hits);
+* :mod:`repro.serve.server` — the HTTP front end (``POST /v1/plans``,
+  ``GET /v1/jobs/<id>``, ``GET /v1/artifacts/<digest>``,
+  ``GET /v1/cache/stats``, ``GET /healthz``) with SIGTERM-friendly
+  graceful drain;
+* :mod:`repro.serve.client` — a stdlib-``urllib`` client used by
+  ``repro submit`` and the tests.
+
+Served plans are bit-identical to a direct :func:`~repro.core.planner.plan_best`
+call for the same request — enforced by ``repro.check``'s served-plan
+oracle and the end-to-end tests.
+"""
+
+from repro.serve.client import PlanClient, ServiceError
+from repro.serve.jobs import Job, JobQueue, QueueClosed, QueueFull
+from repro.serve.protocol import PlanRequest, RequestError, decode_plan_request
+from repro.serve.server import PlanServer
+from repro.serve.store import ArtifactStore
+from repro.serve.workers import WorkerPool, execute_request
+
+__all__ = [
+    "ArtifactStore",
+    "Job",
+    "JobQueue",
+    "PlanClient",
+    "PlanRequest",
+    "PlanServer",
+    "QueueClosed",
+    "QueueFull",
+    "RequestError",
+    "ServiceError",
+    "WorkerPool",
+    "decode_plan_request",
+    "execute_request",
+]

@@ -1,0 +1,135 @@
+"""Stdlib-``urllib`` client for the plan service.
+
+Powers ``repro submit`` and the end-to-end tests; no third-party HTTP
+stack.  :class:`PlanClient` wraps the four interactions a consumer needs:
+submit a request, poll its job, fetch artifacts, read service stats.
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
+and the server's JSON error message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response (or transport failure) from the plan service."""
+
+    def __init__(self, message: str, status: int | None = None,
+                 body: dict[str, Any] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+    @property
+    def retry_after(self) -> float | None:
+        v = self.body.get("retry_after")
+        return float(v) if v is not None else None
+
+
+class PlanClient:
+    """Minimal blocking client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------ transport ------------------------------- #
+    def _request(self, method: str, path: str,
+                 payload: dict[str, Any] | None = None) -> tuple[int, bytes, str]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return (
+                    resp.status,
+                    resp.read(),
+                    resp.headers.get("Content-Type", "application/json"),
+                )
+        except urllib.error.HTTPError as e:
+            body = e.read()
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                parsed = {"error": body.decode("utf-8", "replace")}
+            retry_after = e.headers.get("Retry-After")
+            if retry_after is not None:
+                parsed.setdefault("retry_after", retry_after)
+            raise ServiceError(
+                f"{method} {path} -> {e.code}: {parsed.get('error', parsed)}",
+                status=e.code, body=parsed,
+            ) from e
+        except urllib.error.URLError as e:
+            raise ServiceError(f"{method} {path} failed: {e.reason}") from e
+
+    def _json(self, method: str, path: str,
+              payload: dict[str, Any] | None = None) -> dict[str, Any]:
+        _status, body, _ct = self._request(method, path, payload)
+        return json.loads(body.decode("utf-8"))
+
+    # -------------------------------- API ----------------------------------- #
+    def health(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self._json("GET", "/v1/cache/stats")
+
+    def submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        """POST one plan request; returns the 202 body (``job_id`` inside)."""
+        return self._json("POST", "/v1/plans", request)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def artifact(self, digest: str) -> tuple[bytes, str]:
+        """Fetch one artifact; returns ``(payload, content_type)``."""
+        _status, body, content_type = self._request("GET", f"/v1/artifacts/{digest}")
+        return body, content_type
+
+    def artifact_json(self, digest: str) -> Any:
+        payload, _ct = self.artifact(digest)
+        return json.loads(payload.decode("utf-8"))
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll_interval: float = 0.02) -> dict[str, Any]:
+        """Poll until the job settles; returns the final job dict.
+
+        Raises :class:`ServiceError` if the job failed or the deadline
+        passes while it is still queued/running.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] == "done":
+                return job
+            if job["state"] == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: {job.get('error', 'unknown error')}",
+                    body=job,
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for {job_id} "
+                    f"(state: {job['state']})",
+                    body=job,
+                )
+            time.sleep(poll_interval)
+
+    def result(self, job: dict[str, Any]) -> dict[str, Any]:
+        """Fetch the ``result`` artifact of a completed job dict."""
+        digest = job.get("artifacts", {}).get("result")
+        if digest is None:
+            raise ServiceError(f"job {job.get('id')} has no result artifact")
+        return self.artifact_json(digest)

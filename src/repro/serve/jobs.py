@@ -1,0 +1,200 @@
+"""Bounded async job queue with backpressure and drain semantics.
+
+Jobs move ``queued -> running -> done | failed``.  The queue bounds only
+the *pending* depth: once ``max_depth`` submissions are waiting for a
+worker, further submissions raise :class:`QueueFull`, which the HTTP
+layer maps to ``429 Too Many Requests`` + ``Retry-After`` — the service
+sheds load instead of building an unbounded backlog.
+
+:meth:`JobQueue.close` starts a graceful drain: new submissions raise
+:class:`QueueClosed` (HTTP 503) while already-accepted jobs keep flowing
+to workers; :meth:`JobQueue.wait_idle` blocks until every accepted job
+has finished, which is exactly the SIGTERM handshake ``repro serve``
+performs before exiting.
+
+All state lives behind one lock + condition; completed jobs are kept (the
+service is for bounded test/bench/CLI traffic, and results are one
+``GET /v1/jobs/<id>`` away) but their payloads are small — artifacts live
+in the content-addressed store, jobs only carry digests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Suggested client back-off (seconds) attached to 429 responses.
+RETRY_AFTER_S = 1
+
+
+class QueueFull(RuntimeError):
+    """Pending depth limit reached (HTTP 429)."""
+
+
+class QueueClosed(RuntimeError):
+    """Queue is draining/closed; no new submissions (HTTP 503)."""
+
+
+@dataclass
+class Job:
+    """One plan request moving through the service."""
+
+    id: str
+    request: dict[str, Any]
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: artifact name ("result", "explain", "check") -> content digest
+    artifacts: dict[str, str] = field(default_factory=dict)
+    #: small result summary for job listings (notation, latency, cache_hit)
+    summary: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {
+            "id": self.id,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "artifacts": dict(self.artifacts),
+            "summary": dict(self.summary),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobQueue:
+    """FIFO queue of :class:`Job` with a bounded pending depth."""
+
+    def __init__(self, max_depth: int = 64):
+        if max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._pending: list[Job] = []
+        self._jobs: dict[str, Job] = {}
+        self._running = 0
+        self._closed = False
+        self._ids = itertools.count(1)
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------- intake -------------------------------- #
+    def submit(self, request: dict[str, Any]) -> Job:
+        """Accept one request or raise :class:`QueueFull`/:class:`QueueClosed`."""
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("server is draining; not accepting new jobs")
+            if len(self._pending) >= self.max_depth:
+                self.rejected += 1
+                raise QueueFull(
+                    f"queue depth limit reached ({self.max_depth} pending)"
+                )
+            job = Job(id=f"job-{next(self._ids):06d}", request=dict(request))
+            self._pending.append(job)
+            self._jobs[job.id] = job
+            self.submitted += 1
+            self._has_work.notify()
+            return job
+
+    # ------------------------------- workers -------------------------------- #
+    def claim(self, timeout: float | None = None) -> Job | None:
+        """Pop the oldest pending job (marking it running), or None on timeout."""
+        with self._lock:
+            if not self._pending:
+                self._has_work.wait(timeout)
+            if not self._pending:
+                return None
+            job = self._pending.pop(0)
+            job.state = "running"
+            job.started_at = time.time()
+            self._running += 1
+            return job
+
+    def _settle(self, job: Job) -> None:
+        job.finished_at = time.time()
+        self._running -= 1
+        if self._running == 0 and not self._pending:
+            self._idle.notify_all()
+
+    def finish(self, job: Job, artifacts: dict[str, str], summary: dict[str, Any]) -> None:
+        with self._lock:
+            job.state = "done"
+            job.artifacts = dict(artifacts)
+            job.summary = dict(summary)
+            self.completed += 1
+            self._settle(job)
+
+    def fail(self, job: Job, error: str) -> None:
+        with self._lock:
+            job.state = "failed"
+            job.error = error
+            self.failed += 1
+            self._settle(job)
+
+    # ------------------------------- queries -------------------------------- #
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    @property
+    def depth(self) -> int:
+        """Jobs accepted but not yet claimed by a worker."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._running
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def stats(self) -> dict[str, int | bool]:
+        with self._lock:
+            return {
+                "depth": len(self._pending),
+                "in_flight": self._running,
+                "max_depth": self.max_depth,
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "closed": self._closed,
+            }
+
+    # -------------------------------- drain --------------------------------- #
+    def close(self) -> None:
+        """Refuse new submissions; queued/running jobs keep executing."""
+        with self._lock:
+            self._closed = True
+            # Wake idle workers so their claim() loops observe the close.
+            self._has_work.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no job is pending or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._pending or self._running:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True

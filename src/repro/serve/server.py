@@ -1,0 +1,347 @@
+"""The HTTP front end: ``ThreadingHTTPServer`` over the job queue.
+
+Endpoints (all JSON):
+
+====================================  =========================================
+``POST /v1/plans``                    submit a plan request -> 202 + job id;
+                                      400 malformed, 429 + ``Retry-After``
+                                      when the queue is full, 503 draining
+``GET  /v1/jobs``                     list jobs (most recent last)
+``GET  /v1/jobs/<id>``                job status, summary, artifact digests
+``GET  /v1/artifacts/<digest>``       fetch one content-addressed artifact
+``GET  /v1/cache/stats``              plan-cache + artifact-store + queue stats
+``GET  /healthz``                     liveness: status, queue depth, workers
+====================================  =========================================
+
+Every request is counted (``serve.requests`` by route and status), spanned
+(``serve.request``), and appended to an optional JSONL access log; the
+queue depth is exported as the ``serve.queue_depth`` gauge.
+
+Shutdown is graceful by default: :meth:`PlanServer.drain` (the SIGTERM
+handler of ``repro serve``) closes the queue (new submissions -> 503),
+waits for in-flight jobs to finish, then stops the HTTP listener.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+import repro.obs as obs
+
+from repro import __version__
+from repro.core.plancache import PlanCache, swap_default
+from repro.serve.jobs import RETRY_AFTER_S, JobQueue, QueueClosed, QueueFull
+from repro.serve.protocol import RequestError, decode_plan_request
+from repro.serve.store import ArtifactStore
+from repro.serve.workers import WorkerPool
+
+#: Default bound on the plan cache's disk tier (LRU-evicted beyond this).
+DEFAULT_CACHE_MAX_BYTES = 256 * 2**20
+
+#: Largest accepted request body; inline graphs are a few KB, so 8 MiB is
+#: generous while still bounding memory per connection.
+MAX_BODY_BYTES = 8 * 2**20
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9._-]+)$")
+_ARTIFACT_PATH = re.compile(r"^/v1/artifacts/([0-9a-f]+)$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one connection; all state lives on ``self.server.app``."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------ plumbing -------------------------------- #
+    @property
+    def app(self) -> "PlanServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # default stderr chatter off
+        pass
+
+    def _send(self, status: int, payload: Any, *, content_type: str = "application/json",
+              headers: dict[str, str] | None = None) -> int:
+        body = (
+            payload if isinstance(payload, bytes)
+            else (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        return status
+
+    def _error(self, status: int, message: str,
+               headers: dict[str, str] | None = None) -> int:
+        return self._send(status, {"error": message, "status": status}, headers=headers)
+
+    # ------------------------------- methods -------------------------------- #
+    def do_GET(self):  # noqa: N802 (http.server naming)
+        self._route("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        app = self.app
+        path = self.path.split("?", 1)[0]
+        t0 = time.perf_counter()
+        with obs.span("serve.request", method=method, path=path):
+            status = app.dispatch(self, method, path)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        obs.counter("serve.requests", route=_route_label(method, path),
+                    status=str(status)).inc()
+        obs.histogram("serve.request_ms").observe(elapsed_ms)
+        app.access_log(method, path, status, elapsed_ms)
+
+
+def _route_label(method: str, path: str) -> str:
+    if _JOB_PATH.match(path):
+        return f"{method} /v1/jobs/<id>"
+    if _ARTIFACT_PATH.match(path):
+        return f"{method} /v1/artifacts/<digest>"
+    return f"{method} {path}"
+
+
+class PlanServer:
+    """Long-running planner service bound to one host:port.
+
+    ``port=0`` binds an ephemeral port (tests, benchmarks); read
+    :attr:`url` after :meth:`start`.  ``data_dir`` holds the two
+    content-addressed tiers (``artifacts/`` and ``plancache/``); omitted,
+    a temporary directory is created and reused for the server's lifetime.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 2,
+        queue_depth: int = 64,
+        data_dir: str | Path | None = None,
+        exec_mode: str = "fork",
+        cache_max_bytes: int | None = DEFAULT_CACHE_MAX_BYTES,
+        access_log: str | Path | None = None,
+        start_workers: bool = True,
+    ):
+        self.host = host
+        self._requested_port = port
+        if data_dir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            data_dir = self._tmpdir.name
+        else:
+            self._tmpdir = None
+        self.data_dir = Path(data_dir)
+        self.store = ArtifactStore(self.data_dir / "artifacts")
+        self.cache_dir = self.data_dir / "plancache"
+        self.cache_max_bytes = cache_max_bytes
+        # The service's disk tier doubles as the process-default cache, so
+        # inline execution and fork workers (which inherit it) share one
+        # content-addressed store of search results.  The caller's prior
+        # default is restored on close()/drain() so an embedded server
+        # (tests, the served-plan oracle) leaves no global footprint.
+        self.cache = PlanCache(self.cache_dir, max_disk_bytes=cache_max_bytes)
+        self._prev_cache_state = swap_default(self.cache)
+        self._cache_restored = False
+        self.queue = JobQueue(max_depth=queue_depth)
+        self.pool = WorkerPool(
+            self.queue, self.store,
+            workers=workers, exec_mode=exec_mode,
+            cache_dir=str(self.cache_dir), cache_max_bytes=cache_max_bytes,
+        )
+        self._start_workers = start_workers
+        self._httpd: ThreadingHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._access_log_path = Path(access_log) if access_log else None
+        self._access_log_lock = threading.Lock()
+        self._draining = False
+        self.started_at = time.time()
+        obs.gauge("serve.queue_depth").set_fn(lambda: float(self.queue.depth))
+
+    # ------------------------------ lifecycle ------------------------------- #
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1] if self._httpd else self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PlanServer":
+        """Bind the socket and start serving in background threads."""
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True,
+            kwargs={"poll_interval": 0.05},
+        )
+        self._serve_thread.start()
+        if self._start_workers:
+            self.pool.start()
+        return self
+
+    def start_workers(self) -> None:
+        """Start the worker pool (when constructed with start_workers=False)."""
+        self.pool.start()
+
+    def wait(self) -> None:
+        """Block the calling thread until the server is shut down."""
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful shutdown: refuse new jobs, finish accepted ones, stop."""
+        with obs.span("serve.drain"):
+            self._draining = True
+            clean = self.pool.drain(timeout)
+            self._stop_http()
+            self._restore_cache()
+        return clean
+
+    def close(self) -> None:
+        """Hard stop (tests): abandon queued jobs, stop everything."""
+        self._draining = True
+        self.queue.close()
+        self.pool.stop()
+        self._stop_http()
+        self._restore_cache()
+        if self._tmpdir is not None:
+            try:
+                self._tmpdir.cleanup()
+            except OSError:
+                pass
+            self._tmpdir = None
+
+    def _restore_cache(self) -> None:
+        if not self._cache_restored:
+            swap_default(*self._prev_cache_state)
+            self._cache_restored = True
+
+    def _stop_http(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+
+    # ------------------------------ access log ------------------------------ #
+    def access_log(self, method: str, path: str, status: int, ms: float) -> None:
+        if self._access_log_path is None:
+            return
+        line = json.dumps({
+            "ts": time.time(), "method": method, "path": path,
+            "status": status, "ms": round(ms, 3),
+        }, sort_keys=True)
+        with self._access_log_lock:
+            try:
+                with open(self._access_log_path, "a") as fh:
+                    fh.write(line + "\n")
+            except OSError:
+                pass
+
+    # ------------------------------- routing -------------------------------- #
+    def dispatch(self, h: _Handler, method: str, path: str) -> int:
+        try:
+            return self._dispatch(h, method, path)
+        except Exception as e:  # never let a handler kill the connection thread
+            return h._error(500, f"internal error: {type(e).__name__}: {e}")
+
+    def _dispatch(self, h: _Handler, method: str, path: str) -> int:
+        if method == "GET":
+            if path == "/healthz":
+                return h._send(200, self.health())
+            if path == "/v1/cache/stats":
+                return h._send(200, self.cache_stats())
+            if path == "/v1/jobs":
+                return h._send(200, {"jobs": [j.to_dict() for j in self.queue.jobs()]})
+            m = _JOB_PATH.match(path)
+            if m:
+                job = self.queue.get(m.group(1))
+                if job is None:
+                    return h._error(404, f"no such job {m.group(1)!r}")
+                return h._send(200, job.to_dict())
+            m = _ARTIFACT_PATH.match(path)
+            if m:
+                found = self.store.get(m.group(1))
+                if found is None:
+                    return h._error(404, f"no such artifact {m.group(1)!r}")
+                payload, content_type = found
+                return h._send(200, payload, content_type=content_type)
+            return h._error(404, f"no such endpoint {method} {path}")
+
+        if method == "POST" and path == "/v1/plans":
+            return self._submit(h)
+        return h._error(404, f"no such endpoint {method} {path}")
+
+    def _submit(self, h: _Handler) -> int:
+        try:
+            length = int(h.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            return h._error(400, "missing or invalid Content-Length")
+        if length <= 0 or length > MAX_BODY_BYTES:
+            return h._error(400, f"body must be 1..{MAX_BODY_BYTES} bytes, got {length}")
+        try:
+            data = json.loads(h.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            return h._error(400, f"body is not valid JSON: {e}")
+        try:
+            request = decode_plan_request(data)
+        except RequestError as e:
+            return h._error(400, str(e))
+        try:
+            job = self.queue.submit(request.to_dict())
+        except QueueFull as e:
+            return h._error(429, str(e), headers={"Retry-After": str(RETRY_AFTER_S)})
+        except QueueClosed as e:
+            return h._error(503, str(e))
+        return h._send(202, {
+            "job_id": job.id,
+            "status_url": f"/v1/jobs/{job.id}",
+            "job": job.to_dict(),
+        })
+
+    # ------------------------------- reports -------------------------------- #
+    def health(self) -> dict[str, Any]:
+        q = self.queue.stats()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queue": q,
+            "workers": self.pool.workers,
+            "exec_mode": self.pool.mode,
+        }
+
+    def cache_stats(self) -> dict[str, Any]:
+        cache = self.cache
+        jobs = self.queue.jobs()
+        done = [j for j in jobs if j.state == "done"]
+        return {
+            # In fork mode the in-process hit/miss counters reflect only this
+            # process; disk_entries/bytes are read from the shared tier and
+            # the "served" block aggregates per-job hits across workers.
+            "plan_cache": cache.stats() if cache is not None else None,
+            "served": {
+                "jobs_done": len(done),
+                "cache_hits": sum(1 for j in done if j.summary.get("cache_hit")),
+            },
+            "artifacts": self.store.stats(),
+            "queue": self.queue.stats(),
+        }

@@ -1,0 +1,108 @@
+"""Content-addressed artifact store for served results.
+
+Every artifact (result JSON, ``--explain`` report text, conformance
+report) is stored under the SHA-256 hex digest of its payload bytes —
+the same content-addressing discipline as the plan cache, so identical
+results deduplicate across jobs (a warm cache hit re-serving the same
+plan stores zero new bytes) and a digest fetched via
+``GET /v1/artifacts/<digest>`` is immutable by construction.
+
+Writes are atomic (temp file + rename into place), safe against
+concurrent workers producing the same artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: kind -> (file suffix, HTTP content type)
+_KINDS = {
+    "json": (".json", "application/json"),
+    "text": (".txt", "text/plain; charset=utf-8"),
+}
+
+
+class ArtifactStore:
+    """Flat directory of ``<sha256>.<ext>`` artifacts."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------- write --------------------------------- #
+    def put(self, payload: bytes | str, kind: str = "json") -> str:
+        """Store one artifact; returns its content digest (idempotent)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r} (valid: {sorted(_KINDS)})")
+        data = payload.encode("utf-8") if isinstance(payload, str) else payload
+        digest = hashlib.sha256(data).hexdigest()
+        suffix, _ = _KINDS[kind]
+        path = self.directory / f"{digest}{suffix}"
+        if path.exists():
+            return digest
+        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".tmp-", suffix=suffix)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return digest
+
+    def put_json(self, obj: Any) -> str:
+        """Store a JSON-serializable object canonically (sorted keys)."""
+        return self.put(json.dumps(obj, sort_keys=True), kind="json")
+
+    # -------------------------------- read --------------------------------- #
+    def get(self, digest: str) -> tuple[bytes, str] | None:
+        """Return ``(payload, content_type)`` for a digest, or None."""
+        if not _valid_digest(digest):
+            return None
+        for suffix, content_type in _KINDS.values():
+            path = self.directory / f"{digest}{suffix}"
+            try:
+                return path.read_bytes(), content_type
+            except OSError:
+                continue
+        return None
+
+    def get_json(self, digest: str) -> Any | None:
+        found = self.get(digest)
+        if found is None:
+            return None
+        return json.loads(found[0].decode("utf-8"))
+
+    def __contains__(self, digest: str) -> bool:
+        return self.get(digest) is not None
+
+    # ------------------------------- inventory ------------------------------ #
+    def stats(self) -> dict[str, int]:
+        count = 0
+        total = 0
+        for p in self.directory.iterdir():
+            if p.name.startswith(".tmp-"):
+                continue
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return {"artifacts": count, "bytes": total}
+
+
+def _valid_digest(digest: str) -> bool:
+    """Hex-only digests; rejects path traversal in URL-supplied values."""
+    return (
+        isinstance(digest, str)
+        and len(digest) == 64
+        and all(c in "0123456789abcdef" for c in digest)
+    )

@@ -1,0 +1,207 @@
+"""Worker pool: executes queued plan requests through ``ForkPool``.
+
+``N`` dispatcher threads each claim jobs from the :class:`JobQueue` and
+run :func:`execute_request` through one shared
+:class:`repro.perf.sweep.ForkPool` — the same fork-parallel machinery the
+experiment sweeps use.  Fork workers inherit the parent's warm in-memory
+plan-cache tier at pool creation; the shared *disk* tier (one directory
+under the server's data dir) gives every worker process O(1) warm hits on
+repeated/near-identical requests for the whole service lifetime, and
+survives restarts.  Where process pools are unavailable (sandboxed CI, or
+``exec_mode="inline"``), jobs run inline in the dispatcher threads — same
+results, still concurrent across jobs up to the thread count.
+
+:func:`execute_request` is a module-level function of picklable arguments
+(the raw request dict plus cache configuration), returning a JSON-safe
+response dict — exactly what crosses the process boundary and what the
+server persists to the artifact store.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any
+
+import repro.obs as obs
+
+from repro.core.plancache import configure_default, default_cache
+from repro.core.planner import plan_best
+from repro.perf.sweep import ForkPool
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.protocol import RequestError, decode_plan_request
+from repro.serve.store import ArtifactStore
+
+RESPONSE_SCHEMA = "plan-response-v1"
+
+
+def _ensure_cache(cache_dir: str | None, max_disk_bytes: int | None):
+    """Make the process-default plan cache point at the service tier.
+
+    Idempotent: a fork worker that inherited an already-configured cache
+    (including its warm in-memory tier) keeps it; a cold process (spawn
+    pool, first inline call) attaches the disk tier itself.
+    """
+    cache = default_cache()
+    want = str(cache_dir) if cache_dir is not None else None
+    have = str(cache.directory) if cache is not None and cache.directory else None
+    if cache is None or have != want:
+        cache = configure_default(directory=cache_dir, max_disk_bytes=max_disk_bytes)
+    return cache
+
+
+def execute_request(
+    request_data: dict[str, Any],
+    cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
+) -> dict[str, Any]:
+    """Resolve and execute one plan request; returns the response dict.
+
+    Runs in a pool worker process (or inline).  The response carries the
+    serialized plan, the estimate decomposition, search counters, whether
+    the plan cache served the search, and — when requested — the
+    ``--explain`` report text and the ``repro.check`` conformance report.
+    """
+    from repro.core.serialization import plan_to_dict
+    from repro.obs.explain import explain_plan
+
+    req = decode_plan_request(request_data)
+    profile, cluster, gbs, cfg = req.resolve()
+    cache = _ensure_cache(cache_dir, cache_max_bytes)
+    hits_before = cache.hits if cache is not None else 0
+    result = plan_best(profile, cluster, gbs, cfg, cache=cache)
+    cache_hit = cache is not None and cache.hits > hits_before
+    plan = result.plan
+    est = result.estimate
+    response: dict[str, Any] = {
+        "schema": RESPONSE_SCHEMA,
+        "request": req.to_dict(),
+        "plan": plan_to_dict(plan),
+        "notation": plan.notation,
+        "split": plan.split_notation,
+        "num_micro_batches": plan.num_micro_batches,
+        "estimate": {
+            "latency": est.latency,
+            "warmup": est.warmup,
+            "steady": est.steady,
+            "ending": est.ending,
+            "pivot": est.pivot,
+            "acr": est.acr,
+        },
+        "counters": {
+            "states_explored": result.states_explored,
+            "plans_evaluated": result.plans_evaluated,
+            "infeasible_plans": result.infeasible_plans,
+        },
+        "cache_hit": cache_hit,
+    }
+    if req.explain:
+        response["explain"] = explain_plan(profile, cluster, result).report()
+    if req.check:
+        from repro.check.invariants import verify_execution
+        from repro.runtime.memory import OutOfMemoryError
+
+        try:
+            report = verify_execution(profile, cluster, plan)
+            response["check"] = {
+                "ok": report.ok,
+                "invariants": list(report.checks),
+                "violations": [str(v) for v in report.violations],
+                "render": report.render(),
+            }
+        except OutOfMemoryError as e:
+            response["check"] = {"ok": False, "skipped": "oom", "error": str(e)}
+    return response
+
+
+class WorkerPool:
+    """Dispatcher threads draining a :class:`JobQueue` through a ForkPool."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ArtifactStore,
+        *,
+        workers: int = 2,
+        exec_mode: str = "fork",
+        cache_dir: str | None = None,
+        cache_max_bytes: int | None = None,
+    ):
+        if exec_mode not in ("fork", "inline"):
+            raise ValueError(f"exec_mode must be 'fork' or 'inline', got {exec_mode!r}")
+        self.queue = queue
+        self.store = store
+        self.workers = max(1, workers)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.cache_max_bytes = cache_max_bytes
+        self.pool = ForkPool(self.workers, inline=(exec_mode == "inline"))
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(target=self._loop, name=f"serve-worker-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+
+    @property
+    def mode(self) -> str:
+        return self.pool.mode
+
+    def start(self) -> None:
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------ job loop -------------------------------- #
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=0.1)
+            if job is None:
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        with obs.span("serve.job", job=job.id):
+            try:
+                response = self.pool.run(
+                    execute_request, job.request, self.cache_dir, self.cache_max_bytes
+                )
+            except (RequestError, ValueError, KeyError, RuntimeError) as e:
+                self.queue.fail(job, f"{type(e).__name__}: {e}")
+                obs.counter("serve.jobs", outcome="failed").inc()
+                return
+            except Exception:
+                self.queue.fail(job, traceback.format_exc(limit=5))
+                obs.counter("serve.jobs", outcome="failed").inc()
+                return
+            artifacts = {"result": self.store.put_json(response)}
+            if response.get("explain") is not None:
+                artifacts["explain"] = self.store.put(response["explain"], kind="text")
+            if response.get("check") is not None:
+                artifacts["check"] = self.store.put_json(response["check"])
+            summary = {
+                "notation": response["notation"],
+                "split": response["split"],
+                "num_micro_batches": response["num_micro_batches"],
+                "latency": response["estimate"]["latency"],
+                "cache_hit": response["cache_hit"],
+            }
+            if response.get("check") is not None:
+                summary["check_ok"] = response["check"].get("ok")
+            if response["cache_hit"]:
+                obs.counter("serve.cache_hit").inc()
+            obs.counter("serve.jobs", outcome="done").inc()
+            self.queue.finish(job, artifacts, summary)
+
+    # -------------------------------- stop ---------------------------------- #
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Close intake, finish accepted jobs, stop threads. True if clean."""
+        self.queue.close()
+        idle = self.queue.wait_idle(timeout)
+        self.stop()
+        return idle
+
+    def stop(self) -> None:
+        """Stop dispatcher threads without waiting for queued jobs."""
+        self._stop.set()
+        for t in self._threads:
+            if t.is_alive():
+                t.join(timeout=5.0)
+        self.pool.shutdown()

@@ -7,6 +7,7 @@ from repro.check import (
     oracle_memory_m_independence,
     oracle_plan_cache,
     oracle_planner,
+    oracle_served_plan,
     run_oracles,
 )
 
@@ -26,6 +27,12 @@ class TestOraclesPass:
         report = oracle_plan_cache(prof, cluster, plan.global_batch_size)
         assert report.ok, report.render()
 
+    def test_served_plan_matches_direct(self, tiny):
+        prof, cluster, plan = tiny
+        report = oracle_served_plan(prof, cluster, plan.global_batch_size)
+        assert report.ok, report.render()
+        assert report.checks  # skipped-on-bind-failure still records the run
+
     def test_explain_decomposition(self, tiny):
         prof, cluster, plan = tiny
         assert oracle_explain(prof, cluster, plan).ok
@@ -44,7 +51,8 @@ class TestOraclesPass:
         prof, cluster, plan = tiny
         report = run_oracles(prof, cluster, plan, gbs=plan.global_batch_size)
         assert report.ok, report.render()
-        assert len(report.checks) == 7
+        assert len(report.checks) == 8
+        assert "oracle-served-plan" in report.checks
 
 
 class TestOraclesCatchDivergence:

@@ -9,6 +9,8 @@ bit-identical to a fresh search.
 
 import dataclasses
 import json
+import multiprocessing
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -26,6 +28,7 @@ from repro.core.plancache import (
     default_cache,
     fingerprint,
     set_default_cache,
+    swap_default,
 )
 from repro.core.planner import plan_best
 from repro.core.profiler import ModelProfile
@@ -231,6 +234,181 @@ class TestPlanCache:
         assert cache.hits == len(points)
 
 
+class TestDiskEviction:
+    """Size-bounded LRU disk tier: oldest-mtime entries go first, recency
+    is refreshed by disk hits, and the memory tier is kept consistent."""
+
+    def _fill(self, cache, gbs_points):
+        prof, clu, _, cfg = _problem()
+        digests = {}
+        for gbs in gbs_points:
+            digests[gbs] = cache.store(
+                prof, clu, gbs, cfg, Planner(prof, clu, gbs, cfg).search()
+            )
+        return prof, clu, cfg, digests
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        self._fill(cache, [16, 32, 64])
+        assert cache.stats()["disk_entries"] == 3
+        assert cache.stats()["max_disk_bytes"] is None
+
+    def test_oldest_entry_evicted_first(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        prof, clu, cfg, digests = self._fill(cache, [16, 32])
+        size = (tmp_path / f"{digests[16]}.json").stat().st_size
+        # Fits two entries; the third store must evict the LRU one.
+        cache.max_disk_bytes = int(size * 2.5)
+        now = os.stat(tmp_path).st_mtime
+        os.utime(tmp_path / f"{digests[16]}.json", (now - 100, now - 100))
+        os.utime(tmp_path / f"{digests[32]}.json", (now - 50, now - 50))
+
+        cache.store(prof, clu, 64, cfg, Planner(prof, clu, 64, cfg).search())
+        survivors = {p.stem for p in tmp_path.glob("*.json")}
+        assert digests[16] not in survivors  # oldest gone
+        assert digests[32] in survivors
+        assert digests[16] not in cache._mem  # memory tier kept consistent
+        assert cache.lookup(prof, clu, 16, cfg) is None
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        prof, clu, cfg, digests = self._fill(cache, [16, 32])
+        size = (tmp_path / f"{digests[16]}.json").stat().st_size
+        now = os.stat(tmp_path).st_mtime
+        os.utime(tmp_path / f"{digests[16]}.json", (now - 100, now - 100))
+        os.utime(tmp_path / f"{digests[32]}.json", (now - 50, now - 50))
+
+        # A disk hit on the older entry bumps its mtime past the other's.
+        cache.clear_memory()
+        assert cache.lookup(prof, clu, 16, cfg) is not None
+
+        cache.max_disk_bytes = int(size * 2.5)
+        cache.store(prof, clu, 64, cfg, Planner(prof, clu, 64, cfg).search())
+        survivors = {p.stem for p in tmp_path.glob("*.json")}
+        assert digests[16] in survivors  # recently used: protected
+        assert digests[32] not in survivors
+
+    def test_eviction_emits_obs_counter(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        prof, clu, cfg, digests = self._fill(cache, [16])
+        size = (tmp_path / f"{digests[16]}.json").stat().st_size
+        cache.max_disk_bytes = int(size * 1.5)
+        obs.enable(reset_state=True)
+        try:
+            cache.store(prof, clu, 32, cfg, Planner(prof, clu, 32, cfg).search())
+            assert obs.counter("planner.cache.evicted").value == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_clear_disk(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        prof, clu, cfg, _digests = self._fill(cache, [16, 32])
+        assert cache.clear_disk() == 2
+        assert cache.stats()["disk_entries"] == 0
+        assert len(cache) == 0
+        cache.clear_memory()
+        assert cache.lookup(prof, clu, 16, cfg) is None
+
+    def test_stats_shape(self, tmp_path):
+        cache = PlanCache(tmp_path, max_disk_bytes=1 << 20)
+        prof, clu, cfg, _digests = self._fill(cache, [16])
+        cache.lookup(prof, clu, 16, cfg)
+        cache.lookup(prof, clu, 999, cfg)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["memory_entries"] == 1
+        assert stats["disk_entries"] == 1
+        assert stats["disk_bytes"] > 0
+        assert stats["max_disk_bytes"] == 1 << 20
+        assert stats["directory"] == str(tmp_path)
+        json.dumps(stats)  # JSON-safe for /v1/cache/stats
+
+
+class TestDiskRobustness:
+    """Service-load survival: corrupted entries degrade to misses (and are
+    removed), concurrent processes sharing one disk tier never crash."""
+
+    def test_corrupt_entry_is_removed_then_repopulated(self, tmp_path):
+        prof, clu, gbs, cfg = _problem()
+        cache = PlanCache(tmp_path)
+        digest = cache.store(
+            prof, clu, gbs, cfg, Planner(prof, clu, gbs, cfg).search()
+        )
+        path = tmp_path / f"{digest}.json"
+        path.write_text("{not json")
+        cache.clear_memory()
+        assert cache.lookup(prof, clu, gbs, cfg) is None
+        # repeated lookups stay plain misses, and a re-plan repairs the tier
+        assert cache.lookup(prof, clu, gbs, cfg) is None
+        result = plan_best(prof, clu, gbs, cfg, cache=cache)
+        assert path.exists()
+        cache.clear_memory()
+        assert _signature(cache.lookup(prof, clu, gbs, cfg)) == _signature(result)
+
+    def test_truncated_payload_is_removed(self, tmp_path):
+        """Valid JSON with the right schema but missing keys — the decode
+        failure path, not the parse failure path."""
+        prof, clu, gbs, cfg = _problem()
+        cache = PlanCache(tmp_path)
+        digest = cache.store(
+            prof, clu, gbs, cfg, Planner(prof, clu, gbs, cfg).search()
+        )
+        path = tmp_path / f"{digest}.json"
+        payload = json.loads(path.read_text())
+        del payload["plan"]
+        path.write_text(json.dumps(payload))
+        cache.clear_memory()
+        assert cache.lookup(prof, clu, gbs, cfg) is None
+        assert not path.exists()
+
+    def test_garbled_plan_payload_is_removed(self, tmp_path):
+        prof, clu, gbs, cfg = _problem()
+        cache = PlanCache(tmp_path)
+        digest = cache.store(
+            prof, clu, gbs, cfg, Planner(prof, clu, gbs, cfg).search()
+        )
+        path = tmp_path / f"{digest}.json"
+        payload = json.loads(path.read_text())
+        payload["plan"]["stages"] = [{"bogus": True}]
+        path.write_text(json.dumps(payload))
+        cache.clear_memory()
+        assert cache.lookup(prof, clu, gbs, cfg) is None
+        assert not path.exists()
+
+    def test_concurrent_processes_share_disk_tier(self, tmp_path):
+        """N processes race get/put on one directory (the serve worker-pool
+        pattern): no crashes, and the tier ends up fully populated with
+        decodable entries."""
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(4)
+        procs = [
+            ctx.Process(target=_race_worker, args=(tmp_path, [16, 32, 64], barrier))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+        assert all(p.exitcode == 0 for p in procs), [p.exitcode for p in procs]
+
+        prof, clu, _, cfg = _problem()
+        cache = PlanCache(tmp_path)
+        for gbs in [16, 32, 64]:
+            assert cache.lookup(prof, clu, gbs, cfg) is not None
+        assert cache.hits == 3 and cache.misses == 0
+
+
+def _race_worker(directory, gbs_points, barrier):
+    cache = PlanCache(directory)
+    prof, clu, _, cfg = _problem()
+    barrier.wait()
+    for gbs in gbs_points:
+        result = plan_best(prof, clu, gbs, cfg, cache=cache)
+        if not result.plan.notation:
+            raise SystemExit(3)
+
+
 class TestDefaultCache:
     def teardown_method(self):
         configure_default(enabled=True)
@@ -251,3 +429,11 @@ class TestDefaultCache:
         c = configure_default(directory=tmp_path)
         assert default_cache() is c
         assert c.directory == tmp_path
+
+    def test_swap_default_restores_prior_state(self, tmp_path):
+        original = configure_default(enabled=True)
+        mine = PlanCache(tmp_path)
+        prior = swap_default(mine)
+        assert default_cache() is mine
+        swap_default(*prior)
+        assert default_cache() is original

@@ -1,0 +1,87 @@
+"""Bounded job queue: FIFO order, backpressure, drain semantics."""
+
+import threading
+
+import pytest
+
+from repro.serve.jobs import JobQueue, QueueClosed, QueueFull
+
+
+class TestJobQueue:
+    def test_fifo_order_and_states(self):
+        q = JobQueue(max_depth=8)
+        a = q.submit({"n": 1})
+        b = q.submit({"n": 2})
+        assert (a.state, b.state) == ("queued", "queued")
+        first = q.claim(timeout=0)
+        assert first is a and first.state == "running"
+        assert q.depth == 1 and q.in_flight == 1
+        q.finish(first, {"result": "d" * 64}, {"latency": 1.0})
+        assert first.state == "done" and first.artifacts["result"] == "d" * 64
+        second = q.claim(timeout=0)
+        assert second is b
+
+    def test_bounded_depth_raises_queue_full(self):
+        q = JobQueue(max_depth=2)
+        q.submit({})
+        q.submit({})
+        with pytest.raises(QueueFull, match="depth limit"):
+            q.submit({})
+        assert q.stats()["rejected"] == 1
+        # claiming one frees a slot
+        q.claim(timeout=0)
+        q.submit({})
+
+    def test_running_jobs_do_not_count_against_depth(self):
+        q = JobQueue(max_depth=1)
+        q.submit({})
+        q.claim(timeout=0)
+        q.submit({})  # pending slot freed by the claim
+
+    def test_closed_queue_rejects_submissions(self):
+        q = JobQueue(max_depth=4)
+        job = q.submit({})
+        q.close()
+        with pytest.raises(QueueClosed, match="draining"):
+            q.submit({})
+        # already-accepted work still flows
+        assert q.claim(timeout=0) is job
+
+    def test_fail_records_error(self):
+        q = JobQueue(max_depth=4)
+        job = q.submit({})
+        q.claim(timeout=0)
+        q.fail(job, "boom")
+        assert job.state == "failed"
+        assert job.to_dict()["error"] == "boom"
+        assert q.stats()["failed"] == 1
+
+    def test_claim_times_out_when_empty(self):
+        q = JobQueue(max_depth=4)
+        assert q.claim(timeout=0.01) is None
+
+    def test_wait_idle(self):
+        q = JobQueue(max_depth=4)
+        assert q.wait_idle(timeout=0.01)  # empty queue is idle
+        job = q.submit({})
+        assert not q.wait_idle(timeout=0.05)  # pending job blocks idleness
+
+        def worker():
+            j = q.claim(timeout=1.0)
+            q.finish(j, {}, {})
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert q.wait_idle(timeout=5.0)
+        t.join()
+        assert job.state == "done"
+
+    def test_job_ids_are_unique_and_ordered(self):
+        q = JobQueue(max_depth=16)
+        ids = [q.submit({}).id for _ in range(5)]
+        assert len(set(ids)) == 5
+        assert ids == sorted(ids)
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=-1)

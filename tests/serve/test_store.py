@@ -1,0 +1,55 @@
+"""Content-addressed artifact store tests."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.serve.store import ArtifactStore
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = store.put_json({"b": 2, "a": 1})
+        payload, content_type = store.get(digest)
+        assert json.loads(payload) == {"a": 1, "b": 2}
+        assert content_type == "application/json"
+        assert digest in store
+
+    def test_digest_is_content_address(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = store.put(b"hello", kind="text")
+        assert digest == hashlib.sha256(b"hello").hexdigest()
+        payload, content_type = store.get(digest)
+        assert payload == b"hello"
+        assert content_type.startswith("text/plain")
+
+    def test_identical_content_deduplicates(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        # key order must not matter: canonical (sorted) JSON encoding
+        d1 = store.put_json({"a": 1, "b": 2})
+        d2 = store.put_json({"b": 2, "a": 1})
+        assert d1 == d2
+        assert store.stats() == {"artifacts": 1, "bytes": len(json.dumps({"a": 1, "b": 2}, sort_keys=True))}
+
+    def test_missing_and_invalid_digests(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get("0" * 64) is None
+        # path traversal and junk must not touch the filesystem
+        assert store.get("../../etc/passwd") is None
+        assert store.get("ABC") is None
+        assert store.get("g" * 64) is None
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown artifact kind"):
+            ArtifactStore(tmp_path).put(b"x", kind="exe")
+
+    def test_stats_counts_all_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(b"one", kind="text")
+        store.put(b"two", kind="text")
+        store.put_json({"three": 3})
+        stats = store.stats()
+        assert stats["artifacts"] == 3
+        assert stats["bytes"] > 0

@@ -221,3 +221,74 @@ class TestFaults:
             "--straggler", "1.0", "--jitter", "0.0",
         ]) == 1
         assert "no perturbation" in capsys.readouterr().err
+
+
+class TestServeCLI:
+    """`repro submit` / `repro cache` against an in-process service."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        from repro.serve import PlanServer
+
+        srv = PlanServer(
+            workers=1, exec_mode="inline", queue_depth=8,
+            data_dir=tmp_path / "serve",
+        ).start()
+        try:
+            yield srv
+        finally:
+            srv.close()
+
+    def test_submit_prints_served_plan(self, capsys, server):
+        argv = ["submit", "--url", server.url, "--model", "vgg19",
+                "--config", "C", "--devices", "16"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "plan     :" in out
+        assert "latency  :" in out
+        assert "fresh search" in out
+        # identical request: served from the content-addressed cache
+        assert main(argv) == 0
+        assert "plan-cache hit" in capsys.readouterr().out
+
+    def test_submit_json_output(self, capsys, server):
+        assert main(["submit", "--url", server.url, "--model", "vgg19",
+                     "--config", "C", "--devices", "16", "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["schema"] == "plan-response-v1"
+        assert result["plan"]["stages"]
+
+    def test_submit_no_wait_prints_status_url(self, capsys, server):
+        assert main(["submit", "--url", server.url, "--model", "vgg19",
+                     "--config", "C", "--devices", "16", "--no-wait"]) == 0
+        out = capsys.readouterr().out
+        assert "/v1/jobs/job-" in out
+
+    def test_submit_bad_request_exits_2(self, capsys, server):
+        # config A needs a multiple of 8 devices; the service 400s
+        assert main(["submit", "--url", server.url, "--model", "vgg19",
+                     "--config", "A", "--devices", "12"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_unreachable_service_exits_1(self, capsys):
+        assert main(["submit", "--url", "http://127.0.0.1:9",
+                     "--model", "vgg19", "--timeout", "2"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_stats_and_clear(self, capsys, server):
+        assert main(["submit", "--url", server.url, "--model", "vgg19",
+                     "--config", "C", "--devices", "16"]) == 0
+        capsys.readouterr()
+        cache_dir = str(server.cache.directory)
+        assert main(["cache", "stats", "--plan-cache", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "disk entries" in out
+        assert main(["cache", "clear", "--plan-cache", cache_dir]) == 0
+        assert "cleared 1 entry" in capsys.readouterr().out
+        assert main(["cache", "stats", "--plan-cache", cache_dir]) == 0
+        assert "| 0" in capsys.readouterr().out.replace("  ", " ")
+
+    def test_cache_clear_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["cache", "clear", "--plan-cache",
+                     str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
