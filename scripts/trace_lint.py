@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Static span-name lint (run in CI).
+
+Walks every ``*.py`` under ``src/`` with :mod:`ast` (so docstrings and
+comments can't false-positive) collecting the literal first argument of
+``span(...)``, ``add_span(...)``, and ``start_trace(...)`` calls, then
+asserts:
+
+1. every literal span name matches the documented ``component.operation``
+   naming convention (lowercase, exactly one dot);
+2. every literal span name is registered in
+   ``repro.obs.schema.SPAN_NAMES`` — under its own component key;
+3. nothing registered in ``SPAN_NAMES`` has gone stale (registered but no
+   longer emitted anywhere in ``src/``).
+
+Exit code 0 = clean, 1 = violations (printed one per line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+#: ``component.operation``: lowercase identifiers, exactly one dot.
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
+
+#: Calls whose literal first argument is a span name.
+SPAN_CALLS = frozenset({"span", "add_span", "start_trace"})
+
+
+def literal_span_names(tree: ast.AST):
+    """Yield ``(name, lineno)`` for every literal span-opening call."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        called = (func.attr if isinstance(func, ast.Attribute)
+                  else getattr(func, "id", None))
+        if called not in SPAN_CALLS:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield first.value, node.lineno
+
+
+def run_lint(src: Path = SRC) -> list[str]:
+    sys.path.insert(0, str(src))
+    from repro.obs.schema import SPAN_NAMES, span_names
+
+    registered = span_names()
+    errors: list[str] = []
+    used: set[str] = set()
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(src.parent)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for name, lineno in literal_span_names(tree):
+            used.add(name)
+            if not NAME_RE.match(name):
+                errors.append(
+                    f"{rel}:{lineno}: span name {name!r} does not match the "
+                    f"component.operation convention"
+                )
+                continue
+            if name not in registered:
+                errors.append(
+                    f"{rel}:{lineno}: span name {name!r} is not registered "
+                    f"in repro.obs.schema.SPAN_NAMES"
+                )
+    for component, names in SPAN_NAMES.items():
+        for name in names:
+            if not name.startswith(component + "."):
+                errors.append(
+                    f"schema.SPAN_NAMES[{component!r}]: {name!r} registered "
+                    f"under the wrong component"
+                )
+            if name not in used:
+                errors.append(
+                    f"schema.SPAN_NAMES[{component!r}]: {name!r} is "
+                    f"registered but never emitted anywhere in src/"
+                )
+    return errors
+
+
+def main() -> int:
+    errors = run_lint()
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"trace lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("trace lint: all span names conform and are registered")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

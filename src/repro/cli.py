@@ -30,6 +30,11 @@ Commands
     the served plan (stdlib urllib, no extra deps).
 ``cache``
     Inspect (``stats``) or empty (``clear``) an on-disk plan-cache tier.
+``obs``
+    Operations console: ``tail`` pretty-prints a JSONL event/access log
+    with trace-aware filtering, ``summarize`` aggregates logs into
+    per-span latency tables, ``top`` polls a live server's ``/metrics``
+    into a refreshing dashboard.
 
 Observability: ``plan``/``run``/``experiment``/``check``/``faults`` accept
 ``--trace FILE`` (``.jsonl`` = schema-validated event log, anything else =
@@ -42,7 +47,9 @@ invalid config) exit with code 2; OOM during a run exits 1.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 import repro.obs as obs
 from repro.cluster import config_by_name
@@ -607,6 +614,75 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """``repro obs``: tail/summarize JSONL telemetry, watch a live server."""
+    from repro.obs import console
+
+    if args.obs_command == "tail":
+        attempted = 0
+        try:
+            for line in console.tail_events(
+                args.path, follow=args.follow, trace=args.trace_filter,
+                name=args.name, limit=args.limit,
+            ):
+                print(line, flush=args.follow)
+                attempted += 1
+        except FileNotFoundError:
+            print(f"error: no such file {args.path}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.obs_command == "summarize":
+        attrs = {}
+        for spec in args.attr or ():
+            key, sep, value = spec.partition("=")
+            if not sep:
+                print(f"error: --attr wants KEY=VALUE, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            attrs[key] = value
+        records = []
+        for path in args.paths:
+            try:
+                records.extend(console.iter_events(path))
+            except FileNotFoundError:
+                print(f"error: no such file {path}", file=sys.stderr)
+                return 2
+        rows = console.summarize_spans(
+            records, name=args.name, trace=args.trace_filter,
+            attrs=attrs or None
+        )
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            print(console.render_summary(rows))
+        return 0
+
+    # obs top
+    iterations = args.iterations
+    shown = 0
+    try:
+        while iterations is None or shown < iterations:
+            try:
+                text = console.fetch_metrics(args.url, timeout=args.timeout)
+            except OSError as e:
+                print(f"error: cannot scrape {args.url}/metrics: {e}",
+                      file=sys.stderr)
+                return 1
+            if not args.no_clear and shown:
+                print("\033[2J\033[H", end="")
+            print(console.render_dashboard(text, url=args.url), flush=True)
+            shown += 1
+            if iterations is not None and shown >= iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_cache(args) -> int:
     """``repro cache``: inspect or clear an on-disk plan-cache tier."""
     from pathlib import Path
@@ -836,6 +912,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=["stats", "clear"])
     p.add_argument("--plan-cache", dest="dir", metavar="DIR", required=True,
                    help="cache directory (same as --plan-cache elsewhere)")
+
+    p = sub.add_parser(
+        "obs", help="observability console: tail/summarize logs, watch /metrics"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    t = obs_sub.add_parser(
+        "tail", help="pretty-print a JSONL event/access log, trace-aware"
+    )
+    t.add_argument("path", help="JSONL file (obs export or server access log)")
+    t.add_argument("-f", "--follow", action="store_true",
+                   help="keep watching for appended lines (Ctrl-C to stop)")
+    # dest avoids colliding with the global `--trace FILE` export option,
+    # which main() reads via getattr(args, "trace", None)
+    t.add_argument("--trace", dest="trace_filter", default=None,
+                   metavar="ID",
+                   help="only events whose trace id starts with ID")
+    t.add_argument("--name", default=None, metavar="SUBSTR",
+                   help="only spans/events whose name contains SUBSTR")
+    t.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="stop after N matching lines")
+
+    s = obs_sub.add_parser(
+        "summarize", help="per-span-name latency table from JSONL log(s)"
+    )
+    s.add_argument("paths", nargs="+", help="JSONL export(s) to aggregate")
+    s.add_argument("--trace", dest="trace_filter", default=None,
+                   metavar="ID",
+                   help="only spans whose trace id starts with ID")
+    s.add_argument("--name", default=None, metavar="SUBSTR",
+                   help="only spans whose name contains SUBSTR")
+    s.add_argument("--attr", action="append", metavar="K=V",
+                   help="only spans whose attr K equals V (repeatable)")
+    s.add_argument("--json", action="store_true",
+                   help="print rows as JSON instead of a table")
+
+    o = obs_sub.add_parser(
+        "top", help="refreshing console dashboard over a live /metrics"
+    )
+    o.add_argument("--url", default="http://127.0.0.1:8080",
+                   help="service base URL (default http://127.0.0.1:8080)")
+    o.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between scrapes (default 2)")
+    o.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="stop after N refreshes (default: until Ctrl-C)")
+    o.add_argument("--timeout", type=float, default=5.0,
+                   help="per-scrape HTTP timeout in seconds")
+    o.add_argument("--no-clear", action="store_true",
+                   help="append refreshes instead of clearing the screen")
     return parser
 
 
@@ -864,6 +989,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "cache": cmd_cache,
+        "obs": cmd_obs,
     }
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)

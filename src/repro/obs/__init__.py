@@ -50,6 +50,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.tracer import NOOP_SPAN, SpanRecord, Tracer
+from repro.obs import context
 
 __all__ = [
     "enable",
@@ -63,6 +64,9 @@ __all__ = [
     "metric",
     "tracer",
     "registry",
+    "swap_registry",
+    "context",
+    "start_trace",
     "summary",
     "export_jsonl",
     "export_chrome",
@@ -116,6 +120,24 @@ def tracer() -> Tracer:
 def registry() -> MetricsRegistry:
     """The process-global metrics registry."""
     return _registry
+
+
+def swap_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Install ``new`` as the global registry, returning the old one.
+
+    Used by :func:`repro.obs.context.run_captured` to collect a pool
+    worker's metrics into a scratch registry that can be shipped back to
+    the parent without double-counting anything the child inherited.
+    """
+    global _registry
+    old = _registry
+    _registry = new
+    return old
+
+
+#: Re-exported for the common ``with obs.start_trace("client.request"):``
+#: entry point; see :mod:`repro.obs.context` for the full propagation API.
+start_trace = context.start_trace
 
 
 def span(name: str, **attrs):

@@ -1,0 +1,292 @@
+"""Operator console tools behind the ``repro obs`` CLI family.
+
+Three views over the telemetry the rest of :mod:`repro.obs` produces:
+
+* :func:`tail_events` / ``repro obs tail`` — follow a JSONL event log
+  (:func:`repro.obs.sinks.write_jsonl` exports or a server access log),
+  pretty-printing spans with their trace ids and durations, filterable by
+  trace id prefix and span-name substring;
+* :func:`summarize_spans` / ``repro obs summarize`` — aggregate one or
+  more JSONL logs into a per-span-name latency table.  Percentiles use
+  :func:`repro.obs.export.percentile_sorted` on the logged durations — the
+  same definition the server's SLO windows use on the same span clock
+  reads, so summarizing a captured log reproduces the server's reported
+  p50/p95 bit-exactly;
+* :func:`render_dashboard` / ``repro obs top`` — poll a live server's
+  ``GET /metrics`` and render a refreshing one-screen health dashboard
+  (queue, workers, cache, per-route SLO).
+
+Everything is pure-stdlib and separable: the iterate/aggregate/render
+functions take plain records and return plain strings, the CLI handlers
+just loop them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.obs.export import parse_prometheus, percentile_sorted
+
+__all__ = [
+    "iter_events",
+    "format_event",
+    "tail_events",
+    "summarize_spans",
+    "render_summary",
+    "render_dashboard",
+    "fetch_metrics",
+]
+
+
+# --------------------------------------------------------------------- #
+# tail
+# --------------------------------------------------------------------- #
+def iter_events(path) -> Iterator[dict[str, Any]]:
+    """Parsed records of one JSONL file, skipping blank/garbled lines."""
+    with open(Path(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(obj, dict):
+                yield obj
+
+
+def _short_trace(trace_id: str | None) -> str:
+    return trace_id[:8] if trace_id else "-" * 8
+
+
+def format_event(rec: dict[str, Any]) -> str | None:
+    """One pretty console line for a JSONL record; None = not displayable."""
+    rtype = rec.get("type") or rec.get("event")
+    if rtype == "span":
+        dur = rec.get("dur")
+        dur_s = f"{dur * 1e3:9.3f}ms" if dur is not None else "      -  "
+        attrs = rec.get("attrs") or {}
+        attr_s = " ".join(f"{k}={v}" for k, v in attrs.items())
+        return (f"[{_short_trace(rec.get('trace_id'))}] {dur_s}  "
+                f"{rec.get('name', '?'):<24s} seq={rec.get('seq', '?'):<6} "
+                f"{attr_s}").rstrip()
+    if rtype == "meta":
+        return (f"# event log v{rec.get('version')} "
+                f"(tool {rec.get('tool')}, epoch {rec.get('epoch')})")
+    if rtype in ("counter", "gauge"):
+        labels = rec.get("labels") or {}
+        label_s = ",".join(f"{k}={v}" for k, v in labels.items())
+        return (f"[{'-' * 8}] {rtype:>11s}  {rec.get('name', '?')}"
+                f"{{{label_s}}} = {rec.get('value')}")
+    if rtype == "histogram":
+        return (f"[{'-' * 8}]   histogram  {rec.get('name', '?')} "
+                f"n={rec.get('count')} p50={rec.get('p50')} "
+                f"p95={rec.get('p95')}")
+    if rtype == "request":  # server access-log line
+        return (f"[{_short_trace(rec.get('trace_id'))}] "
+                f"{rec.get('ms', 0):9.3f}ms  {rec.get('method', '?')} "
+                f"{rec.get('path', '?')} -> {rec.get('status')}")
+    if rtype == "job":  # server per-job timing event
+        seg = " ".join(
+            f"{k}={rec[k]}" for k in
+            ("queue_wait_ms", "exec_ms", "dispatch_ms", "serialize_ms",
+             "total_ms") if k in rec
+        )
+        return (f"[{_short_trace(rec.get('trace_id'))}]        job  "
+                f"{rec.get('job_id', '?')} {rec.get('outcome', '?')} {seg}")
+    return None
+
+
+def _match(rec: dict[str, Any], trace: str | None, name: str | None) -> bool:
+    if trace is not None:
+        tid = rec.get("trace_id")
+        if not (isinstance(tid, str) and tid.startswith(trace)):
+            return False
+    if name is not None:
+        n = rec.get("name")
+        if not (isinstance(n, str) and name in n):
+            return False
+    return True
+
+
+def tail_events(
+    path,
+    *,
+    follow: bool = False,
+    trace: str | None = None,
+    name: str | None = None,
+    limit: int | None = None,
+    poll_interval: float = 0.2,
+    should_stop: Callable[[], bool] | None = None,
+) -> Iterator[str]:
+    """Yield formatted lines from a JSONL log, optionally following it.
+
+    ``trace`` filters to trace ids with that prefix; ``name`` to span/event
+    names containing that substring; ``limit`` stops after N yielded lines
+    (handy in tests and scripts).  In follow mode the file is re-polled for
+    appended lines until ``should_stop()`` turns true (or forever).
+    """
+    emitted = 0
+    path = Path(path)
+    with open(path) as fh:
+        while True:
+            for line in iter(fh.readline, ""):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(rec, dict) or not _match(rec, trace, name):
+                    continue
+                formatted = format_event(rec)
+                if formatted is None:
+                    continue
+                yield formatted
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+            if not follow or (should_stop is not None and should_stop()):
+                return
+            time.sleep(poll_interval)
+
+
+# --------------------------------------------------------------------- #
+# summarize
+# --------------------------------------------------------------------- #
+def summarize_spans(
+    records: Iterable[dict[str, Any]],
+    *,
+    name: str | None = None,
+    trace: str | None = None,
+    attrs: dict[str, str] | None = None,
+) -> list[dict[str, Any]]:
+    """Per-span-name latency rollup of JSONL span records.
+
+    Filters mirror :func:`tail_events` (name substring, trace-id prefix)
+    plus exact-match ``attrs`` (compared as strings, so ``route=POST
+    /v1/plans`` matches the span attribute).  Durations come straight from
+    the logged ``dur`` field (seconds) and percentiles from
+    :func:`percentile_sorted`, making the numbers bit-exact equals of the
+    server-side SLO summary over the same spans.
+    """
+    groups: dict[str, list[float]] = {}
+    for rec in records:
+        if rec.get("type") != "span" or rec.get("dur") is None:
+            continue
+        if not _match(rec, trace, name):
+            continue
+        if attrs:
+            rattrs = rec.get("attrs") or {}
+            if any(str(rattrs.get(k)) != str(v) for k, v in attrs.items()):
+                continue
+        groups.setdefault(rec["name"], []).append(rec["dur"] * 1e3)
+    rows = []
+    for span_name in sorted(groups):
+        durs = sorted(groups[span_name])
+        rows.append({
+            "name": span_name,
+            "count": len(durs),
+            "total_ms": sum(durs),
+            "mean_ms": sum(durs) / len(durs),
+            "p50_ms": percentile_sorted(durs, 0.50),
+            "p95_ms": percentile_sorted(durs, 0.95),
+            "p99_ms": percentile_sorted(durs, 0.99),
+            "max_ms": durs[-1],
+        })
+    rows.sort(key=lambda r: (-r["total_ms"], r["name"]))
+    return rows
+
+
+def render_summary(rows: list[dict[str, Any]]) -> str:
+    """ASCII table for :func:`summarize_spans` output."""
+    from repro.experiments.reporting import format_table
+
+    if not rows:
+        return "no matching spans"
+    table_rows = [
+        [r["name"], r["count"], f"{r['total_ms']:.1f}",
+         f"{r['mean_ms']:.3f}", f"{r['p50_ms']:.3f}", f"{r['p95_ms']:.3f}",
+         f"{r['p99_ms']:.3f}", f"{r['max_ms']:.3f}"]
+        for r in rows
+    ]
+    return format_table(
+        ["span", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms",
+         "p99_ms", "max_ms"],
+        table_rows, title="Span latency summary",
+    )
+
+
+# --------------------------------------------------------------------- #
+# top
+# --------------------------------------------------------------------- #
+def fetch_metrics(url: str, timeout: float = 5.0) -> str:
+    """GET ``<url>/metrics`` and return the exposition text."""
+    base = url.rstrip("/")
+    with urllib.request.urlopen(f"{base}/metrics", timeout=timeout) as resp:
+        return resp.read().decode("utf-8")
+
+
+def _series(metrics: dict[tuple, float], name: str,
+            **labels: str) -> float | None:
+    want = tuple(sorted(labels.items()))
+    for (n, lbls), v in metrics.items():
+        if n == name and tuple(sorted(lbls)) == want:
+            return v
+    return None
+
+
+def _routes(metrics: dict[tuple, float], name: str) -> list[str]:
+    routes = set()
+    for (n, lbls), _v in metrics.items():
+        if n == name:
+            routes.update(v for k, v in lbls if k == "route")
+    return sorted(routes)
+
+
+def render_dashboard(metrics_text: str, url: str = "") -> str:
+    """One-screen service dashboard from Prometheus exposition text."""
+    from repro.experiments.reporting import format_table
+
+    m = parse_prometheus(metrics_text)
+
+    def fmt(v, pattern="{:.0f}"):
+        return pattern.format(v) if v is not None else "-"
+
+    header = [
+        f"repro obs top{f' — {url}' if url else ''} "
+        f"({time.strftime('%H:%M:%S')})",
+        f"queue   : depth {fmt(_series(m, 'repro_serve_queue_depth'))}"
+        f"/{fmt(_series(m, 'repro_serve_queue_capacity'))}"
+        f"   in-flight {fmt(_series(m, 'repro_serve_in_flight'))}"
+        f"   ready {fmt(_series(m, 'repro_serve_ready'))}",
+        f"workers : busy {fmt(_series(m, 'repro_serve_workers_busy'))}"
+        f"   utilization "
+        f"{fmt(_series(m, 'repro_serve_worker_utilization'), '{:.0%}')}"
+        f"   cache hit-rate "
+        f"{fmt(_series(m, 'repro_serve_cache_hit_rate'), '{:.0%}')}",
+    ]
+    rows = []
+    for route in _routes(m, "repro_serve_slo_requests"):
+        rows.append([
+            route,
+            fmt(_series(m, "repro_serve_slo_requests", route=route)),
+            fmt(_series(m, "repro_serve_slo_error_rate", route=route),
+                "{:.1%}"),
+            fmt(_series(m, "repro_serve_slo_p50_ms", route=route), "{:.2f}"),
+            fmt(_series(m, "repro_serve_slo_p95_ms", route=route), "{:.2f}"),
+            fmt(_series(m, "repro_serve_slo_p99_ms", route=route), "{:.2f}"),
+        ])
+    body = "\n".join(header)
+    if rows:
+        body += "\n\n" + format_table(
+            ["route", "reqs", "err%", "p50_ms", "p95_ms", "p99_ms"], rows,
+            title="Rolling SLO (recent-request window)",
+        )
+    return body

@@ -1,0 +1,293 @@
+"""Request-scoped trace context: one identity across threads and processes.
+
+A :class:`TraceContext` carries the identity of one logical request — a
+``trace_id``, the uid of the span that is the current parent, and a small
+string ``baggage`` dict — so every span opened while the context is
+installed is stamped with the same ``trace_id`` and linked into one tree,
+no matter which thread or (forked) process emits it.  This is what turns
+the serve path's separate per-process span logs into a single connected
+flame graph: ``PlanClient`` puts the context into HTTP headers,
+``PlanServer`` re-installs it per request, the job queue carries it to the
+worker threads, and :class:`~repro.perf.sweep.ForkPool` ships it into the
+fork workers (and ships the spans/metrics they emit back — see
+:func:`run_captured`/:func:`ingest_payload`).
+
+Span uids are strings unique *across processes*: ``"<prefix><seq>"`` where
+``seq`` is the process-local monotonic span counter and ``prefix`` is empty
+in the root process and ``"<pid-hex>."`` in any forked child (installed by
+an :func:`os.register_at_fork` hook, which also clears the inherited
+thread-local context so children never start with a stale parent).
+
+Everything is thread-local and cheap: :func:`current` is one
+``getattr`` on a ``threading.local``; spans only pay for uid minting while
+a context is actually installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import uuid
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = [
+    "TraceContext",
+    "current",
+    "use",
+    "start_trace",
+    "snapshot",
+    "new_trace_id",
+    "make_uid",
+    "to_headers",
+    "from_headers",
+    "run_captured",
+    "ingest_payload",
+]
+
+#: HTTP header names for context propagation (internal wire format; a
+#: W3C ``traceparent`` bridge would go here if uids were 16-hex).
+TRACE_HEADER = "X-Repro-Trace"
+PARENT_HEADER = "X-Repro-Parent"
+BAGGAGE_HEADER = "X-Repro-Baggage"
+
+_MAX_HEADER_LEN = 256
+
+_local = threading.local()
+
+#: Uid prefix for spans minted in this process: "" in the root process,
+#: "<pid-hex>." in forked children (set by the at-fork hook below), so
+#: span uids never collide across the processes of one trace.
+_process_prefix = ""
+
+
+def _after_fork_in_child() -> None:
+    global _process_prefix
+    _process_prefix = f"{os.getpid():x}."
+    # The forking thread's context (and any other inherited thread state)
+    # is stale in the child: clear it so child spans are only trace-stamped
+    # once a context is explicitly re-installed (run_captured below).
+    _local.__dict__.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython everywhere
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex trace id."""
+    return uuid.uuid4().hex
+
+
+def make_uid(seq: int) -> str:
+    """Process-unique span uid for a local span counter value."""
+    return f"{_process_prefix}{seq}"
+
+
+class TraceContext:
+    """Identity of one logical request: trace id, parent span uid, baggage."""
+
+    __slots__ = ("trace_id", "span_id", "baggage")
+
+    def __init__(self, trace_id: str, span_id: str | None = None,
+                 baggage: dict[str, str] | None = None):
+        self.trace_id = str(trace_id)
+        #: Uid of the parent span for spans opened under this context when
+        #: no local open span provides a nearer parent; None = trace root.
+        self.span_id = span_id
+        self.baggage = dict(baggage or {})
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "baggage": dict(self.baggage)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any] | None) -> "TraceContext | None":
+        if not data or "trace_id" not in data:
+            return None
+        return cls(data["trace_id"], data.get("span_id"), data.get("baggage"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceContext({self.trace_id[:8]}…, parent={self.span_id}, "
+                f"baggage={self.baggage})")
+
+
+# --------------------------------------------------------------------- #
+# Thread-local installation
+# --------------------------------------------------------------------- #
+def current() -> TraceContext | None:
+    """The context installed on this thread, or None."""
+    return getattr(_local, "ctx", None)
+
+
+@contextmanager
+def use(ctx: TraceContext | None):
+    """Install ``ctx`` for the duration of the block (None = no-op)."""
+    if ctx is None:
+        yield None
+        return
+    prev = getattr(_local, "ctx", None)
+    _local.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _local.ctx = prev
+
+
+@contextmanager
+def start_trace(name: str, trace_id: str | None = None,
+                baggage: dict[str, str] | None = None, **attrs):
+    """Mint a fresh trace, install it, and open its root span.
+
+    ``with context.start_trace("client.request") as sp:`` — every span
+    opened inside (on this thread, on threads/processes the context is
+    propagated to) shares the minted trace id and parents into ``sp``.
+    """
+    import repro.obs as obs
+
+    ctx = TraceContext(trace_id or new_trace_id(), baggage=baggage)
+    with use(ctx):
+        with obs.span(name, **attrs) as sp:
+            yield sp
+
+
+def snapshot() -> dict[str, Any] | None:
+    """Serializable copy of the current context, parented at the innermost
+    open span — what crosses a thread, queue, process, or HTTP boundary."""
+    ctx = current()
+    if ctx is None:
+        return None
+    import repro.obs as obs
+
+    parent_uid = ctx.span_id
+    stack = obs.tracer()._stack()
+    for sp in reversed(stack):
+        uid = getattr(sp, "uid", None)
+        if uid and getattr(sp, "trace_id", None) == ctx.trace_id:
+            parent_uid = uid
+            break
+    return {
+        "trace_id": ctx.trace_id,
+        "span_id": parent_uid,
+        "baggage": dict(ctx.baggage),
+        "obs_enabled": obs.enabled(),
+    }
+
+
+# --------------------------------------------------------------------- #
+# HTTP propagation
+# --------------------------------------------------------------------- #
+def to_headers(snap: dict[str, Any] | None) -> dict[str, str]:
+    """Headers for a :func:`snapshot` dict (empty when no context)."""
+    if not snap:
+        return {}
+    headers = {TRACE_HEADER: snap["trace_id"]}
+    if snap.get("span_id"):
+        headers[PARENT_HEADER] = str(snap["span_id"])
+    if snap.get("baggage"):
+        headers[BAGGAGE_HEADER] = json.dumps(snap["baggage"], sort_keys=True)
+    return headers
+
+
+def from_headers(headers) -> TraceContext | None:
+    """Rebuild a context from request headers (None when absent/garbled)."""
+    trace_id = headers.get(TRACE_HEADER)
+    if not trace_id or len(trace_id) > _MAX_HEADER_LEN:
+        return None
+    span_id = headers.get(PARENT_HEADER)
+    if span_id is not None and len(span_id) > _MAX_HEADER_LEN:
+        span_id = None
+    baggage: dict[str, str] = {}
+    raw = headers.get(BAGGAGE_HEADER)
+    if raw:
+        try:
+            parsed = json.loads(raw)
+            if isinstance(parsed, dict):
+                baggage = {str(k): str(v) for k, v in parsed.items()}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            pass
+    return TraceContext(trace_id, span_id, baggage)
+
+
+# --------------------------------------------------------------------- #
+# Cross-process capture: run in a pool worker, ship telemetry back
+# --------------------------------------------------------------------- #
+def _export_spans(records, epoch: float) -> list[dict[str, Any]]:
+    """Spans as wire dicts with absolute (epoch-anchored) timestamps."""
+    return [
+        {
+            "name": r.name,
+            "uid": r.uid,
+            "parent_uid": r.parent_uid,
+            "trace_id": r.trace_id,
+            "t0": epoch + r.t0,
+            "t1": epoch + r.t1,
+            "pid": r.pid,
+            "tid": r.tid,
+            "attrs": dict(r.attrs),
+        }
+        for r in records
+    ]
+
+
+_PAYLOAD_KEY = "__repro_obs_payload__"
+
+
+def run_captured(ctx_dict: dict[str, Any], fn, *args):
+    """Execute ``fn(*args)`` under a re-installed context, capturing the
+    spans and metrics it emits.
+
+    This is the function :meth:`ForkPool.run` ships across the process
+    boundary when the submitting thread has an active context: the child
+    re-installs the context (so uids chain to the parent's spans), swaps
+    in a scratch metrics registry, runs ``fn``, then returns
+    ``{result, telemetry}`` for :func:`ingest_payload` to merge back into
+    the parent's tracer/registry.  Exceptions from ``fn`` propagate
+    unchanged (telemetry for failed calls is dropped).
+    """
+    import repro.obs as obs
+    from repro.obs.metrics import MetricsRegistry
+
+    enable = bool(ctx_dict.get("obs_enabled"))
+    was_enabled = obs.enabled()
+    if enable and not was_enabled:
+        obs.enable()
+    tracer = obs.tracer()
+    base = tracer.mark()
+    prev_registry = obs.swap_registry(MetricsRegistry()) if enable else None
+    try:
+        with use(TraceContext.from_dict(ctx_dict)):
+            result = fn(*args)
+    finally:
+        telemetry = None
+        if enable:
+            spans = tracer.drain(base)
+            scratch = obs.swap_registry(prev_registry)
+            telemetry = {
+                "spans": _export_spans(spans, tracer.epoch),
+                "metrics": _export_metrics(scratch),
+            }
+            if not was_enabled:
+                obs.disable()
+    return {_PAYLOAD_KEY: True, "result": result, "telemetry": telemetry}
+
+
+def _export_metrics(registry) -> list[dict[str, Any]]:
+    from repro.obs.sinks import _metric_record
+
+    return [_metric_record(m) for m in registry.snapshot()]
+
+
+def ingest_payload(payload):
+    """Unwrap a :func:`run_captured` payload, merging its telemetry into
+    the calling process's tracer and registry; pass anything else through."""
+    if not (isinstance(payload, dict) and payload.get(_PAYLOAD_KEY)):
+        return payload
+    telemetry = payload.get("telemetry")
+    if telemetry:
+        import repro.obs as obs
+
+        obs.tracer().ingest(telemetry.get("spans", ()))
+        obs.registry().merge_records(telemetry.get("metrics", ()))
+    return payload["result"]

@@ -1,0 +1,262 @@
+"""Metrics exposition and rolling SLO windows.
+
+Two consumers of the in-process :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`render_prometheus` — the registry in Prometheus text exposition
+  format (``text/plain; version=0.0.4``), served by ``GET /metrics`` on
+  :class:`repro.serve.server.PlanServer`.  Counters become ``_total``
+  series, histograms expand into cumulative ``_bucket{le=...}`` series
+  plus ``_sum``/``_count``, and metric/label names are sanitized from the
+  repo's ``component.metric`` dotted convention to Prometheus'
+  ``repro_component_metric`` underscore convention.
+* :class:`SloTracker` — per-route ring buffers of recent request outcomes
+  yielding rolling p50/p95/p99 latency, error rate, and saturation — the
+  "current health" numbers in ``/healthz`` and the console dashboard,
+  computed over a bounded window rather than process lifetime.
+
+:func:`percentile_sorted` is the single shared quantile definition
+(linear interpolation at rank ``q*(n-1)``): the server's SLO summaries and
+``repro obs summarize`` over the captured JSONL both call it, which is
+what makes their percentiles bit-exact equals of each other.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Any
+
+__all__ = [
+    "PROM_CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    "percentile_sorted",
+    "RollingWindow",
+    "SloTracker",
+]
+
+#: Content type of the Prometheus text exposition format, version 0.0.4.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    """``serve.request_ms`` -> ``repro_serve_request_ms``."""
+    out = _SANITIZE.sub("_", name)
+    if namespace and not out.startswith(namespace + "_"):
+        out = f"{namespace}_{out}"
+    if not _NAME_OK.match(out):  # leading digit etc.
+        out = "_" + out
+    return out
+
+
+def _label_key(key: str) -> str:
+    out = _LABEL_SANITIZE.sub("_", str(key))
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(v: Any) -> str:
+    return (str(v).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _label_str(labels, extra: str = "") -> str:
+    parts = [f'{_label_key(k)}="{_escape_label_value(v)}"'
+             for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(v: float) -> str:
+    """Prometheus float formatting: integers without the trailing ``.0``."""
+    f = float(v)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render_prometheus(registry=None, namespace: str = "repro") -> str:
+    """Render a metrics registry in Prometheus text exposition format.
+
+    Series are grouped per metric name with one ``# HELP``/``# TYPE``
+    header (labeled variants share the group), in the registry's sorted
+    snapshot order, so output is deterministic for a given state.
+    """
+    if registry is None:
+        import repro.obs as obs
+
+        registry = obs.registry()
+    # Group label variants under one exposition family, keeping order.
+    groups: dict[str, list] = {}
+    kinds: dict[str, str] = {}
+    for m in registry.snapshot():
+        fam = _metric_name(m.name, namespace)
+        if m.kind == "counter" and not fam.endswith("_total"):
+            fam += "_total"
+        prev = kinds.setdefault(fam, m.kind)
+        if prev != m.kind:  # name collision across kinds after sanitizing
+            fam = f"{fam}_{m.kind}"
+            kinds.setdefault(fam, m.kind)
+        groups.setdefault(fam, []).append(m)
+    lines: list[str] = []
+    for fam, metrics in groups.items():
+        kind = metrics[0].kind
+        prom_type = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "histogram"}[kind]
+        lines.append(f"# HELP {fam} {metrics[0].name}")
+        lines.append(f"# TYPE {fam} {prom_type}")
+        for m in metrics:
+            if kind in ("counter", "gauge"):
+                lines.append(f"{fam}{_label_str(m.labels)} {_fmt(m.value)}")
+                continue
+            cum = 0
+            for bound, c in zip(m.bounds, m.counts):
+                cum += c
+                le = _label_str(m.labels, f'le="{_fmt(bound)}"')
+                lines.append(f"{fam}_bucket{le} {cum}")
+            cum += m.counts[-1]
+            le = _label_str(m.labels, 'le="+Inf"')
+            lines.append(f"{fam}_bucket{le} {cum}")
+            lines.append(f"{fam}_sum{_label_str(m.labels)} {_fmt(m.sum)}")
+            lines.append(f"{fam}_count{_label_str(m.labels)} {m.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)\s*$'
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> dict[tuple, float]:
+    """Parse exposition text into ``{(name, ((label, value), ...)): value}``.
+
+    A deliberately small parser — enough for tests and ``repro obs top``
+    to read back what :func:`render_prometheus` (or any conformant
+    exporter) wrote.  Unparseable sample lines raise ``ValueError``.
+    """
+    out: dict[tuple, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        labels = tuple(
+            (k, v.replace('\\"', '"').replace("\\n", "\n")
+                 .replace("\\\\", "\\"))
+            for k, v in _LABEL.findall(m.group("labels") or "")
+        )
+        out[(m.group("name"), labels)] = float(m.group("value"))
+    return out
+
+
+def percentile_sorted(xs, q: float) -> float:
+    """Exact ``q``-quantile of a *sorted* sequence, linear interpolation.
+
+    Rank is ``q * (n - 1)`` (numpy's default / Excel's PERCENTILE.INC).
+    This one definition is shared by the server's SLO summaries and the
+    ``repro obs summarize`` CLI so the two agree bit-exactly.
+    """
+    n = len(xs)
+    if n == 0:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile wants 0..1, got {q}")
+    rank = q * (n - 1)
+    lo = int(rank)
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return xs[lo] + (xs[hi] - xs[lo]) * frac
+
+
+class RollingWindow:
+    """Bounded ring of recent ``(duration_ms, status)`` request outcomes.
+
+    Keeps at most ``capacity`` samples; :meth:`summary` computes count,
+    error rate (status >= 500), and interpolated latency percentiles over
+    whatever is currently in the ring.  O(capacity log capacity) per
+    summary, O(1) per record — summaries happen on scrape/health cadence,
+    records on every request.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError("window capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+
+    def record(self, dur_ms: float, status: int = 200) -> None:
+        self._ring.append((float(dur_ms), int(status)))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def summary(self) -> dict[str, Any]:
+        items = list(self._ring)
+        n = len(items)
+        if n == 0:
+            return {"count": 0, "error_count": 0, "error_rate": 0.0,
+                    "p50_ms": None, "p95_ms": None, "p99_ms": None,
+                    "mean_ms": None, "max_ms": None}
+        durs = sorted(d for d, _ in items)
+        errors = sum(1 for _, s in items if s >= 500)
+        return {
+            "count": n,
+            "error_count": errors,
+            "error_rate": errors / n,
+            "p50_ms": percentile_sorted(durs, 0.50),
+            "p95_ms": percentile_sorted(durs, 0.95),
+            "p99_ms": percentile_sorted(durs, 0.99),
+            "mean_ms": sum(durs) / n,
+            "max_ms": durs[-1],
+        }
+
+
+class SloTracker:
+    """Rolling SLO summaries, overall and per route.
+
+    ``record(route, status, dur_ms)`` feeds both the route's window and
+    the aggregate ``"all"`` window; :meth:`summary` returns the nested
+    dict embedded in ``/healthz`` and rendered by ``repro obs top``.
+    Thread-safe: the serve path records from many handler threads.
+    """
+
+    ALL = "all"
+
+    def __init__(self, capacity: int = 512):
+        import threading
+
+        self.capacity = capacity
+        self._windows: dict[str, RollingWindow] = {}
+        self._lock = threading.Lock()
+
+    def _window(self, route: str) -> RollingWindow:
+        w = self._windows.get(route)
+        if w is None:
+            with self._lock:
+                w = self._windows.setdefault(route,
+                                             RollingWindow(self.capacity))
+        return w
+
+    def record(self, route: str, status: int, dur_ms: float) -> None:
+        self._window(self.ALL).record(dur_ms, status)
+        if route != self.ALL:
+            self._window(route).record(dur_ms, status)
+
+    def summary(self, route: str | None = None) -> dict[str, Any]:
+        if route is not None:
+            return self._window(route).summary()
+        with self._lock:
+            routes = sorted(self._windows)
+        out = {r: self._windows[r].summary() for r in routes}
+        out.setdefault(self.ALL, RollingWindow(1).summary())
+        return out

@@ -263,5 +263,43 @@ class MetricsRegistry:
         with self._lock:
             return [self._metrics[k] for k in sorted(self._metrics)]
 
+    def merge_records(self, records) -> int:
+        """Merge wire-format metric records (``sinks._metric_record`` dicts,
+        e.g. shipped from a pool worker) into this registry.
+
+        Counters and histogram bucket counts/sums *add*; gauges are
+        last-write-wins; histogram min/max widen.  Returns the number of
+        records merged.
+        """
+        n = 0
+        for rec in records:
+            kind = rec.get("type")
+            labels = rec.get("labels") or {}
+            if kind == "counter":
+                self.counter(rec["name"], **labels).inc(rec["value"])
+            elif kind == "gauge":
+                self.gauge(rec["name"], **labels).set(rec["value"])
+            elif kind == "histogram":
+                pairs = rec["buckets"]
+                bounds = [p[0] for p in pairs if p[0] is not None]
+                h = self.histogram(rec["name"], buckets=bounds, **labels)
+                if len(h.counts) != len(pairs):
+                    raise ValueError(
+                        f"histogram {rec['name']!r} bucket mismatch: "
+                        f"have {len(h.counts)}, record has {len(pairs)}"
+                    )
+                for i, (_, c) in enumerate(pairs):
+                    h.counts[i] += c
+                h.count += rec["count"]
+                h.sum += rec["sum"]
+                if rec["min"] is not None and (h.min is None or rec["min"] < h.min):
+                    h.min = rec["min"]
+                if rec["max"] is not None and (h.max is None or rec["max"] > h.max):
+                    h.max = rec["max"]
+            else:
+                raise ValueError(f"cannot merge record of type {kind!r}")
+            n += 1
+        return n
+
     def __len__(self) -> int:
         return len(self._metrics)

@@ -10,6 +10,12 @@ say, so external consumers can transcribe it mechanically.
 Wall-clock fields (``t0``/``t1``/``dur``/``pid``/``tid``, ``epoch``) are
 nullable: deterministic exports (``include_wall=False``) null them out so
 repeated runs diff cleanly while still validating.
+
+Version 2 adds *optional* trace-correlation fields to span records
+(``trace_id``/``uid``/``parent_uid``, written only for spans emitted under
+a :mod:`repro.obs.context` trace context), plus the :data:`SPAN_NAMES`
+registry of every span name the codebase may emit.  v1 logs (and v2 spans
+without a trace context) remain valid.
 """
 
 from __future__ import annotations
@@ -17,12 +23,16 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-#: Schema version written into (and expected from) the ``meta`` header.
-SCHEMA_VERSION = 1
+#: Schema version written into the ``meta`` header of new exports.
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_event` accepts (v1 logs lack trace fields).
+ACCEPTED_VERSIONS = frozenset({1, 2})
 
 _NUM = (int, float)
 _OPT_NUM = (int, float, type(None))
 _OPT_INT = (int, type(None))
+_OPT_STR = (str, type(None))
 
 #: record type -> {field: (allowed python types, required)}
 FIELDS: dict[str, dict[str, tuple[tuple, bool]]] = {
@@ -44,6 +54,10 @@ FIELDS: dict[str, dict[str, tuple[tuple, bool]]] = {
         "pid": (_OPT_INT, True),
         "tid": (_OPT_INT, True),
         "attrs": ((dict,), True),
+        # v2 trace correlation (present only on trace-stamped spans).
+        "trace_id": (_OPT_STR, False),
+        "uid": (_OPT_STR, False),
+        "parent_uid": (_OPT_STR, False),
     },
     "counter": {
         "type": ((str,), True),
@@ -71,6 +85,29 @@ FIELDS: dict[str, dict[str, tuple[tuple, bool]]] = {
         "p99": (_OPT_NUM, True),
     },
 }
+
+
+#: Every span name the codebase may emit, grouped by component.  Names
+#: follow the ``component.operation`` convention; ``scripts/trace_lint.py``
+#: statically checks that each ``span("...")`` literal in ``src/`` appears
+#: here (and that nothing here has gone stale).  Add new names as you add
+#: instrumentation — the registry doubles as the sink consumers' contract.
+SPAN_NAMES: dict[str, tuple[str, ...]] = {
+    "planner": ("planner.search",),
+    "sim": ("sim.run", "sim.run_batched"),
+    "runtime": ("runtime.build_graph", "runtime.execute"),
+    "faults": ("faults.seed", "faults.run_ensemble", "faults.run_ensembles"),
+    "perf": ("perf.sweep",),
+    "check": ("check.suite", "check.execution"),
+    "serve": ("serve.request", "serve.job", "serve.drain",
+              "serve.queue_wait", "serve.execute"),
+    "client": ("client.submit", "client.wait", "client.fetch"),
+}
+
+
+def span_names() -> frozenset:
+    """Flat set of every registered span name."""
+    return frozenset(n for names in SPAN_NAMES.values() for n in names)
 
 
 class SchemaError(ValueError):
@@ -102,9 +139,10 @@ def validate_event(obj) -> None:
     extra = set(obj) - set(spec)
     if extra:
         raise SchemaError(f"{rtype} record has unknown fields {sorted(extra)}")
-    if rtype == "meta" and obj["version"] != SCHEMA_VERSION:
+    if rtype == "meta" and obj["version"] not in ACCEPTED_VERSIONS:
         raise SchemaError(
-            f"schema version {obj['version']} != supported {SCHEMA_VERSION}"
+            f"schema version {obj['version']} not in supported "
+            f"{sorted(ACCEPTED_VERSIONS)}"
         )
     if rtype == "span" and obj["t0"] is not None and obj["t1"] is not None:
         if obj["t1"] < obj["t0"]:

@@ -42,7 +42,7 @@ def _defaults(tracer, registry):
 # JSONL
 # --------------------------------------------------------------------- #
 def _span_record(rec, include_wall: bool) -> dict:
-    return {
+    out = {
         "type": "span",
         "name": rec.name,
         "seq": rec.seq,
@@ -55,6 +55,13 @@ def _span_record(rec, include_wall: bool) -> dict:
         "tid": rec.tid if include_wall else None,
         "attrs": dict(rec.attrs),
     }
+    # Trace correlation fields are only present for trace-stamped spans, so
+    # context-free (and pre-v2) logs stay byte-identical to before.
+    if rec.trace_id is not None:
+        out["trace_id"] = rec.trace_id
+        out["uid"] = rec.uid
+        out["parent_uid"] = rec.parent_uid
+    return out
 
 
 def _metric_record(m) -> dict:
@@ -170,18 +177,26 @@ def spans_to_chrome_events(tracer=None, pid: int = OBS_PID,
     """Finished spans as Chrome 'X' events (one row per OS thread)."""
     tracer, _ = _defaults(tracer, None)
     spans = sorted(tracer.spans(), key=lambda r: r.seq)
-    tid_of: dict[int, int] = {}
+    tid_of: dict[tuple, int] = {}
     events: list[dict] = []
     for rec in spans:
-        tid = tid_of.get(rec.tid)
+        # Ingested worker spans keep their original pid; key lanes on
+        # (pid, tid) so a child's thread never aliases a parent thread.
+        lane_key = (rec.pid, rec.tid)
+        tid = tid_of.get(lane_key)
         if tid is None:
-            tid = tid_of[rec.tid] = len(tid_of)
+            tid = tid_of[lane_key] = len(tid_of)
             events.append({
                 "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
-                "args": {"name": f"thread-{tid}"},
+                "args": {"name": f"thread-{tid} (os {rec.pid}:{rec.tid})"},
             })
         attrs = {k: str(v) for k, v in rec.attrs.items()}
         attrs["seq"] = str(rec.seq)
+        if rec.trace_id is not None:
+            attrs["trace_id"] = rec.trace_id
+            attrs["uid"] = str(rec.uid)
+            if rec.parent_uid is not None:
+                attrs["parent_uid"] = str(rec.parent_uid)
         events.append({
             "name": rec.name,
             "cat": "obs",

@@ -22,9 +22,19 @@ instrumented hot paths pay ~nothing (guarded by
 Thread/process safety: span ids come from :class:`itertools.count` (atomic
 under CPython's GIL); the per-thread open-span stack lives in
 ``threading.local``; finished spans are appended under a lock.  Spans opened
-in forked worker processes land in the *child's* tracer copy and are not
-merged back — instrument at the fan-out call site instead (see
-:func:`repro.perf.sweep.sweep`).
+in forked worker processes land in the *child's* tracer copy; with a
+:class:`~repro.obs.context.TraceContext` installed they can be shipped back
+and merged via :meth:`Tracer.ingest` (fresh local seq ids, original
+trace-scoped uids — see :func:`repro.obs.context.run_captured`), which is
+how :class:`~repro.perf.sweep.ForkPool` reassembles one request's spans
+across processes.
+
+Trace correlation: while a :mod:`repro.obs.context` context is installed on
+the opening thread, each span additionally carries a ``trace_id``, a
+process-unique string ``uid``, and a ``parent_uid`` linking it into the
+request's cross-process span tree; without a context those fields stay
+``None`` and nothing changes (including byte-identical deterministic
+exports).
 """
 
 from __future__ import annotations
@@ -34,14 +44,17 @@ import os
 import threading
 import time
 
+from repro.obs import context as _trace_context
+
 
 class SpanRecord:
     """One finished span: identity, interval, attributes."""
 
     __slots__ = ("name", "seq", "span_id", "parent_id", "t0", "t1",
-                 "attrs", "pid", "tid")
+                 "attrs", "pid", "tid", "trace_id", "uid", "parent_uid")
 
-    def __init__(self, name, seq, span_id, parent_id, t0, t1, attrs, pid, tid):
+    def __init__(self, name, seq, span_id, parent_id, t0, t1, attrs, pid, tid,
+                 trace_id=None, uid=None, parent_uid=None):
         self.name = name
         #: Monotonic start counter — the deterministic ordering key.
         self.seq = seq
@@ -53,6 +66,10 @@ class SpanRecord:
         self.attrs = attrs
         self.pid = pid
         self.tid = tid
+        #: Cross-process trace identity (None unless a context was active).
+        self.trace_id = trace_id
+        self.uid = uid
+        self.parent_uid = parent_uid
 
     @property
     def duration(self) -> float:
@@ -85,15 +102,16 @@ NOOP_SPAN = _NoopSpan()
 class _ActiveSpan:
     """Context manager for one open span of a :class:`Tracer`."""
 
-    __slots__ = ("_tracer", "name", "seq", "span_id", "parent_id", "t0",
-                 "attrs")
+    __slots__ = ("_tracer", "name", "seq", "span_id", "parent_id", "t0", "t1",
+                 "attrs", "trace_id", "uid", "parent_uid")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
         self.seq = self.span_id = self.parent_id = -1
-        self.t0 = 0.0
+        self.t0 = self.t1 = 0.0
+        self.trace_id = self.uid = self.parent_uid = None
 
     def set(self, **attrs) -> "_ActiveSpan":
         """Attach (or overwrite) attributes on the open span."""
@@ -104,16 +122,26 @@ class _ActiveSpan:
         tr = self._tracer
         self.seq = self.span_id = next(tr._counter)
         stack = tr._stack()
-        self.parent_id = stack[-1] if stack else None
-        stack.append(self.span_id)
+        parent = stack[-1] if stack else None
+        self.parent_id = parent.span_id if parent is not None else None
+        ctx = _trace_context.current()
+        if ctx is not None:
+            self.trace_id = ctx.trace_id
+            self.uid = _trace_context.make_uid(self.seq)
+            if parent is not None and parent.trace_id == ctx.trace_id \
+                    and parent.uid is not None:
+                self.parent_uid = parent.uid
+            else:
+                self.parent_uid = ctx.span_id
+        stack.append(self)
         self.t0 = time.perf_counter() - tr.origin
         return self
 
     def __exit__(self, *exc) -> bool:
         tr = self._tracer
-        t1 = time.perf_counter() - tr.origin
+        self.t1 = time.perf_counter() - tr.origin
         stack = tr._stack()
-        if stack and stack[-1] == self.span_id:
+        if stack and stack[-1] is self:
             stack.pop()
         rec = SpanRecord(
             name=self.name,
@@ -121,10 +149,13 @@ class _ActiveSpan:
             span_id=self.span_id,
             parent_id=self.parent_id,
             t0=self.t0,
-            t1=t1,
+            t1=self.t1,
             attrs=self.attrs,
             pid=os.getpid(),
             tid=threading.get_ident(),
+            trace_id=self.trace_id,
+            uid=self.uid,
+            parent_uid=self.parent_uid,
         )
         with tr._lock:
             tr._finished.append(rec)
@@ -160,6 +191,80 @@ class Tracer:
 
     def __len__(self) -> int:
         return len(self._finished)
+
+    # ------------------------------------------------------------------ #
+    # Cross-process aggregation
+    # ------------------------------------------------------------------ #
+    def mark(self) -> int:
+        """Watermark into the finished list (pair with :meth:`drain`)."""
+        with self._lock:
+            return len(self._finished)
+
+    def drain(self, start: int = 0) -> list[SpanRecord]:
+        """Remove and return the spans finished since ``start``.
+
+        Pool workers use this to ship exactly one call's spans back to the
+        parent without re-sending (or leaking) earlier ones.
+        """
+        with self._lock:
+            taken = self._finished[start:]
+            del self._finished[start:]
+        return taken
+
+    def add_span(self, name: str, t0_abs: float, t1_abs: float, *,
+                 trace_id=None, uid=None, parent_uid=None, attrs=None,
+                 pid=None, tid=None) -> SpanRecord:
+        """Record a synthetic span from absolute (epoch) timestamps.
+
+        Used for intervals that are only known after the fact — e.g. the
+        ``serve.queue_wait`` segment between a job's submission and its
+        claim — and by :meth:`ingest` for spans shipped from workers.  The
+        span gets a fresh local seq id; ``uid`` defaults to a fresh
+        process-unique uid when the span belongs to a trace.
+        """
+        seq = next(self._counter)
+        if uid is None and trace_id is not None:
+            uid = _trace_context.make_uid(seq)
+        rec = SpanRecord(
+            name=name,
+            seq=seq,
+            span_id=seq,
+            parent_id=None,
+            t0=t0_abs - self.epoch,
+            t1=t1_abs - self.epoch,
+            attrs=dict(attrs or {}),
+            pid=pid if pid is not None else os.getpid(),
+            tid=tid if tid is not None else threading.get_ident(),
+            trace_id=trace_id,
+            uid=uid,
+            parent_uid=parent_uid,
+        )
+        with self._lock:
+            self._finished.append(rec)
+        return rec
+
+    def ingest(self, records) -> int:
+        """Merge spans shipped from another process (wire dicts with
+        absolute timestamps, as built by ``repro.obs.context``).
+
+        Each span keeps its trace-scoped identity (``trace_id``/``uid``/
+        ``parent_uid``, child pid/tid) but is assigned a *fresh* local seq
+        id, so parent-side aggregation never duplicates sequence numbers.
+        Returns the number of spans ingested.
+        """
+        n = 0
+        for rec in records:
+            self.add_span(
+                rec["name"], rec["t0"], rec["t1"],
+                trace_id=rec.get("trace_id"),
+                uid=rec.get("uid"),
+                parent_uid=rec.get("parent_uid"),
+                attrs=rec.get("attrs"),
+                pid=rec.get("pid"),
+                tid=rec.get("tid"),
+            )
+            n += 1
+        return n
 
     def aggregate(self) -> list[dict]:
         """Per-name rollup: count, total/mean/max duration, sorted by total.

@@ -43,6 +43,18 @@ def _run_serial(fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
     return [fn(*t) for t in tasks]
 
 
+def _call_with_context(ctx_dict: dict, fn: Callable[..., Any], *args) -> Any:
+    """Pool-worker shim: re-install a trace context, capture telemetry.
+
+    Module-level (picklable) wrapper around
+    :func:`repro.obs.context.run_captured`; the parent unwraps the payload
+    with :func:`repro.obs.context.ingest_payload`.
+    """
+    from repro.obs.context import run_captured
+
+    return run_captured(ctx_dict, fn, *args)
+
+
 class ForkPool:
     """Persistent fork-preferred process pool with inline degradation.
 
@@ -97,12 +109,26 @@ class ForkPool:
 
         Exceptions raised *by fn* propagate unchanged in both modes; only
         pool-infrastructure failures trigger inline degradation.
+
+        When the calling thread has a :mod:`repro.obs.context` trace
+        context installed, the call is wrapped so the worker re-installs
+        the context and ships its spans/metrics back for parent-side
+        ingestion — cross-process calls stay on one connected trace.
+        (Inline calls need nothing: the context is already on the thread.)
         """
         if self._inline:
             return fn(*args)
         from concurrent.futures.process import BrokenProcessPool
 
+        from repro.obs import context as trace_context
+
+        snap = trace_context.snapshot()
         try:
+            if snap is not None:
+                payload = self._ensure().submit(
+                    _call_with_context, snap, fn, *args
+                ).result()
+                return trace_context.ingest_payload(payload)
             return self._ensure().submit(fn, *args).result()
         except (OSError, PermissionError, BrokenProcessPool):
             self._degrade()

@@ -5,6 +5,13 @@ stack.  :class:`PlanClient` wraps the four interactions a consumer needs:
 submit a request, poll its job, fetch artifacts, read service stats.
 Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
 and the server's JSON error message.
+
+Tracing: when the calling thread has a :mod:`repro.obs.context` trace
+context installed (e.g. inside ``with obs.start_trace(...)``), every
+request carries it in ``X-Repro-Trace``/``X-Repro-Parent`` headers, and
+``submit``/``wait``/``artifact`` open ``client.*`` spans — so a round trip
+through the service shows up as one connected trace spanning the client
+process, the server threads, and the fork workers.
 """
 
 from __future__ import annotations
@@ -14,6 +21,9 @@ import time
 import urllib.error
 import urllib.request
 from typing import Any
+
+import repro.obs as obs
+from repro.obs import context as trace_context
 
 
 class ServiceError(RuntimeError):
@@ -44,6 +54,7 @@ class PlanClient:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        headers.update(trace_context.to_headers(trace_context.snapshot()))
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -85,7 +96,8 @@ class PlanClient:
 
     def submit(self, request: dict[str, Any]) -> dict[str, Any]:
         """POST one plan request; returns the 202 body (``job_id`` inside)."""
-        return self._json("POST", "/v1/plans", request)
+        with obs.span("client.submit"):
+            return self._json("POST", "/v1/plans", request)
 
     def job(self, job_id: str) -> dict[str, Any]:
         return self._json("GET", f"/v1/jobs/{job_id}")
@@ -95,8 +107,16 @@ class PlanClient:
 
     def artifact(self, digest: str) -> tuple[bytes, str]:
         """Fetch one artifact; returns ``(payload, content_type)``."""
-        _status, body, content_type = self._request("GET", f"/v1/artifacts/{digest}")
+        with obs.span("client.fetch", digest=digest):
+            _status, body, content_type = self._request(
+                "GET", f"/v1/artifacts/{digest}"
+            )
         return body, content_type
+
+    def metrics(self) -> str:
+        """Fetch the Prometheus text exposition from ``GET /metrics``."""
+        _status, body, _ct = self._request("GET", "/metrics")
+        return body.decode("utf-8")
 
     def artifact_json(self, digest: str) -> Any:
         payload, _ct = self.artifact(digest)
@@ -110,6 +130,11 @@ class PlanClient:
         passes while it is still queued/running.
         """
         deadline = time.monotonic() + timeout
+        with obs.span("client.wait", job=job_id):
+            return self._wait(job_id, timeout, poll_interval, deadline)
+
+    def _wait(self, job_id: str, timeout: float, poll_interval: float,
+              deadline: float) -> dict[str, Any]:
         while True:
             job = self.job(job_id)
             if job["state"] == "done":

@@ -53,6 +53,10 @@ class Job:
     #: small result summary for job listings (notation, latency, cache_hit)
     summary: dict[str, Any] = field(default_factory=dict)
     error: str | None = None
+    #: trace-context snapshot captured at submission (``repro.obs.context``)
+    #: — carried through the queue so worker threads/processes re-install
+    #: the submitting request's identity; None when tracing was off.
+    trace: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         out = {
@@ -66,6 +70,8 @@ class Job:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.trace is not None and self.trace.get("trace_id"):
+            out["trace_id"] = self.trace["trace_id"]
         return out
 
 
@@ -90,7 +96,8 @@ class JobQueue:
         self.failed = 0
 
     # ------------------------------- intake -------------------------------- #
-    def submit(self, request: dict[str, Any]) -> Job:
+    def submit(self, request: dict[str, Any],
+               trace: dict[str, Any] | None = None) -> Job:
         """Accept one request or raise :class:`QueueFull`/:class:`QueueClosed`."""
         with self._lock:
             if self._closed:
@@ -100,7 +107,8 @@ class JobQueue:
                 raise QueueFull(
                     f"queue depth limit reached ({self.max_depth} pending)"
                 )
-            job = Job(id=f"job-{next(self._ids):06d}", request=dict(request))
+            job = Job(id=f"job-{next(self._ids):06d}", request=dict(request),
+                      trace=trace)
             self._pending.append(job)
             self._jobs[job.id] = job
             self.submitted += 1

@@ -10,12 +10,26 @@ Endpoints (all JSON):
 ``GET  /v1/jobs/<id>``                job status, summary, artifact digests
 ``GET  /v1/artifacts/<digest>``       fetch one content-addressed artifact
 ``GET  /v1/cache/stats``              plan-cache + artifact-store + queue stats
-``GET  /healthz``                     liveness: status, queue depth, workers
+``GET  /healthz``                     liveness + readiness, queue depth,
+                                      workers, rolling SLO summary; with
+                                      ``?ready=1`` returns 503 when not ready
+``GET  /metrics``                     Prometheus text exposition of the obs
+                                      registry + live service gauges
 ====================================  =========================================
 
 Every request is counted (``serve.requests`` by route and status), spanned
-(``serve.request``), and appended to an optional JSONL access log; the
-queue depth is exported as the ``serve.queue_depth`` gauge.
+(``serve.request``), fed into the rolling SLO windows, and appended to an
+optional JSONL access log; live service state (queue depth, in-flight
+requests, worker utilization, cache hit rate) is exported as gauges on
+each ``/metrics`` scrape.
+
+Tracing: the server runs with observability **enabled by default**
+(``obs_enabled=True``; the caller's prior enabled-state is restored on
+close/drain, mirroring the plan-cache swap).  Each request gets a
+:class:`repro.obs.context.TraceContext` — continued from the client's
+``X-Repro-Trace`` headers when present, freshly minted otherwise — so the
+HTTP span, queue record, worker threads, and fork workers all share one
+trace_id.
 
 Shutdown is graceful by default: :meth:`PlanServer.drain` (the SIGTERM
 handler of ``repro serve``) closes the queue (new submissions -> 503),
@@ -32,8 +46,11 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
+from urllib.parse import parse_qs
 
 import repro.obs as obs
+from repro.obs import context as trace_context
+from repro.obs.export import PROM_CONTENT_TYPE, SloTracker, render_prometheus
 
 from repro import __version__
 from repro.core.plancache import PlanCache, swap_default
@@ -98,15 +115,34 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         app = self.app
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
+        route = _route_label(method, path)
+        ctx = app.request_context(self.headers)
+        app._inflight_add(1)
         t0 = time.perf_counter()
-        with obs.span("serve.request", method=method, path=path):
-            status = app.dispatch(self, method, path)
-        elapsed_ms = (time.perf_counter() - t0) * 1e3
-        obs.counter("serve.requests", route=_route_label(method, path),
-                    status=str(status)).inc()
+        try:
+            with trace_context.use(ctx):
+                with obs.span("serve.request", method=method,
+                              path=path) as sp:
+                    status = app.dispatch(self, method, path, query)
+                    sp.set(route=route, status=status)
+        finally:
+            app._inflight_add(-1)
+        if sp is not obs.NOOP_SPAN:
+            # Derive latency from the span's own clock reads so the SLO
+            # windows and `repro obs summarize` over the JSONL export see
+            # bit-identical durations for the same requests.
+            elapsed_ms = (sp.t1 - sp.t0) * 1e3
+        else:
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+        obs.counter("serve.requests", route=route, status=str(status)).inc()
+        if status >= 500:
+            obs.counter("serve.errors", route=route).inc()
         obs.histogram("serve.request_ms").observe(elapsed_ms)
-        app.access_log(method, path, status, elapsed_ms)
+        obs.histogram("serve.request_ms", route=route).observe(elapsed_ms)
+        app.slo.record(route, status, elapsed_ms)
+        app.access_log(method, path, status, elapsed_ms,
+                       trace_id=ctx.trace_id if ctx is not None else None)
 
 
 def _route_label(method: str, path: str) -> str:
@@ -138,9 +174,23 @@ class PlanServer:
         cache_max_bytes: int | None = DEFAULT_CACHE_MAX_BYTES,
         access_log: str | Path | None = None,
         start_workers: bool = True,
+        obs_enabled: bool = True,
+        slo_window: int = 512,
     ):
         self.host = host
         self._requested_port = port
+        # The service is observable by default: requests are traced and
+        # /metrics is live without any caller setup.  The caller's prior
+        # enabled-state is restored on close()/drain() (same pattern as
+        # the plan-cache default swap below).
+        self._obs_enabled = obs_enabled
+        self._obs_prev_enabled = obs.enabled()
+        self._obs_restored = False
+        if obs_enabled and not self._obs_prev_enabled:
+            obs.enable()
+        self.slo = SloTracker(capacity=slo_window)
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         if data_dir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
             data_dir = self._tmpdir.name
@@ -163,6 +213,7 @@ class PlanServer:
             self.queue, self.store,
             workers=workers, exec_mode=exec_mode,
             cache_dir=str(self.cache_dir), cache_max_bytes=cache_max_bytes,
+            event_log=self.access_log_event,
         )
         self._start_workers = start_workers
         self._httpd: ThreadingHTTPServer | None = None
@@ -212,6 +263,7 @@ class PlanServer:
             clean = self.pool.drain(timeout)
             self._stop_http()
             self._restore_cache()
+        self._restore_obs()
         return clean
 
     def close(self) -> None:
@@ -221,6 +273,7 @@ class PlanServer:
         self.pool.stop()
         self._stop_http()
         self._restore_cache()
+        self._restore_obs()
         if self._tmpdir is not None:
             try:
                 self._tmpdir.cleanup()
@@ -233,6 +286,32 @@ class PlanServer:
             swap_default(*self._prev_cache_state)
             self._cache_restored = True
 
+    def _restore_obs(self) -> None:
+        if not self._obs_restored:
+            if self._obs_enabled and not self._obs_prev_enabled:
+                obs.disable()
+            self._obs_restored = True
+
+    # ------------------------------- tracing -------------------------------- #
+    def request_context(self, headers) -> "trace_context.TraceContext | None":
+        """Per-request trace context: continue the client's, else mint one."""
+        if not self._obs_enabled:
+            return None
+        ctx = trace_context.from_headers(headers)
+        if ctx is None:
+            ctx = trace_context.TraceContext(trace_context.new_trace_id())
+        return ctx
+
+    def _inflight_add(self, delta: int) -> None:
+        with self._inflight_lock:
+            self._inflight += delta
+
+    @property
+    def in_flight(self) -> int:
+        """HTTP requests currently being handled (all routes)."""
+        with self._inflight_lock:
+            return self._inflight
+
     def _stop_http(self) -> None:
         if self._httpd is not None:
             self._httpd.shutdown()
@@ -242,13 +321,24 @@ class PlanServer:
             self._serve_thread = None
 
     # ------------------------------ access log ------------------------------ #
-    def access_log(self, method: str, path: str, status: int, ms: float) -> None:
+    def access_log(self, method: str, path: str, status: int, ms: float,
+                   trace_id: str | None = None) -> None:
+        record = {
+            "ts": time.time(), "event": "request", "method": method,
+            "path": path, "status": status, "ms": round(ms, 3),
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        self._write_log(record)
+
+    def access_log_event(self, event: str, **fields: Any) -> None:
+        """Append a non-request event (e.g. per-job timing) to the log."""
+        self._write_log({"ts": time.time(), "event": event, **fields})
+
+    def _write_log(self, record: dict[str, Any]) -> None:
         if self._access_log_path is None:
             return
-        line = json.dumps({
-            "ts": time.time(), "method": method, "path": path,
-            "status": status, "ms": round(ms, 3),
-        }, sort_keys=True)
+        line = json.dumps(record, sort_keys=True)
         with self._access_log_lock:
             try:
                 with open(self._access_log_path, "a") as fh:
@@ -257,16 +347,26 @@ class PlanServer:
                 pass
 
     # ------------------------------- routing -------------------------------- #
-    def dispatch(self, h: _Handler, method: str, path: str) -> int:
+    def dispatch(self, h: _Handler, method: str, path: str,
+                 query: str = "") -> int:
         try:
-            return self._dispatch(h, method, path)
+            return self._dispatch(h, method, path, query)
         except Exception as e:  # never let a handler kill the connection thread
             return h._error(500, f"internal error: {type(e).__name__}: {e}")
 
-    def _dispatch(self, h: _Handler, method: str, path: str) -> int:
+    def _dispatch(self, h: _Handler, method: str, path: str,
+                  query: str = "") -> int:
         if method == "GET":
             if path == "/healthz":
-                return h._send(200, self.health())
+                payload = self.health()
+                want_ready = parse_qs(query).get("ready", ["0"])[-1] == "1"
+                status = 503 if want_ready and not payload["ready"] else 200
+                return h._send(status, payload)
+            if path == "/metrics":
+                return h._send(
+                    200, self.render_metrics().encode("utf-8"),
+                    content_type=PROM_CONTENT_TYPE,
+                )
             if path == "/v1/cache/stats":
                 return h._send(200, self.cache_stats())
             if path == "/v1/jobs":
@@ -306,7 +406,10 @@ class PlanServer:
         except RequestError as e:
             return h._error(400, str(e))
         try:
-            job = self.queue.submit(request.to_dict())
+            # Snapshot the request's trace context (parented at the open
+            # serve.request span) so worker threads/processes re-join it.
+            job = self.queue.submit(request.to_dict(),
+                                    trace=trace_context.snapshot())
         except QueueFull as e:
             return h._error(429, str(e), headers={"Retry-After": str(RETRY_AFTER_S)})
         except QueueClosed as e:
@@ -320,14 +423,54 @@ class PlanServer:
     # ------------------------------- reports -------------------------------- #
     def health(self) -> dict[str, Any]:
         q = self.queue.stats()
+        # Readiness (for load balancers): stop routing here while draining
+        # or when the queue has no room left for a single new submission.
+        ready = (not self._draining and not q["closed"]
+                 and q["depth"] < q["max_depth"])
         return {
             "status": "draining" if self._draining else "ok",
+            "ready": ready,
             "version": __version__,
             "uptime_s": round(time.time() - self.started_at, 3),
             "queue": q,
             "workers": self.pool.workers,
+            "workers_busy": self.pool.busy,
+            "in_flight": self.in_flight,
             "exec_mode": self.pool.mode,
+            "slo": self.slo.summary(),
         }
+
+    def render_metrics(self) -> str:
+        """The obs registry in Prometheus text format, with live service
+        gauges (queue depth, in-flight, utilization, cache hit rate, SLO
+        percentiles) refreshed at scrape time."""
+        if obs.enabled():
+            reg = obs.registry()
+            q = self.queue.stats()
+            reg.gauge("serve.queue_depth").set(float(q["depth"]))
+            reg.gauge("serve.queue_capacity").set(float(q["max_depth"]))
+            reg.gauge("serve.in_flight").set(float(self.in_flight))
+            busy = self.pool.busy
+            reg.gauge("serve.workers_busy").set(float(busy))
+            reg.gauge("serve.worker_utilization").set(
+                busy / self.pool.workers if self.pool.workers else 0.0
+            )
+            done = [j for j in self.queue.jobs() if j.state == "done"]
+            hits = sum(1 for j in done if j.summary.get("cache_hit"))
+            reg.gauge("serve.cache_hit_rate").set(
+                hits / len(done) if done else 0.0
+            )
+            reg.gauge("serve.ready").set(1.0 if self.health()["ready"] else 0.0)
+            for route, s in self.slo.summary().items():
+                if not s["count"]:
+                    continue
+                reg.gauge("serve.slo_requests", route=route).set(s["count"])
+                reg.gauge("serve.slo_error_rate", route=route).set(
+                    s["error_rate"]
+                )
+                for pname in ("p50_ms", "p95_ms", "p99_ms"):
+                    reg.gauge(f"serve.slo_{pname}", route=route).set(s[pname])
+        return render_prometheus()
 
     def cache_stats(self) -> dict[str, Any]:
         cache = self.cache

@@ -20,10 +20,12 @@ server persists to the artifact store.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
-from typing import Any
+from typing import Any, Callable
 
 import repro.obs as obs
+from repro.obs import context as trace_context
 
 from repro.core.plancache import configure_default, default_cache
 from repro.core.planner import plan_best
@@ -59,9 +61,24 @@ def execute_request(
 
     Runs in a pool worker process (or inline).  The response carries the
     serialized plan, the estimate decomposition, search counters, whether
-    the plan cache served the search, and — when requested — the
-    ``--explain`` report text and the ``repro.check`` conformance report.
+    the plan cache served the search, the pure-execution wall time
+    (``timing.exec_ms``), and — when requested — the ``--explain`` report
+    text and the ``repro.check`` conformance report.
     """
+    t_exec = time.perf_counter()
+    with obs.span("serve.execute"):
+        response = _execute(request_data, cache_dir, cache_max_bytes)
+    response["timing"] = {
+        "exec_ms": round((time.perf_counter() - t_exec) * 1e3, 3),
+    }
+    return response
+
+
+def _execute(
+    request_data: dict[str, Any],
+    cache_dir: str | None,
+    cache_max_bytes: int | None,
+) -> dict[str, Any]:
     from repro.core.serialization import plan_to_dict
     from repro.obs.explain import explain_plan
 
@@ -126,6 +143,7 @@ class WorkerPool:
         exec_mode: str = "fork",
         cache_dir: str | None = None,
         cache_max_bytes: int | None = None,
+        event_log: Callable[..., None] | None = None,
     ):
         if exec_mode not in ("fork", "inline"):
             raise ValueError(f"exec_mode must be 'fork' or 'inline', got {exec_mode!r}")
@@ -135,6 +153,9 @@ class WorkerPool:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.cache_max_bytes = cache_max_bytes
         self.pool = ForkPool(self.workers, inline=(exec_mode == "inline"))
+        self._event_log = event_log
+        self._busy = 0
+        self._busy_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads = [
             threading.Thread(target=self._loop, name=f"serve-worker-{i}", daemon=True)
@@ -144,6 +165,16 @@ class WorkerPool:
     @property
     def mode(self) -> str:
         return self.pool.mode
+
+    @property
+    def busy(self) -> int:
+        """Dispatcher threads currently executing a job (utilization)."""
+        with self._busy_lock:
+            return self._busy
+
+    def _busy_add(self, delta: int) -> None:
+        with self._busy_lock:
+            self._busy += delta
 
     def start(self) -> None:
         for t in self._threads:
@@ -158,30 +189,73 @@ class WorkerPool:
             self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
-        with obs.span("serve.job", job=job.id):
+        ctx = trace_context.TraceContext.from_dict(job.trace)
+        queue_wait_ms = max(0.0, (job.started_at - job.submitted_at) * 1e3)
+        self._busy_add(1)
+        try:
+            # Re-install the submitting request's trace context so the job
+            # span (and everything ForkPool ships back from the worker
+            # process) stays on the request's trace.
+            with trace_context.use(ctx):
+                self._run_job_traced(job, ctx, queue_wait_ms)
+        finally:
+            self._busy_add(-1)
+
+    def _run_job_traced(self, job: Job, ctx, queue_wait_ms: float) -> None:
+        with obs.span("serve.job", job=job.id) as jsp:
+            if ctx is not None and jsp is not obs.NOOP_SPAN:
+                # The time the job sat in the queue is only known once a
+                # dispatcher claims it: record it retroactively as a
+                # synthetic span under the job span.
+                obs.tracer().add_span(
+                    "serve.queue_wait", job.submitted_at, job.started_at,
+                    trace_id=ctx.trace_id, parent_uid=jsp.uid,
+                    attrs={"job": job.id},
+                )
+            obs.histogram("serve.queue_wait_ms").observe(queue_wait_ms)
+            t_pool = time.perf_counter()
             try:
                 response = self.pool.run(
                     execute_request, job.request, self.cache_dir, self.cache_max_bytes
                 )
             except (RequestError, ValueError, KeyError, RuntimeError) as e:
-                self.queue.fail(job, f"{type(e).__name__}: {e}")
-                obs.counter("serve.jobs", outcome="failed").inc()
+                self._fail(job, ctx, f"{type(e).__name__}: {e}")
                 return
             except Exception:
-                self.queue.fail(job, traceback.format_exc(limit=5))
-                obs.counter("serve.jobs", outcome="failed").inc()
+                self._fail(job, ctx, traceback.format_exc(limit=5))
                 return
+            pool_ms = (time.perf_counter() - t_pool) * 1e3
+            exec_ms = (response.get("timing") or {}).get("exec_ms")
+            timing: dict[str, Any] = {"queue_wait_ms": round(queue_wait_ms, 3)}
+            if exec_ms is not None:
+                timing["exec_ms"] = exec_ms
+                # Pool dispatch overhead: wall time around the pool call
+                # minus the worker-measured pure execution time.
+                timing["dispatch_ms"] = round(max(0.0, pool_ms - exec_ms), 3)
+                obs.histogram("serve.exec_ms").observe(exec_ms)
+            # Clients see where time went via the stored response payload;
+            # serialize_ms can't be in it (it is measured while storing the
+            # payload) so the full split lives on the job summary below.
+            response["timing"] = dict(timing)
+            t_ser = time.perf_counter()
             artifacts = {"result": self.store.put_json(response)}
             if response.get("explain") is not None:
                 artifacts["explain"] = self.store.put(response["explain"], kind="text")
             if response.get("check") is not None:
                 artifacts["check"] = self.store.put_json(response["check"])
+            serialize_ms = (time.perf_counter() - t_ser) * 1e3
+            obs.histogram("serve.serialize_ms").observe(serialize_ms)
+            timing["serialize_ms"] = round(serialize_ms, 3)
+            timing["total_ms"] = round(
+                queue_wait_ms + pool_ms + serialize_ms, 3
+            )
             summary = {
                 "notation": response["notation"],
                 "split": response["split"],
                 "num_micro_batches": response["num_micro_batches"],
                 "latency": response["estimate"]["latency"],
                 "cache_hit": response["cache_hit"],
+                "timing": timing,
             }
             if response.get("check") is not None:
                 summary["check_ok"] = response["check"].get("ok")
@@ -189,6 +263,22 @@ class WorkerPool:
                 obs.counter("serve.cache_hit").inc()
             obs.counter("serve.jobs", outcome="done").inc()
             self.queue.finish(job, artifacts, summary)
+            if self._event_log is not None:
+                self._event_log(
+                    "job", job_id=job.id, outcome="done",
+                    trace_id=ctx.trace_id if ctx is not None else None,
+                    **timing,
+                )
+
+    def _fail(self, job: Job, ctx, error: str) -> None:
+        self.queue.fail(job, error)
+        obs.counter("serve.jobs", outcome="failed").inc()
+        if self._event_log is not None:
+            self._event_log(
+                "job", job_id=job.id, outcome="failed",
+                trace_id=ctx.trace_id if ctx is not None else None,
+                error=error.splitlines()[-1] if error else "",
+            )
 
     # -------------------------------- stop ---------------------------------- #
     def drain(self, timeout: float | None = 30.0) -> bool:

@@ -1,0 +1,191 @@
+"""Trace context: installation, propagation, uid minting, header codec."""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import context
+
+
+class TestTraceContext:
+    def test_round_trips_through_dict(self):
+        ctx = context.TraceContext("abc123", "7", {"k": "v"})
+        back = context.TraceContext.from_dict(ctx.to_dict())
+        assert back.trace_id == "abc123"
+        assert back.span_id == "7"
+        assert back.baggage == {"k": "v"}
+
+    def test_from_dict_rejects_contextless(self):
+        assert context.TraceContext.from_dict(None) is None
+        assert context.TraceContext.from_dict({}) is None
+
+    def test_current_defaults_to_none(self):
+        assert context.current() is None
+
+    def test_use_installs_and_restores(self):
+        ctx = context.TraceContext("t1")
+        with context.use(ctx):
+            assert context.current() is ctx
+            inner = context.TraceContext("t2")
+            with context.use(inner):
+                assert context.current() is inner
+            assert context.current() is ctx
+        assert context.current() is None
+
+    def test_use_none_is_noop(self):
+        with context.use(None):
+            assert context.current() is None
+
+    def test_context_is_thread_local(self):
+        seen = []
+        with context.use(context.TraceContext("t1")):
+            t = threading.Thread(target=lambda: seen.append(context.current()))
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class TestSpanStamping:
+    def test_spans_untouched_without_context(self):
+        obs.enable()
+        with obs.span("sim.run"):
+            pass
+        (rec,) = obs.tracer().spans()
+        assert rec.trace_id is None
+        assert rec.uid is None
+        assert rec.parent_uid is None
+
+    def test_start_trace_stamps_and_links(self):
+        obs.enable()
+        with obs.start_trace("client.submit") as root:
+            trace_id = context.current().trace_id
+            with obs.span("planner.search"):
+                pass
+        recs = {r.name: r for r in obs.tracer().spans()}
+        assert recs["client.submit"].trace_id == trace_id
+        assert recs["client.submit"].parent_uid is None
+        assert recs["planner.search"].trace_id == trace_id
+        assert recs["planner.search"].parent_uid == recs["client.submit"].uid
+        assert root.uid == recs["client.submit"].uid
+
+    def test_context_parent_used_when_no_open_span(self):
+        obs.enable()
+        with context.use(context.TraceContext("t1", span_id="remote.9")):
+            with obs.span("serve.job"):
+                pass
+        (rec,) = obs.tracer().spans()
+        assert rec.trace_id == "t1"
+        assert rec.parent_uid == "remote.9"
+
+    def test_snapshot_parents_at_innermost_open_span(self):
+        obs.enable()
+        with obs.start_trace("serve.request") as sp:
+            snap = context.snapshot()
+        assert snap["trace_id"] == sp.trace_id
+        assert snap["span_id"] == sp.uid
+        assert snap["obs_enabled"] is True
+
+    def test_snapshot_none_without_context(self):
+        assert context.snapshot() is None
+
+
+class TestUids:
+    def test_root_process_uids_are_bare_seqs(self):
+        assert context.make_uid(17) == "17"
+
+    def test_new_trace_ids_are_unique_hex(self):
+        a, b = context.new_trace_id(), context.new_trace_id()
+        assert a != b
+        assert len(a) == 32
+        int(a, 16)  # must parse as hex
+
+
+class TestHeaders:
+    def test_header_round_trip(self):
+        snap = {"trace_id": "deadbeef", "span_id": "3",
+                "baggage": {"req": "r-1"}}
+        headers = context.to_headers(snap)
+        assert headers[context.TRACE_HEADER] == "deadbeef"
+        assert headers[context.PARENT_HEADER] == "3"
+        ctx = context.from_headers(headers)
+        assert ctx.trace_id == "deadbeef"
+        assert ctx.span_id == "3"
+        assert ctx.baggage == {"req": "r-1"}
+
+    def test_no_context_means_no_headers(self):
+        assert context.to_headers(None) == {}
+
+    def test_absent_headers_mean_no_context(self):
+        assert context.from_headers({}) is None
+
+    def test_garbled_baggage_is_dropped_not_fatal(self):
+        ctx = context.from_headers({
+            context.TRACE_HEADER: "abc",
+            context.BAGGAGE_HEADER: "{not json",
+        })
+        assert ctx.trace_id == "abc"
+        assert ctx.baggage == {}
+
+    def test_oversized_trace_header_rejected(self):
+        headers = {context.TRACE_HEADER: "x" * 1000}
+        assert context.from_headers(headers) is None
+
+
+class TestRunCaptured:
+    """In-process exercise of the worker-side capture path (the real
+    cross-process run is covered by tests/obs/test_fork_obs.py)."""
+
+    def test_result_and_telemetry_round_trip(self):
+        obs.enable()
+
+        def work(x):
+            with obs.span("sim.run"):
+                obs.counter("sim.events", kind="op").inc(3)
+            return x * 2
+
+        snap = {"trace_id": "t-1", "span_id": "0", "baggage": {},
+                "obs_enabled": True}
+        payload = context.run_captured(snap, work, 21)
+        assert payload["result"] == 42
+        spans = payload["telemetry"]["spans"]
+        assert [s["name"] for s in spans] == ["sim.run"]
+        assert spans[0]["trace_id"] == "t-1"
+        assert spans[0]["parent_uid"] == "0"
+        metrics = payload["telemetry"]["metrics"]
+        assert metrics == [{"type": "counter", "name": "sim.events",
+                            "labels": {"kind": "op"}, "value": 3}]
+        # the captured spans were drained from the local tracer...
+        assert [r.name for r in obs.tracer().spans()] == []
+        # ...and ingest puts them (plus the metrics) back
+        result = context.ingest_payload(payload)
+        assert result == 42
+        (rec,) = obs.tracer().spans()
+        assert rec.name == "sim.run"
+        assert rec.trace_id == "t-1"
+        assert obs.registry().counter("sim.events", kind="op").value == 3
+
+    def test_ingest_passthrough_for_plain_values(self):
+        assert context.ingest_payload({"result": 1}) == {"result": 1}
+        assert context.ingest_payload(41) == 41
+
+    def test_exceptions_propagate(self):
+        obs.enable()
+
+        def boom():
+            raise RuntimeError("nope")
+
+        snap = {"trace_id": "t", "span_id": None, "baggage": {},
+                "obs_enabled": True}
+        with pytest.raises(RuntimeError, match="nope"):
+            context.run_captured(snap, boom)
+        # registry was restored even on failure
+        assert obs.registry() is not None
+
+    def test_disabled_context_keeps_obs_off(self):
+        snap = {"trace_id": "t", "span_id": None, "baggage": {},
+                "obs_enabled": False}
+        payload = context.run_captured(snap, lambda: 7)
+        assert payload["result"] == 7
+        assert payload["telemetry"] is None
+        assert not obs.enabled()

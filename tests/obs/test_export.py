@@ -1,0 +1,149 @@
+"""Prometheus exposition, the shared percentile, rolling SLO windows."""
+
+import pytest
+
+from repro.obs.export import (
+    PROM_CONTENT_TYPE,
+    RollingWindow,
+    SloTracker,
+    parse_prometheus,
+    percentile_sorted,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRenderPrometheus:
+    def test_counter_gets_total_suffix_and_namespace(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", route="GET /healthz").inc(5)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert ('repro_serve_requests_total{route="GET /healthz"} 5'
+                in text)
+
+    def test_gauge_renders_plain_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("serve.queue_depth").set(3)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text.splitlines()
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.request_ms", buckets=[1.0, 10.0])
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        text = render_prometheus(reg)
+        lines = text.splitlines()
+        assert 'repro_serve_request_ms_bucket{le="1"} 2' in lines
+        assert 'repro_serve_request_ms_bucket{le="10"} 3' in lines
+        assert 'repro_serve_request_ms_bucket{le="+Inf"} 4' in lines
+        assert "repro_serve_request_ms_count 4" in lines
+        assert "repro_serve_request_ms_sum 56.2" in lines
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", note='say "hi"\nbye').inc()
+        text = render_prometheus(reg)
+        assert 'note="say \\"hi\\"\\nbye"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_content_type_is_prometheus_text(self):
+        assert PROM_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+
+class TestParsePrometheus:
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", route="POST /v1/plans").inc(7)
+        reg.gauge("serve.in_flight").set(2)
+        reg.histogram("serve.exec_ms", buckets=[1.0]).observe(0.5)
+        parsed = parse_prometheus(render_prometheus(reg))
+        assert parsed[("repro_serve_requests_total",
+                       (("route", "POST /v1/plans"),))] == 7
+        assert parsed[("repro_serve_in_flight", ())] == 2
+        assert parsed[("repro_serve_exec_ms_bucket", (("le", "1"),))] == 1
+        assert parsed[("repro_serve_exec_ms_count", ())] == 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("!!! not exposition")
+
+
+class TestPercentileSorted:
+    def test_matches_linear_interpolation(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert percentile_sorted(xs, 0.0) == 1.0
+        assert percentile_sorted(xs, 1.0) == 4.0
+        assert percentile_sorted(xs, 0.5) == 2.5
+        assert percentile_sorted(xs, 0.25) == 1.75
+
+    def test_single_element(self):
+        assert percentile_sorted([7.0], 0.95) == 7.0
+
+    def test_agrees_with_numpy(self):
+        np = pytest.importorskip("numpy")
+        xs = sorted([3.5, 1.25, 9.0, 0.5, 4.0, 4.0, 2.0])
+        for q in (0.1, 0.5, 0.9, 0.95, 0.99):
+            assert percentile_sorted(xs, q) == pytest.approx(
+                float(np.percentile(xs, q * 100)), abs=1e-12
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_sorted([], 0.5)
+
+
+class TestRollingWindow:
+    def test_bounded_capacity_keeps_most_recent(self):
+        w = RollingWindow(capacity=3)
+        for i in range(5):
+            w.record(float(i))
+        s = w.summary()
+        assert s["count"] == 3
+        assert s["max_ms"] == 4.0
+        assert s["p50_ms"] == 3.0  # window holds [2, 3, 4]
+
+    def test_error_rate_counts_5xx_only(self):
+        w = RollingWindow(capacity=8)
+        w.record(1.0, 200)
+        w.record(1.0, 404)
+        w.record(1.0, 500)
+        w.record(1.0, 503)
+        s = w.summary()
+        assert s["error_count"] == 2
+        assert s["error_rate"] == 0.5
+
+    def test_empty_summary_is_nulls(self):
+        s = RollingWindow().summary()
+        assert s["count"] == 0
+        assert s["p50_ms"] is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RollingWindow(capacity=0)
+
+
+class TestSloTracker:
+    def test_per_route_and_aggregate(self):
+        slo = SloTracker(capacity=16)
+        slo.record("POST /v1/plans", 202, 10.0)
+        slo.record("GET /healthz", 200, 1.0)
+        slo.record("POST /v1/plans", 500, 30.0)
+        summary = slo.summary()
+        assert summary["all"]["count"] == 3
+        assert summary["POST /v1/plans"]["count"] == 2
+        assert summary["POST /v1/plans"]["error_count"] == 1
+        assert summary["GET /healthz"]["error_count"] == 0
+
+    def test_single_route_summary(self):
+        slo = SloTracker()
+        slo.record("r", 200, 5.0)
+        assert slo.summary("r")["count"] == 1
+        assert slo.summary("missing")["count"] == 0
+
+    def test_empty_tracker_still_reports_all(self):
+        assert SloTracker().summary()["all"]["count"] == 0

@@ -1,0 +1,118 @@
+"""Fork-safety of the obs registry (satellite: cross-process aggregation).
+
+Spawns a real :class:`~repro.perf.sweep.ForkPool`, emits spans and metrics
+inside child processes under an installed trace context, and asserts the
+parent-side aggregation sees correctly-labeled, trace-correlated events
+with no duplicated seq ids.  Skips (via inline degradation) are impossible
+to hide: the test asserts which pid actually emitted the child spans.
+"""
+
+import os
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import context
+from repro.perf.sweep import ForkPool
+
+
+def _child_work(tag: str, n: int) -> dict:
+    """Runs in the pool worker: emit one span tree + labeled metrics."""
+    with obs.span("sim.run", tag=tag):
+        with obs.span("planner.search", tag=tag):
+            obs.counter("planner.scored", tag=tag).inc(n)
+        obs.histogram("sim.step_ms", tag=tag).observe(1.5)
+    return {"pid": os.getpid(), "tag": tag}
+
+
+@pytest.fixture()
+def fork_pool():
+    pool = ForkPool(2)
+    yield pool
+    pool.shutdown()
+
+
+class TestForkObsAggregation:
+    def test_child_telemetry_lands_in_parent(self, fork_pool):
+        obs.enable()
+        with obs.start_trace("perf.sweep") as root:
+            trace_id = context.current().trace_id
+            out = fork_pool.run(_child_work, "a", 3)
+        if fork_pool.mode == "inline":
+            pytest.skip("platform cannot fork process pools")
+        assert out["pid"] != os.getpid()
+
+        spans = obs.tracer().spans()
+        by_name = {r.name: r for r in spans}
+        assert set(by_name) == {"perf.sweep", "sim.run", "planner.search"}
+
+        # Trace-correlated: every span shares the request's trace id and
+        # the child's root chains to the parent's open span.
+        assert all(r.trace_id == trace_id for r in spans)
+        assert by_name["sim.run"].parent_uid == root.uid
+        assert by_name["planner.search"].parent_uid == by_name["sim.run"].uid
+
+        # The child spans keep the child's pid and prefixed uids.
+        child_pid = out["pid"]
+        assert by_name["sim.run"].pid == child_pid
+        assert by_name["sim.run"].uid.startswith(f"{child_pid:x}.")
+
+        # Correctly-labeled metrics merged into the parent registry.
+        assert obs.registry().counter("planner.scored", tag="a").value == 3
+        h = obs.registry().histogram("sim.step_ms", tag="a")
+        assert h.count == 1
+        assert h.min == h.max == 1.5
+
+    def test_no_duplicated_seq_ids_across_many_calls(self, fork_pool):
+        obs.enable()
+        with obs.start_trace("perf.sweep"):
+            results = [fork_pool.run(_child_work, f"t{i}", i) for i in range(4)]
+        if fork_pool.mode == "inline":
+            pytest.skip("platform cannot fork process pools")
+        assert all(r["pid"] != os.getpid() for r in results)
+        spans = obs.tracer().spans()
+        seqs = [r.seq for r in spans]
+        assert len(seqs) == len(set(seqs)), "parent seq ids must be unique"
+        uids = [r.uid for r in spans]
+        assert len(uids) == len(set(uids)), "span uids must be unique"
+        # one sim.run + one planner.search per call, properly labeled
+        tags = sorted(r.attrs["tag"] for r in spans if r.name == "sim.run")
+        assert tags == ["t0", "t1", "t2", "t3"]
+        for i in range(4):
+            assert obs.registry().counter(
+                "planner.scored", tag=f"t{i}"
+            ).value == i
+
+    def test_metrics_accumulate_across_calls(self, fork_pool):
+        obs.enable()
+        with obs.start_trace("perf.sweep"):
+            fork_pool.run(_child_work, "same", 2)
+            fork_pool.run(_child_work, "same", 5)
+        if fork_pool.mode == "inline":
+            pytest.skip("platform cannot fork process pools")
+        assert obs.registry().counter("planner.scored", tag="same").value == 7
+        assert obs.registry().histogram("sim.step_ms", tag="same").count == 2
+
+    def test_without_context_pool_run_is_unwrapped(self, fork_pool):
+        obs.enable()
+        out = fork_pool.run(_child_work, "bare", 1)
+        if fork_pool.mode == "inline":
+            pytest.skip("platform cannot fork process pools")
+        # No context on the submitting thread: no capture wrapper, so the
+        # child's telemetry stays in the child and the result is the plain
+        # return value.
+        assert out["tag"] == "bare"
+        assert obs.tracer().spans() == []
+
+    def test_inline_mode_traces_in_process(self):
+        pool = ForkPool(1, inline=True)
+        obs.enable()
+        with obs.start_trace("perf.sweep") as root:
+            trace_id = context.current().trace_id
+            out = pool.run(_child_work, "inl", 1)
+        assert out["pid"] == os.getpid()
+        by_name = {r.name: r for r in obs.tracer().spans()}
+        assert by_name["sim.run"].trace_id == trace_id
+        assert by_name["sim.run"].parent_uid == root.uid
+        # same-process uids carry no pid prefix
+        assert "." not in by_name["sim.run"].uid

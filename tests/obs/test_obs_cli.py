@@ -1,0 +1,158 @@
+"""``repro obs`` CLI family: tail, summarize, top."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro import cli
+from repro.obs import console
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import write_jsonl
+
+
+@pytest.fixture()
+def jsonl(tmp_path):
+    """A small traced log: two trace trees plus one counter."""
+    obs.enable()
+    with obs.start_trace("serve.request") as first:
+        with obs.span("planner.search", route="POST /v1/plans"):
+            obs.counter("serve.requests").inc()
+    with obs.start_trace("serve.request"):
+        with obs.span("sim.run"):
+            pass
+    path = write_jsonl(tmp_path / "obs.jsonl")
+    return path, first.trace_id
+
+
+class TestObsTail:
+    def test_tail_prints_one_line_per_event(self, jsonl, capsys):
+        path, _trace = jsonl
+        assert cli.main(["obs", "tail", str(path)]) == 0
+        out = capsys.readouterr().out.splitlines()
+        with open(path) as fh:
+            n_records = sum(1 for _ in fh)
+        assert len(out) == n_records
+        assert any("planner.search" in line for line in out)
+        assert any("counter" in line for line in out)
+
+    def test_tail_filters_by_span_name(self, jsonl, capsys):
+        path, _trace = jsonl
+        assert cli.main(["obs", "tail", str(path), "--name", "sim."]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out
+        assert all("sim.run" in line for line in out)
+
+    def test_tail_filters_by_trace_prefix(self, jsonl, capsys):
+        path, trace_id = jsonl
+        rc = cli.main(["obs", "tail", str(path), "--trace", trace_id[:8]])
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        # only the first trace's two spans survive the filter
+        assert len(out) == 2
+        assert any("planner.search" in line for line in out)
+        assert not any("sim.run" in line for line in out)
+
+    def test_tail_limit(self, jsonl, capsys):
+        path, _trace = jsonl
+        assert cli.main(["obs", "tail", str(path), "--limit", "1"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 1
+
+    def test_tail_missing_file_is_exit_2(self, tmp_path, capsys):
+        rc = cli.main(["obs", "tail", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestObsSummarize:
+    def test_summarize_renders_latency_table(self, jsonl, capsys):
+        path, _trace = jsonl
+        assert cli.main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "planner.search" in out
+        assert "p95_ms" in out
+
+    def test_summarize_json_rows(self, jsonl, capsys):
+        path, _trace = jsonl
+        assert cli.main(["obs", "summarize", str(path), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["serve.request"]["count"] == 2
+        assert by_name["sim.run"]["count"] == 1
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "total_ms"):
+            assert key in by_name["sim.run"]
+
+    def test_summarize_attr_filter(self, jsonl, capsys):
+        path, _trace = jsonl
+        rc = cli.main([
+            "obs", "summarize", str(path), "--json",
+            "--attr", "route=POST /v1/plans",
+        ])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in rows] == ["planner.search"]
+
+    def test_summarize_bad_attr_is_exit_2(self, jsonl, capsys):
+        path, _trace = jsonl
+        rc = cli.main(["obs", "summarize", str(path), "--attr", "noequals"])
+        assert rc == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_summarize_missing_file_is_exit_2(self, tmp_path, capsys):
+        rc = cli.main(["obs", "summarize", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+
+
+class TestObsTop:
+    def _metrics_text(self):
+        reg = MetricsRegistry()
+        reg.gauge("serve.queue_depth").set(1.0)
+        reg.gauge("serve.queue_capacity").set(8.0)
+        reg.gauge("serve.in_flight").set(2.0)
+        reg.gauge("serve.ready").set(1.0)
+        reg.gauge("serve.workers_busy").set(1.0)
+        reg.gauge("serve.worker_utilization").set(0.5)
+        reg.gauge("serve.cache_hit_rate").set(0.25)
+        route = "POST /v1/plans"
+        reg.gauge("serve.slo_requests", route=route).set(4.0)
+        reg.gauge("serve.slo_error_rate", route=route).set(0.25)
+        reg.gauge("serve.slo_p50_ms", route=route).set(12.5)
+        reg.gauge("serve.slo_p95_ms", route=route).set(40.0)
+        reg.gauge("serve.slo_p99_ms", route=route).set(55.0)
+        return render_prometheus(reg)
+
+    def test_top_renders_dashboard_once(self, monkeypatch, capsys):
+        text = self._metrics_text()
+        calls = []
+
+        def fake_fetch(url, timeout=5.0):
+            calls.append(url)
+            return text
+
+        monkeypatch.setattr(console, "fetch_metrics", fake_fetch)
+        rc = cli.main([
+            "obs", "top", "--url", "http://x:1", "--iterations", "1",
+            "--no-clear",
+        ])
+        assert rc == 0
+        assert calls == ["http://x:1"]
+        out = capsys.readouterr().out
+        assert "depth 1/8" in out
+        assert "utilization 50%" in out
+        assert "POST /v1/plans" in out
+        assert "12.50" in out  # p50 column
+
+    def test_top_unreachable_server_is_exit_1(self, capsys):
+        # nothing listens on this port; urllib raises OSError
+        rc = cli.main([
+            "obs", "top", "--url", "http://127.0.0.1:9",
+            "--iterations", "1", "--timeout", "0.2",
+        ])
+        assert rc == 1
+        assert "cannot scrape" in capsys.readouterr().err
+
+    def test_render_dashboard_handles_empty_exposition(self):
+        out = console.render_dashboard("", url="http://x")
+        assert "queue" in out
+        assert "-" in out  # absent series render as dashes

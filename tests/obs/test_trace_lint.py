@@ -1,0 +1,94 @@
+"""The static span-name lint (scripts/trace_lint.py) and its guarantees."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "scripts"))
+
+from trace_lint import NAME_RE, literal_span_names, run_lint  # noqa: E402
+
+import ast  # noqa: E402
+
+
+class TestNameConvention:
+    def test_component_dot_operation_matches(self):
+        assert NAME_RE.match("planner.search")
+        assert NAME_RE.match("serve.queue_wait")
+
+    def test_rejects_nonconforming_names(self):
+        for bad in ("Planner.search", "planner", "a.b.c", "serve.", ".run",
+                    "serve.Exec"):
+            assert not NAME_RE.match(bad), bad
+
+
+class TestLiteralExtraction:
+    def test_finds_span_calls_not_docstrings(self):
+        tree = ast.parse(
+            '"""docs mention span("doc.only") but are not calls"""\n'
+            "import repro.obs as obs\n"
+            "def f():\n"
+            "    with obs.span('planner.search'):\n"
+            "        obs.tracer().add_span('serve.queue_wait', 0, 1)\n"
+            "    with obs.start_trace('serve.request'):\n"
+            "        pass\n"
+            "    obs.span(name)  # non-literal: skipped\n"
+        )
+        names = {n for n, _line in literal_span_names(tree)}
+        assert names == {"planner.search", "serve.queue_wait",
+                         "serve.request"}
+
+
+class TestRunLint:
+    def test_repo_is_clean(self):
+        assert run_lint(REPO / "src") == []
+
+    def test_catches_unregistered_and_malformed_names(self, tmp_path):
+        src = tmp_path / "src"
+        pkg = src / "repro" / "obs"
+        pkg.mkdir(parents=True)
+        # minimal schema so run_lint can import repro.obs.schema from the
+        # fixture tree instead of the real one
+        (src / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "schema.py").write_text(
+            "SPAN_NAMES = {'planner': ('planner.search', 'planner.stale')}\n"
+            "def span_names():\n"
+            "    return frozenset(n for ns in SPAN_NAMES.values()"
+            " for n in ns)\n"
+        )
+        (src / "repro" / "mod.py").write_text(
+            "import repro.obs as obs\n"
+            "def f():\n"
+            "    with obs.span('planner.search'):\n"
+            "        pass\n"
+            "    with obs.span('BadName'):\n"
+            "        pass\n"
+            "    with obs.span('serve.rogue'):\n"
+            "        pass\n"
+        )
+        saved_modules = {
+            k: v for k, v in sys.modules.items() if k.startswith("repro")
+        }
+        for k in saved_modules:
+            del sys.modules[k]
+        try:
+            errors = run_lint(src)
+        finally:
+            for k in [k for k in sys.modules if k.startswith("repro")]:
+                del sys.modules[k]
+            sys.modules.update(saved_modules)
+            sys.path.remove(str(src))
+        joined = "\n".join(errors)
+        assert "'BadName' does not match" in joined
+        assert "'serve.rogue' is not registered" in joined
+        assert "'planner.stale' is registered but never emitted" in joined
+
+    def test_cli_exit_zero_on_clean_tree(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "trace_lint.py")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "all span names conform" in proc.stdout

@@ -1,0 +1,111 @@
+"""Readiness surface (satellite): ``/healthz`` gains ``ready``, and
+``/healthz?ready=1`` turns into a load-balancer probe that 503s while the
+server drains or the queue sits at capacity."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.serialization import graph_to_dict
+from repro.models import uniform_model
+from repro.serve import PlanClient, PlanServer
+
+
+def _body(**extra):
+    graph = uniform_model("ready-test", 6, 2e9, 500_000, 2e6,
+                          profile_batch=4)
+    body = {"graph": graph_to_dict(graph), "config": "A", "devices": 8,
+            "gbs": 32}
+    body.update(extra)
+    return body
+
+
+def _get(url):
+    """Raw GET returning (status, json_body) without raising on 503."""
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = PlanServer(
+        workers=1, exec_mode="inline", queue_depth=2,
+        data_dir=tmp_path / "serve",
+    ).start()
+    try:
+        yield srv
+    finally:
+        srv.close()
+
+
+class TestHealthReady:
+    def test_healthy_server_reports_ready(self, server):
+        health = PlanClient(server.url).health()
+        assert health["ready"] is True
+        assert health["status"] == "ok"
+        assert "in_flight" in health
+        assert "slo" in health
+
+    def test_ready_probe_is_200_when_ready(self, server):
+        status, body = _get(f"{server.url}/healthz?ready=1")
+        assert status == 200
+        assert body["ready"] is True
+
+    def test_plain_healthz_stays_200_when_draining(self, server):
+        server._draining = True
+        status, body = _get(f"{server.url}/healthz")
+        assert status == 200  # liveness unchanged; only the field flips
+        assert body["ready"] is False
+        assert body["status"] == "draining"
+
+    def test_ready_probe_503s_while_draining(self, server):
+        server._draining = True
+        status, body = _get(f"{server.url}/healthz?ready=1")
+        assert status == 503
+        assert body["ready"] is False
+
+    def test_ready_probe_503s_when_queue_full(self, server):
+        # Park the single dispatcher on a job that blocks until released,
+        # then fill the depth-2 queue behind it.
+        release = threading.Event()
+        started = threading.Event()
+        fork_pool = server.pool.pool
+        orig_run = fork_pool.run
+
+        def slow_run(fn, *args):
+            started.set()
+            release.wait(timeout=30.0)
+            return orig_run(fn, *args)
+
+        fork_pool.run = slow_run
+        client = PlanClient(server.url)
+        try:
+            client.submit(_body(gbs=8))  # claimed by the worker, blocks
+            assert started.wait(timeout=10.0)
+            client.submit(_body(gbs=16))
+            client.submit(_body(gbs=24))  # queue now at capacity (2/2)
+            status, body = _get(f"{server.url}/healthz?ready=1")
+            assert status == 503
+            assert body["ready"] is False
+            status, body = _get(f"{server.url}/healthz")
+            assert status == 200  # liveness unaffected by saturation
+            assert body["ready"] is False
+        finally:
+            release.set()
+            fork_pool.run = orig_run
+        assert server.drain(timeout=60.0)
+        # drain stops the listener; the app-level health keeps ready=False
+        assert server.health()["ready"] is False
+
+    def test_ready_flag_recovers_after_queue_empties(self, server):
+        client = PlanClient(server.url)
+        client.wait(client.submit(_body())["job_id"], timeout=60.0)
+        status, body = _get(f"{server.url}/healthz?ready=1")
+        assert status == 200
+        assert body["ready"] is True

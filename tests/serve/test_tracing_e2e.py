@@ -1,0 +1,158 @@
+"""Acceptance e2e for the observability tentpole: one request through a
+live ephemeral-port server with a ForkPool worker renders as one connected
+trace; ``/metrics`` speaks Prometheus text; ``repro obs summarize`` over
+the JSONL export reproduces the server's SLO percentiles bit-exact."""
+
+import json
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro import cli
+from repro.core.serialization import graph_to_dict
+from repro.models import uniform_model
+from repro.obs.export import parse_prometheus
+from repro.obs.schema import validate_jsonl
+from repro.obs.sinks import write_jsonl
+from repro.serve import PlanClient, PlanServer
+
+#: Every hop the request path must emit (client process, server thread,
+#: queue, fork worker, planner, simulator).
+REQUIRED_SPANS = {
+    "client.submit", "client.wait", "client.fetch",
+    "serve.request", "serve.queue_wait", "serve.job", "serve.execute",
+    "planner.search", "sim.run",
+}
+
+POST_ROUTE = "POST /v1/plans"
+
+
+def _body(**extra):
+    graph = uniform_model("trace-e2e", 6, 2e9, 500_000, 2e6, profile_batch=4)
+    body = {"graph": graph_to_dict(graph), "config": "A", "devices": 8,
+            "gbs": 32}
+    body.update(extra)
+    return body
+
+
+def _wait_for_spans(name: str, count: int, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if sum(1 for r in obs.tracer().spans() if r.name == name) >= count:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"never saw {count} finished {name!r} span(s)")
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = PlanServer(
+        workers=1, exec_mode="fork", queue_depth=8,
+        data_dir=tmp_path / "serve",
+    ).start()
+    try:
+        yield srv
+    finally:
+        srv.close()
+
+
+class TestTracingEndToEnd:
+    def test_one_request_is_one_rooted_trace(
+        self, server, tmp_path, capsys
+    ):
+        client = PlanClient(server.url, timeout=30.0)
+        # the metrics registry is process-global and other serve tests may
+        # have bumped the counters already: assert deltas, not absolutes
+        post_key = ("repro_serve_requests_total",
+                    (("route", POST_ROUTE), ("status", "202")))
+        posts_before = parse_prometheus(client.metrics()).get(post_key, 0.0)
+
+        # --- drive the service under one client-side trace --------------- #
+        with obs.start_trace("client.session") as root:
+            # check=True routes through verify_execution so the worker's
+            # trace includes the simulator (sim.run), not just the planner.
+            first = client.submit(_body(check=True))
+            job = client.wait(first["job_id"], timeout=120.0)
+            client.artifact(job["artifacts"]["result"])
+            for gbs in (16, 64):  # two more POSTs for real percentiles
+                client.wait(client.submit(_body(gbs=gbs))["job_id"],
+                            timeout=120.0)
+        trace_id = root.trace_id
+        assert trace_id is not None
+
+        # client.wait returns on job state, which can precede the worker
+        # thread closing its serve.job span — wait for all three.
+        _wait_for_spans("serve.job", 3)
+
+        health = client.health()  # SLO snapshot; itself a separate trace
+        metrics_text = client.metrics()
+
+        # --- reassemble the trace from the JSONL sink -------------------- #
+        path = write_jsonl(tmp_path / "trace.jsonl")
+        assert validate_jsonl(path) > 0
+        with open(path) as fh:
+            records = [json.loads(line) for line in fh]
+        spans = [r for r in records
+                 if r.get("type") == "span" and r.get("trace_id") == trace_id]
+        names = {r["name"] for r in spans}
+        assert REQUIRED_SPANS <= names, f"missing {REQUIRED_SPANS - names}"
+
+        by_uid = {r["uid"]: r for r in spans}
+        assert len(by_uid) == len(spans), "span uids must be unique"
+        roots = [r for r in spans if r["parent_uid"] is None]
+        assert [r["name"] for r in roots] == ["client.session"]
+        assert roots[0]["uid"] == root.uid
+        # every non-root parent resolves inside the trace...
+        children = {}
+        for r in spans:
+            if r["parent_uid"] is not None:
+                assert r["parent_uid"] in by_uid, (
+                    f"{r['name']} dangles from {r['parent_uid']}")
+                children.setdefault(r["parent_uid"], []).append(r["uid"])
+        # ...and the whole trace is reachable from the single root.
+        seen, frontier = set(), [root.uid]
+        while frontier:
+            uid = frontier.pop()
+            seen.add(uid)
+            frontier.extend(children.get(uid, ()))
+        assert seen == set(by_uid), "trace is not a single connected tree"
+
+        # cross-process part: worker spans carry the fork child's pid
+        server_pid = {r["pid"] for r in spans if r["name"] == "serve.request"}
+        if server.pool.mode == "fork":
+            planner_pids = {r["pid"] for r in spans
+                            if r["name"] == "planner.search"}
+            assert planner_pids and not (planner_pids & server_pid)
+
+        # --- /metrics: valid Prometheus text with the new histograms ----- #
+        parsed = parse_prometheus(metrics_text)
+        series = {name for name, _labels in parsed}
+        assert "repro_serve_queue_wait_ms_bucket" in series
+        assert "repro_serve_exec_ms_bucket" in series
+        assert "repro_serve_request_ms_bucket" in series
+        assert parsed[post_key] - posts_before == 3
+
+        # --- satellite: wall time split surfaces in the response --------- #
+        result_job = client.job(first["job_id"])
+        timing = result_job["summary"]["timing"]
+        assert {"queue_wait_ms", "exec_ms", "serialize_ms",
+                "total_ms"} <= set(timing)
+
+        # --- `repro obs summarize` is bit-exact vs the server SLO -------- #
+        slo = health["slo"][POST_ROUTE]
+        assert slo["count"] == 3
+        rc = cli.main([
+            "obs", "summarize", str(path),
+            "--trace", trace_id,  # spans from other tests share the tracer
+            "--name", "serve.request",
+            "--attr", f"route={POST_ROUTE}",
+            "--json",
+        ])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        (row,) = [r for r in rows if r["name"] == "serve.request"]
+        assert row["count"] == 3
+        assert row["p50_ms"] == slo["p50_ms"]   # bit-exact, not approx
+        assert row["p95_ms"] == slo["p95_ms"]
+        assert row["p99_ms"] == slo["p99_ms"]
