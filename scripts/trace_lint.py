@@ -13,6 +13,12 @@ asserts:
 3. nothing registered in ``SPAN_NAMES`` has gone stale (registered but no
    longer emitted anywhere in ``src/``).
 
+It also lints the schedule registry: every schedule registered in
+``repro.schedules`` must be exercised by name in at least one conformance
+test under ``tests/`` — a schedule nobody tests is a schedule nobody can
+trust, and this is the backstop that forces a conformance test to land in
+the same change that registers a new schedule.
+
 Exit code 0 = clean, 1 = violations (printed one per line).
 """
 
@@ -86,14 +92,41 @@ def run_lint(src: Path = SRC) -> list[str]:
     return errors
 
 
+def run_schedule_lint(src: Path = SRC, tests: Path = ROOT / "tests") -> list[str]:
+    """Every registered schedule name must appear in a tests/ string literal.
+
+    String literals only (via ``ast``), so a comment mentioning a schedule
+    does not satisfy the check — a test has to actually name it in a spec,
+    a parametrize list, or an assertion.
+    """
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.schedules import schedule_names
+
+    literals: set[str] = set()
+    for path in sorted(tests.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # "zb2bp:w=0.4" should count as coverage of "zb2bp".
+                literals.add(node.value.partition(":")[0].strip().lower())
+    return [
+        f"schedule registry: {name!r} is registered in repro.schedules but "
+        f"no test under tests/ references it by name"
+        for name in schedule_names()
+        if name not in literals
+    ]
+
+
 def main() -> int:
-    errors = run_lint()
+    errors = run_lint() + run_schedule_lint()
     for e in errors:
         print(e, file=sys.stderr)
     if errors:
         print(f"trace lint: {len(errors)} violation(s)", file=sys.stderr)
         return 1
-    print("trace lint: all span names conform and are registered")
+    print("trace lint: all span names conform and are registered; "
+          "all registered schedules have conformance tests")
     return 0
 
 

@@ -282,12 +282,32 @@ def _require(edges: set, before: str, after: str, stage: int,
         ))
 
 
+def _split_sets(schedule) -> list[set[int]]:
+    """Per stage: micro-batches whose backward is split into BI/BW."""
+    return [
+        {t.micro_batch for t in tasks if t.kind == "BI"} for tasks in schedule
+    ]
+
+
 def _check_structure(graph, plan, schedule, report: ConformanceReport,
                      prefix: str = "") -> None:
-    """The executor's graph construction (paper Fig. 10/11) edge-by-edge."""
+    """The executor's graph construction (paper Fig. 10/11) edge-by-edge.
+
+    Schedule-generic: for split backwards the gradient chain runs through
+    ``BI`` (F→BI, BI→BW, sendback wired to BI) and the AllReduce barrier
+    through the releasing ``BW``.
+    """
     report.ran("structure")
     edges = _edge_set(graph)
     m = plan.num_micro_batches
+    split = _split_sets(schedule)
+
+    def grad(i: int, mb: int) -> str:
+        return "BI" if mb in split[i] else "B"
+
+    def release(i: int, mb: int) -> str:
+        return "BW" if mb in split[i] else "B"
+
     for i, stage in enumerate(plan.stages):
         # Control chains: consecutive schedule entries per replica.
         for r in range(stage.replicas):
@@ -296,17 +316,28 @@ def _check_structure(graph, plan, schedule, report: ConformanceReport,
             ]
             for a, b in zip(names, names[1:]):
                 _require(edges, a, b, i, report)
-        # Stored activations: F -> B of the same micro-batch.
+        # Stored activations: F -> backward of the same micro-batch
+        # (F -> BI plus BI -> BW when the backward is split).
         for mb in range(m):
+            gk = grad(i, mb)
             for r in range(stage.replicas):
                 _require(
                     edges,
                     f"{prefix}F/s{i}/m{mb}/r{r}",
-                    f"{prefix}B/s{i}/m{mb}/r{r}",
+                    f"{prefix}{gk}/s{i}/m{mb}/r{r}",
                     i,
                     report,
                 )
-    # Cross-stage transfers: F -> send -> F_next and B_next -> sendback -> B.
+                if gk == "BI":
+                    _require(
+                        edges,
+                        f"{prefix}BI/s{i}/m{mb}/r{r}",
+                        f"{prefix}BW/s{i}/m{mb}/r{r}",
+                        i,
+                        report,
+                    )
+    # Cross-stage transfers: F -> send -> F_next and the mirrored gradient
+    # chain grad_next -> sendback -> grad.
     for i in range(plan.num_stages - 1):
         src, dst = plan.stages[i], plan.stages[i + 1]
         for mb in range(m):
@@ -314,11 +345,20 @@ def _check_structure(graph, plan, schedule, report: ConformanceReport,
             back = f"{prefix}sendback/s{i}/m{mb}"
             for r in range(src.replicas):
                 _require(edges, f"{prefix}F/s{i}/m{mb}/r{r}", send, i, report)
-                _require(edges, back, f"{prefix}B/s{i}/m{mb}/r{r}", i, report)
+                _require(
+                    edges, back, f"{prefix}{grad(i, mb)}/s{i}/m{mb}/r{r}", i, report
+                )
             for r in range(dst.replicas):
                 _require(edges, send, f"{prefix}F/s{i+1}/m{mb}/r{r}", i + 1, report)
-                _require(edges, f"{prefix}B/s{i+1}/m{mb}/r{r}", back, i + 1, report)
-    # Gradient AllReduce barrier inputs.
+                _require(
+                    edges,
+                    f"{prefix}{grad(i + 1, mb)}/s{i+1}/m{mb}/r{r}",
+                    back,
+                    i + 1,
+                    report,
+                )
+    # Gradient AllReduce barrier inputs (weight gradients exist once the
+    # releasing backward — B, or BW when split — has run).
     for i, stage in enumerate(plan.stages):
         if stage.replicas < 2:
             continue
@@ -332,12 +372,29 @@ def _check_structure(graph, plan, schedule, report: ConformanceReport,
             continue
         for mb in range(m):
             for r in range(stage.replicas):
-                _require(edges, f"{prefix}B/s{i}/m{mb}/r{r}", ar, i, report)
+                _require(
+                    edges, f"{prefix}{release(i, mb)}/s{i}/m{mb}/r{r}", ar, i, report
+                )
+
+
+def _schedule_kind_name(kind: str) -> str:
+    """Canonical registry name of a schedule-kind spec ("1f1b" -> "dapple")."""
+    from repro.schedules.registry import parse_schedule_spec
+
+    try:
+        name, _params = parse_schedule_spec(kind)
+    except ValueError:
+        return kind
+    return name
 
 
 def _check_schedule_shape(schedule, plan, kind: str, warmup_policy: str,
                           max_in_memory: int, report: ConformanceReport) -> None:
-    """Schedule-level semantics: completeness, warm-up counts, 1F1B shape."""
+    """Schedule-level semantics: completeness, warm-up counts, stream shape.
+
+    ``kind`` may be any registry spec ("dapple", "gpipe", "interleaved:v=2",
+    "zb2bp:w=0.4", ...); shape checks dispatch on the canonical name.
+    """
     m = plan.num_micro_batches
     s_count = plan.num_stages
     report.ran("schedule-valid")
@@ -347,7 +404,9 @@ def _check_schedule_shape(schedule, plan, kind: str, warmup_policy: str,
         report.add(Violation("schedule-valid", str(e)))
         return
 
-    if kind == "gpipe":
+    name = _schedule_kind_name(kind)
+
+    if name == "gpipe":
         report.ran("gpipe-shape")
         for i, tasks in enumerate(schedule):
             kinds = [t.kind for t in tasks]
@@ -355,6 +414,65 @@ def _check_schedule_shape(schedule, plan, kind: str, warmup_policy: str,
                 report.add(Violation(
                     "gpipe-shape",
                     "schedule is not all-forwards-then-all-backwards",
+                    stage=i,
+                ))
+        return
+
+    if name == "interleaved":
+        # Per-virtual-stage streams have no fixed local template (their
+        # shape is induced by the device-level interleave); require FIFO
+        # issue order per stream — the per-virtual-stage legality the IR
+        # guarantees beyond validate_schedule.
+        report.ran("interleave-fifo")
+        for i, tasks in enumerate(schedule):
+            fs = [t.micro_batch for t in tasks if t.kind == "F"]
+            bs = [t.micro_batch for t in tasks if t.kind in ("B", "BI")]
+            if fs != sorted(fs) or bs != sorted(bs):
+                report.add(Violation(
+                    "interleave-fifo",
+                    "micro-batches are not issued in FIFO order",
+                    stage=i,
+                ))
+        return
+
+    if name == "zb2bp":
+        report.ran("warmup-count")
+        report.ran("zb2bp-shape")
+        expected = warmup_counts(s_count, m, policy=warmup_policy,
+                                 max_in_memory=max_in_memory)
+        for i, tasks in enumerate(schedule):
+            k = warmup_prefix_length(tasks)
+            if k != expected[i]:
+                report.add(Violation(
+                    "warmup-count",
+                    f"warm-up prefix has {k} forwards, policy "
+                    f"{warmup_policy} expects Ki={expected[i]} "
+                    f"(S={s_count}, M={m}, D={max_in_memory})",
+                    stage=i,
+                ))
+            # Steady state runs BI,BW,F triples (inline BW keeps residency
+            # at Ki); the cooldown drains all remaining BI first — they
+            # alone gate the upstream gradient chain — then the deferred
+            # BW fill the tail bubble.
+            body = [t.kind for t in tasks[k:]]
+            n_f_left = m - k
+            want = (
+                ["BI", "BW", "F"] * n_f_left
+                + ["BI"] * (m - n_f_left)
+                + ["BW"] * (m - n_f_left)
+            )
+            if body != want:
+                report.add(Violation(
+                    "zb2bp-shape",
+                    f"tail after {k} warm-up forwards is not the "
+                    "BI/BW/F steady state with a BI-first cooldown",
+                    stage=i,
+                ))
+            if max_resident_micro_batches(tasks) > expected[i]:
+                report.add(Violation(
+                    "zb2bp-shape",
+                    f"{max_resident_micro_batches(tasks)} micro-batches live "
+                    f"at once exceeds the warm-up bound Ki={expected[i]}",
                     stage=i,
                 ))
         return
@@ -407,12 +525,12 @@ def _replica_of(name: str) -> int:
 
 
 def _check_trace_order(trace, plan, schedule, report: ConformanceReport) -> None:
-    """The executed F/B order per stage replica equals the schedule."""
+    """The executed compute-task order per stage replica equals the schedule."""
     report.ran("trace-schedule-order")
     per_replica: dict[tuple[int, int], list] = {}
     for name, start, end, _res, tags in trace.iter_rows():
         kind = tags.get("kind")
-        if kind not in ("F", "B"):
+        if kind not in ("F", "B", "BI", "BW"):
             continue
         key = (tags["stage"], _replica_of(name))
         per_replica.setdefault(key, []).append((start, end, kind, tags["mb"]))
@@ -436,6 +554,75 @@ def _check_trace_order(trace, plan, schedule, report: ConformanceReport) -> None
                     op=(f"{bad[0]}/s{i}/m{bad[1]}/r{r}" if bad else None),
                     stage=i,
                 ))
+
+
+def _check_bw_order(trace, report: ConformanceReport) -> None:
+    """Split backwards execute grad-input before grad-weight per micro-batch.
+
+    A no-op for schedules without BI/BW tasks; for 2BP streams it pins the
+    B-before-W ordering at the *trace* level (the graph-level BI→BW edge is
+    checked by ``structure``).
+    """
+    report.ran("bw-order")
+    bi_end: dict[tuple, float] = {}
+    bw_start: dict[tuple, float] = {}
+    for name, start, end, _res, tags in trace.iter_rows():
+        kind = tags.get("kind")
+        if kind not in ("BI", "BW"):
+            continue
+        key = (tags["stage"], tags["mb"], _replica_of(name))
+        if kind == "BI":
+            bi_end[key] = end
+        else:
+            bw_start[key] = start
+    for key, start in bw_start.items():
+        stage, mb, r = key
+        if key not in bi_end:
+            report.add(Violation(
+                "bw-order",
+                "grad-weight phase ran without a grad-input phase",
+                op=f"BW/s{stage}/m{mb}/r{r}",
+                stage=stage,
+            ))
+        elif start < bi_end[key] - EPS:
+            report.add(Violation(
+                "bw-order",
+                f"BW starts at {start} before BI ends at {bi_end[key]}",
+                op=f"BW/s{stage}/m{mb}/r{r}",
+                stage=stage,
+            ))
+    for key in bi_end:
+        if key not in bw_start:
+            stage, mb, r = key
+            report.add(Violation(
+                "bw-order",
+                "grad-input phase has no matching grad-weight phase",
+                op=f"BI/s{stage}/m{mb}/r{r}",
+                stage=stage,
+            ))
+
+
+def _check_ir_high_water(pipe_schedule, schedule,
+                         report: ConformanceReport) -> None:
+    """The IR's declared residency high-water matches the lowered schedule.
+
+    ``memory-bound`` then ties the same number to the simulated memory
+    timeline, so the IR's :meth:`memory_high_water` declaration, the task
+    streams, and the runtime cannot drift apart silently.
+    """
+    if pipe_schedule is None:
+        return
+    report.ran("ir-high-water")
+    declared = pipe_schedule.memory_high_water()
+    for i, tasks in enumerate(schedule):
+        actual = max_resident_micro_batches(tasks)
+        if declared[i] != actual:
+            report.add(Violation(
+                "ir-high-water",
+                f"IR declares {declared[i]} resident micro-batches but the "
+                f"lowered stream peaks at {actual}",
+                stage=i,
+            ))
 
 
 def _check_memory(memory, plan, stage_mem, schedule,
@@ -498,7 +685,8 @@ def _check_weight_sync(graph, trace, plan, report: ConformanceReport,
         if stage is None:
             continue
         kind = tags.get("kind")
-        if kind == "B":
+        if kind in ("B", "BW"):
+            # BW carries the weight gradients when the backward is split.
             b_end[stage] = max(b_end.get(stage, 0.0), end)
         elif kind == "AR":
             ar_start[stage] = start
@@ -552,8 +740,10 @@ def check_execution(
         :class:`~repro.runtime.executor.ExecutionResult` /
         :class:`~repro.sim.engine.SimulationResult`.
     schedule_kind:
-        ``"dapple"`` checks warm-up counts + 1F1B shape, ``"gpipe"`` the
-        flush shape, ``None`` skips schedule-shape checks (custom schedule).
+        Any registry spec: ``"dapple"`` checks warm-up counts + 1F1B shape,
+        ``"gpipe"`` the flush shape, ``"zb2bp"`` the BI/BW steady state and
+        BI-first cooldown, ``"interleaved"`` per-virtual-stage FIFO order;
+        ``None`` skips schedule-shape checks (custom raw schedule).
     max_in_memory:
         The memory cap ``D`` the schedule was built with; derived from the
         executor's memory model when omitted.
@@ -577,7 +767,7 @@ def check_execution(
         _check_structure(graph, plan, schedule, report)
         if schedule_kind is not None:
             if max_in_memory is None:
-                if schedule_kind == "gpipe":
+                if _schedule_kind_name(schedule_kind) in ("gpipe", "interleaved"):
                     max_in_memory = plan.num_micro_batches
                 else:
                     try:
@@ -588,6 +778,9 @@ def check_execution(
                 schedule, plan, schedule_kind, warmup_policy, max_in_memory, report
             )
         _check_trace_order(trace, plan, schedule, report)
+        _check_bw_order(trace, report)
+        _check_ir_high_water(getattr(executor, "pipe_schedule", None),
+                             schedule, report)
         _check_memory(memory, plan, executor.stage_mem, schedule, report)
         _check_weight_sync(graph, trace, plan, report)
     if obs.enabled():
@@ -629,7 +822,12 @@ def verify_execution(
     graph = executor.build_graph()
     result = Simulator(graph, engine=engine).run()
     kind = schedule if isinstance(schedule, str) else None
-    if enforce_memory and kind == "dapple":
+    if (
+        enforce_memory
+        and kind is not None
+        and _schedule_kind_name(kind) in ("dapple", "zb2bp")
+    ):
+        # These schedules clamp their warm-up depths to the cap D.
         cap = min(executor.memory_model.max_in_flight())
     else:
         cap = plan.num_micro_batches

@@ -64,7 +64,7 @@ from repro.runtime.memory import OutOfMemoryError
 EXPERIMENTS = [
     "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
     "fig3", "fig4", "fig7", "fig8", "fig12", "fig13", "fig14", "convergence",
-    "bandwidth_sweep", "straggler_sweep",
+    "bandwidth_sweep", "straggler_sweep", "schedule_bubbles",
 ]
 
 #: Fixed default for every seeded CLI path, so runs are reproducible unless
@@ -89,6 +89,22 @@ def _add_plan_cache(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--no-plan-cache", action="store_true",
         help="disable plan caching entirely (always search)",
+    )
+
+
+def _add_schedule(p: argparse.ArgumentParser, default: str | None = "dapple") -> None:
+    """``--schedule SPEC`` resolved through the schedule registry.
+
+    The help text lists the registered names dynamically (same pattern as
+    ``config_by_name`` for hardware configs), so new schedules show up here
+    without touching the CLI.
+    """
+    from repro.schedules import schedule_help, schedule_names
+
+    p.add_argument(
+        "--schedule", default=default, metavar="SPEC",
+        help=f"schedule spec, one of {', '.join(schedule_names())} with "
+        f"optional 'name:key=value' parameters ({schedule_help()})",
     )
 
 
@@ -164,6 +180,19 @@ def cmd_plan(args) -> int:
 
         print()
         print(explain_plan(prof, cluster, result).report())
+    if args.schedule:
+        # Simulate the winner under the requested schedule so the analytic
+        # estimate can be read against an executed iteration.
+        from repro.runtime.executor import PipelineExecutor
+
+        try:
+            ex = PipelineExecutor(prof, cluster, plan, schedule=args.schedule)
+            sim = ex.run()
+        except OutOfMemoryError as e:
+            print(f"simulated: OOM under {args.schedule}: {e}")
+        else:
+            print(f"simulated: {sim.iteration_time * 1e3:.1f} ms under "
+                  f"{ex.pipe_schedule.describe()}")
     if args.save:
         path = save_plan(plan, args.save)
         print(f"saved   : {path}")
@@ -176,7 +205,15 @@ def cmd_run(args) -> int:
     if args.plan:
         plan = load_plan(args.plan, model, cluster)
     else:
-        plan = Planner(prof, cluster, gbs).search().plan
+        from repro.schedules import parse_schedule_spec
+
+        # An interleaved schedule needs a round-robin virtual-stage plan,
+        # which the planner's stage search never emits — synthesize one
+        # (same geometry repro check uses) unless the user saved a plan.
+        if parse_schedule_spec(args.schedule)[0] == "interleaved":
+            plan = _schedule_arm(prof, cluster, gbs, args.schedule)[0][1]
+        else:
+            plan = Planner(prof, cluster, gbs).search().plan
     try:
         res = execute_plan(
             prof, cluster, plan,
@@ -343,8 +380,12 @@ def cmd_faults(args) -> int:
             f"{rep.critical_path_shift():.0%}",
         ])
 
+    # The planner arm runs under --schedule (any registry spec); the GPipe
+    # and DP arms keep their fixed schedules for comparison.
+    label = "DAPPLE" if args.schedule == "dapple" else args.schedule
     measure(
-        "DAPPLE", plan_best(prof, cluster, gbs, cache=default_cache()).plan, "dapple"
+        label, plan_best(prof, cluster, gbs, cache=default_cache()).plan,
+        args.schedule,
     )
     try:
         measure("GPipe", gpipe_plan(prof, cluster, gbs), "gpipe")
@@ -421,6 +462,34 @@ def _check_arms(prof, cluster, gbs):
     return arms
 
 
+def _schedule_arm(prof, cluster, gbs, spec: str):
+    """The single arm ``repro check --schedule SPEC`` verifies per model.
+
+    Resolves ``spec`` through the schedule registry; interleaved schedules
+    get an interleaved (virtual-stage) plan built for the model, everything
+    else runs on the planner's best plan.  Raises ``ValueError`` when the
+    model/cluster cannot host the schedule (too few layers for the virtual
+    stages, M not divisible by the device count, ...).
+    """
+    from repro.core.plan import interleaved_straight_plan
+    from repro.schedules import parse_schedule_spec
+
+    name, params = parse_schedule_spec(spec)
+    if name == "interleaved":
+        v = params.get("v", 2)
+        p_devs = cluster.num_devices
+        # Smallest M that is a multiple of the device count and keeps the
+        # per-micro-batch slice at or below the calibrated profile batch.
+        per = max(1, gbs // (prof.graph.profile_batch * p_devs))
+        m = p_devs * per
+        plan = interleaved_straight_plan(
+            prof.graph, cluster.devices, gbs, m, virtual_per_device=v
+        )
+    else:
+        plan = Planner(prof, cluster, gbs).search().plan
+    return [(spec, plan, spec)]
+
+
 def cmd_check(args) -> int:
     """``repro check``: conformance invariants + differential oracles.
 
@@ -436,6 +505,12 @@ def cmd_check(args) -> int:
     from repro.sim.engine import ENGINES
 
     engines = list(ENGINES) if args.engine is None else [args.engine]
+    if args.schedule:
+        from repro.schedules import parse_schedule_spec
+
+        # Bad specs are argument errors (exit 2); only build-time geometry
+        # failures (model can't host the schedule) skip rows below.
+        parse_schedule_spec(args.schedule)
     names = model_names() if args.suite == "zoo" else [args.model]
     rows = []
     failed_reports = []
@@ -460,7 +535,16 @@ def cmd_check(args) -> int:
                 ref = PAPER_FIGURES.get(name.strip().lower())
                 gbs = ref.global_batch_size if ref else 64
             prof = profile_model(model)
-            for arm, plan, sched in _check_arms(prof, cluster, gbs):
+            if args.schedule:
+                try:
+                    arms = _schedule_arm(prof, cluster, gbs, args.schedule)
+                except ValueError as e:
+                    rows.append([name, args.schedule, "-", "-", "-",
+                                 f"skip ({e})"])
+                    arms = []
+            else:
+                arms = _check_arms(prof, cluster, gbs)
+            for arm, plan, sched in arms:
                 for engine in engines:
                     try:
                         rep = verify_execution(
@@ -469,6 +553,8 @@ def cmd_check(args) -> int:
                     except OutOfMemoryError:
                         rep = None
                     record(name, arm, engine, rep)
+            if args.schedule:
+                continue
             if not args.no_oracles:
                 try:
                     plan = _check_arms(prof, cluster, gbs)[0][1]
@@ -562,6 +648,8 @@ def cmd_submit(args) -> int:
     }
     if args.gbs is not None:
         request["gbs"] = args.gbs
+    if args.schedule != "dapple":
+        request["schedule"] = args.schedule
     planner = {}
     if args.beam != 48:
         planner["beam_width"] = args.beam or None
@@ -739,13 +827,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the winner's Tw/Ts/Te per-stage decomposition and the "
         "runner-up comparison",
     )
+    _add_schedule(p, default=None)
     _add_plan_cache(p)
     _add_obs(p)
 
     p = sub.add_parser("run", help="simulate one training iteration")
     _add_common(p)
     p.add_argument("--plan", metavar="FILE", help="load a saved plan instead of searching")
-    p.add_argument("--schedule", default="dapple", choices=["dapple", "gpipe"])
+    _add_schedule(p)
     p.add_argument("--warmup", default="PA", choices=["PA", "PB"])
     p.add_argument("--recompute", default="none", choices=["none", "boundary", "sqrt"])
     p.add_argument(
@@ -801,12 +890,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-oracles", action="store_true",
         help="skip the differential oracles (invariants only)",
     )
+    _add_schedule(p, default=None)
     _add_obs(p)
 
     p = sub.add_parser(
         "faults", help="fault injection: robustness of DAPPLE vs GPipe vs DP"
     )
     _add_common(p)
+    _add_schedule(p)
     p.add_argument(
         "--straggler", type=float, default=1.5,
         help="persistent slow-device factor (>1 enables; default 1.5)",
@@ -899,6 +990,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also fetch the Tw/Ts/Te breakdown report")
     p.add_argument("--check", action="store_true",
                    help="also run the conformance battery on the served plan")
+    _add_schedule(p)
     p.add_argument("--no-wait", action="store_true",
                    help="print the job id and exit without polling")
     p.add_argument("--timeout", type=float, default=120.0,

@@ -28,12 +28,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
-Kind = Literal["F", "B"]
+#: ``F``/``B`` are the classic forward and combined backward; ``BI``/``BW``
+#: are the 2BP split (grad-input / grad-weight) emitted by
+#: :mod:`repro.schedules` zero-bubble schedules.
+Kind = Literal["F", "B", "BI", "BW"]
 
 
 @dataclass(frozen=True)
 class MicroBatchTask:
-    """One forward or backward of one micro-batch on one stage."""
+    """One forward or backward (phase) of one micro-batch on one stage."""
 
     kind: Kind
     micro_batch: int
@@ -109,8 +112,11 @@ def gpipe_schedule(num_stages: int, num_micro_batches: int) -> StageSchedule:
 def validate_schedule(schedule: StageSchedule, num_micro_batches: int) -> None:
     """Check a schedule is complete and stage-locally causal.
 
-    Every stage must run F and B of every micro-batch exactly once, and a
-    micro-batch's backward may not precede its forward on the same stage.
+    Every stage must run F of every micro-batch exactly once, plus either
+    one combined backward B or a split BI→BW pair; a micro-batch's
+    backward (phase) may not precede its forward on the same stage, nor
+    its BW precede its BI, and a stage may not mix B with BI/BW for the
+    same micro-batch.
 
     Raises
     ------
@@ -120,24 +126,65 @@ def validate_schedule(schedule: StageSchedule, num_micro_batches: int) -> None:
     for sid, tasks in enumerate(schedule):
         seen_f: set[int] = set()
         seen_b: set[int] = set()
+        seen_bi: set[int] = set()
+        seen_bw: set[int] = set()
         for t in tasks:
+            mb = t.micro_batch
             if t.kind == "F":
-                if t.micro_batch in seen_f:
-                    raise ValueError(f"stage {sid}: duplicate F{t.micro_batch}")
-                seen_f.add(t.micro_batch)
-            else:
-                if t.micro_batch in seen_b:
-                    raise ValueError(f"stage {sid}: duplicate B{t.micro_batch}")
-                if t.micro_batch not in seen_f:
+                if mb in seen_f:
+                    raise ValueError(f"stage {sid}: duplicate F{mb}")
+                seen_f.add(mb)
+            elif t.kind == "B":
+                if mb in seen_b:
+                    raise ValueError(f"stage {sid}: duplicate B{mb}")
+                if mb in seen_bi or mb in seen_bw:
                     raise ValueError(
-                        f"stage {sid}: B{t.micro_batch} before its forward"
+                        f"stage {sid}: B{mb} mixes combined and split backward"
                     )
-                seen_b.add(t.micro_batch)
+                if mb not in seen_f:
+                    raise ValueError(
+                        f"stage {sid}: B{mb} before its forward"
+                    )
+                seen_b.add(mb)
+            elif t.kind == "BI":
+                if mb in seen_bi:
+                    raise ValueError(f"stage {sid}: duplicate BI{mb}")
+                if mb in seen_b:
+                    raise ValueError(
+                        f"stage {sid}: BI{mb} mixes combined and split backward"
+                    )
+                if mb not in seen_f:
+                    raise ValueError(
+                        f"stage {sid}: BI{mb} before its forward"
+                    )
+                seen_bi.add(mb)
+            elif t.kind == "BW":
+                if mb in seen_bw:
+                    raise ValueError(f"stage {sid}: duplicate BW{mb}")
+                if mb in seen_b:
+                    raise ValueError(
+                        f"stage {sid}: BW{mb} mixes combined and split backward"
+                    )
+                if mb not in seen_bi:
+                    raise ValueError(
+                        f"stage {sid}: BW{mb} before its grad-input phase BI{mb}"
+                    )
+                seen_bw.add(mb)
+            else:
+                raise ValueError(
+                    f"stage {sid}: unknown task kind {t.kind!r}"
+                )
+        if seen_bi != seen_bw:
+            raise ValueError(
+                f"stage {sid}: split backward incomplete "
+                f"(BI={sorted(seen_bi)}, BW={sorted(seen_bw)})"
+            )
         want = set(range(num_micro_batches))
-        if seen_f != want or seen_b != want:
+        done_b = seen_b | (seen_bi & seen_bw)
+        if seen_f != want or done_b != want:
             raise ValueError(
                 f"stage {sid}: incomplete schedule "
-                f"(F={sorted(seen_f)}, B={sorted(seen_b)}, expected {num_micro_batches})"
+                f"(F={sorted(seen_f)}, B={sorted(done_b)}, expected {num_micro_batches})"
             )
 
 
@@ -159,8 +206,11 @@ def warmup_prefix_length(tasks: Sequence[MicroBatchTask]) -> int:
 def max_resident_micro_batches(tasks: Sequence[MicroBatchTask]) -> int:
     """Peak number of micro-batches whose activations are live at once.
 
-    A micro-batch's activations go live at its F and are released at its B —
-    the quantity DAPPLE's early-backward scheduling bounds by ``Ki``.
+    A micro-batch's activations go live at its F and are released at its
+    releasing backward — the combined B, or the grad-weight phase BW when
+    the backward is split (2BP): BI still *reads* the activations, so only
+    BW frees them.  This is the quantity DAPPLE's early-backward
+    scheduling bounds by ``Ki``.
     """
     live = 0
     peak = 0
@@ -168,6 +218,6 @@ def max_resident_micro_batches(tasks: Sequence[MicroBatchTask]) -> int:
         if t.kind == "F":
             live += 1
             peak = max(peak, live)
-        else:
+        elif t.kind in ("B", "BW"):
             live -= 1
     return peak

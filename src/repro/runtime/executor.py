@@ -31,11 +31,11 @@ from repro.core.plan import ParallelPlan
 from repro.core.profiler import ModelProfile
 from repro.core.scheduler import (
     StageSchedule,
-    dapple_schedule,
-    gpipe_schedule,
     validate_schedule,
 )
 from repro.runtime.memory import MemoryModel, OutOfMemoryError
+from repro.schedules.base import PipeSchedule
+from repro.schedules.registry import build_schedule
 from repro.sim.engine import MemEffect, Op, Simulator, TaskGraph
 from repro.sim.trace import MemoryTimeline, Trace
 
@@ -68,6 +68,10 @@ class ExecutionResult:
     memory: MemoryTimeline
     schedule: StageSchedule
     recompute: bool
+    #: The typed schedule IR the iteration was built from, when the
+    #: executor was given a registry spec or a :class:`PipeSchedule`
+    #: (``None`` for raw legacy task lists).
+    pipe_schedule: "PipeSchedule | None" = None
 
     @property
     def throughput(self) -> float:
@@ -107,7 +111,7 @@ class PipelineExecutor:
         profile: ModelProfile,
         cluster: Cluster,
         plan: ParallelPlan,
-        schedule: str | StageSchedule = "dapple",
+        schedule: str | StageSchedule | PipeSchedule = "dapple",
         warmup_policy: str = "PA",
         recompute: bool = False,
         enforce_memory: bool = True,
@@ -146,28 +150,52 @@ class PipelineExecutor:
         else:
             d_caps = [m] * s
 
+        self.pipe_schedule: PipeSchedule | None = None
         if isinstance(schedule, str):
-            if schedule == "dapple":
-                # One global cap (not per-stage): warm-up depths must be
-                # non-increasing along the pipeline or the control chains
-                # form a cross-stage cycle (an upstream stage waiting on a
-                # backward its downstream neighbour schedules after a
-                # forward the upstream has not released yet).
-                cap = min(d_caps)
-                self.schedule = dapple_schedule(s, m, policy=warmup_policy, max_in_memory=cap)
-            elif schedule == "gpipe":
-                if enforce_memory:
-                    for i, sm in enumerate(self.stage_mem):
-                        if sm.peak_bytes(m) > sm.capacity_bytes:
-                            raise OutOfMemoryError(
-                                f"GPipe schedule stage {i}: {m} resident "
-                                f"micro-batches need "
-                                f"{sm.peak_bytes(m) / 2**30:.1f} GiB > "
-                                f"{sm.capacity_bytes / 2**30:.1f} GiB"
-                            )
-                self.schedule = gpipe_schedule(s, m)
-            else:
-                raise ValueError(f"unknown schedule {schedule!r} (dapple or gpipe)")
+            # Resolve any registry spec ("dapple", "gpipe", "interleaved:v=2",
+            # "zb2bp:w=0.4", ...).  Unknown names raise a ValueError listing
+            # the registered names.  One global cap (not per-stage): warm-up
+            # depths must be non-increasing along the pipeline or the control
+            # chains form a cross-stage cycle (an upstream stage waiting on a
+            # backward its downstream neighbour schedules after a forward the
+            # upstream has not released yet).
+            cap = min(d_caps)
+            self.pipe_schedule = build_schedule(
+                schedule,
+                plan=plan,
+                num_micro_batches=m,
+                warmup_policy=warmup_policy,
+                max_in_memory=cap,
+            )
+        elif isinstance(schedule, PipeSchedule):
+            self.pipe_schedule = schedule
+
+        if self.pipe_schedule is not None:
+            if self.pipe_schedule.num_stages != s:
+                raise ValueError(
+                    f"schedule addresses {self.pipe_schedule.num_stages} "
+                    f"stages but the plan has {s}"
+                )
+            if self.pipe_schedule.num_micro_batches != m:
+                raise ValueError(
+                    f"schedule covers {self.pipe_schedule.num_micro_batches} "
+                    f"micro-batches but the plan has {m}"
+                )
+            self.schedule = self.pipe_schedule.to_stage_schedule()
+            if enforce_memory:
+                # The IR declares its per-stage residency high-water mark;
+                # reject schedules whose peak cannot fit the stage's devices
+                # (GPipe at large M, interleaved at large v, a too-deep PB
+                # warm-up, ...) before building the graph.
+                for i, hw in enumerate(self.pipe_schedule.memory_high_water()):
+                    sm = self.stage_mem[i]
+                    if sm.peak_bytes(hw) > sm.capacity_bytes:
+                        raise OutOfMemoryError(
+                            f"{self.pipe_schedule.name} schedule stage {i}: "
+                            f"{hw} resident micro-batches need "
+                            f"{sm.peak_bytes(hw) / 2**30:.1f} GiB > "
+                            f"{sm.capacity_bytes / 2**30:.1f} GiB"
+                        )
         else:
             self.schedule = schedule
         validate_schedule(self.schedule, m)
@@ -218,7 +246,17 @@ class PipelineExecutor:
                     )
                     g.add(op)
 
-        # Compute ops per stage replica.
+        # Backward split: BI carries this fraction of the combined backward
+        # time, BW the rest (only consulted for schedules emitting BI/BW).
+        w_frac = (
+            self.pipe_schedule.backward_weight_fraction
+            if self.pipe_schedule is not None
+            else 0.5
+        )
+
+        # Compute ops per stage replica.  A schedule may impose its own
+        # dispatch priorities (interleaved schedules order virtual stages
+        # sharing a device); the default is stream position.
         for i, stage in enumerate(plan.stages):
             b = plan.device_batch(i)
             fwd = prof.fwd_time(stage.layer_lo, stage.layer_hi, b)
@@ -226,7 +264,11 @@ class PipelineExecutor:
             sm = self.stage_mem[i]
             resident = sm.per_microbatch_bytes
             transient = sm.transient_backward_bytes
+            prios = None
+            if self.pipe_schedule is not None:
+                prios = self.pipe_schedule.stage_priorities(i)
             for pos, task in enumerate(self.schedule[i]):
+                prio = priority_base + (prios[pos] if prios is not None else pos)
                 for r, d in enumerate(stage.devices):
                     slow = self.device_slowdown.get(d.global_id, 1.0)
                     if task.kind == "F":
@@ -234,17 +276,17 @@ class PipelineExecutor:
                             f"{prefix}F/s{i}/m{task.micro_batch}/r{r}",
                             fwd * slow,
                             resources=(d.resource_key,),
-                            priority=priority_base + pos,
+                            priority=prio,
                             tags={"kind": "F", "stage": i, "mb": task.micro_batch},
                         )
                         op.mem_effects.append(MemEffect(d.resource_key, resident))
-                    else:
+                    elif task.kind == "B":
                         dur = (bwd + self._stage_ckpt[i].extra_backward_time) * slow
                         op = Op(
                             f"{prefix}B/s{i}/m{task.micro_batch}/r{r}",
                             dur,
                             resources=(d.resource_key,),
-                            priority=priority_base + pos,
+                            priority=prio,
                             tags={"kind": "B", "stage": i, "mb": task.micro_batch},
                         )
                         if transient > 0:
@@ -252,6 +294,38 @@ class PipelineExecutor:
                             op.mem_effects.append(
                                 MemEffect(d.resource_key, -transient, at_end=True)
                             )
+                        op.mem_effects.append(
+                            MemEffect(d.resource_key, -resident, at_end=True)
+                        )
+                    elif task.kind == "BI":
+                        # Grad-input phase: on the cross-stage gradient
+                        # chain; reads the activations (re-materializing
+                        # them first under checkpointing) but does not
+                        # release them.
+                        dur = (
+                            bwd * (1.0 - w_frac)
+                            + self._stage_ckpt[i].extra_backward_time
+                        ) * slow
+                        op = Op(
+                            f"{prefix}BI/s{i}/m{task.micro_batch}/r{r}",
+                            dur,
+                            resources=(d.resource_key,),
+                            priority=prio,
+                            tags={"kind": "BI", "stage": i, "mb": task.micro_batch},
+                        )
+                        if transient > 0:
+                            op.mem_effects.append(MemEffect(d.resource_key, transient))
+                            op.mem_effects.append(
+                                MemEffect(d.resource_key, -transient, at_end=True)
+                            )
+                    else:  # BW — grad-weight phase, releases the activations.
+                        op = Op(
+                            f"{prefix}BW/s{i}/m{task.micro_batch}/r{r}",
+                            bwd * w_frac * slow,
+                            resources=(d.resource_key,),
+                            priority=prio,
+                            tags={"kind": "BW", "stage": i, "mb": task.micro_batch},
+                        )
                         op.mem_effects.append(
                             MemEffect(d.resource_key, -resident, at_end=True)
                         )
@@ -271,13 +345,36 @@ class PipelineExecutor:
                     prev = name
             first_ops[i] = heads
 
-        # F->B on the same stage (stored activations are the data dep).
+        # Which backward flavour each stage runs per micro-batch: the
+        # grad-chain op ("B", or "BI" when split) carries the cross-stage
+        # gradient; the releasing op ("B", or "BW" when split) frees the
+        # activations and contributes the weight gradients.
+        split = [
+            {t.micro_batch for t in self.schedule[i] if t.kind == "BI"}
+            for i in range(plan.num_stages)
+        ]
+
+        def grad_op(i: int, mb: int) -> str:
+            return "BI" if mb in split[i] else "B"
+
+        def release_op(i: int, mb: int) -> str:
+            return "BW" if mb in split[i] else "B"
+
+        # F->backward on the same stage (stored activations are the data
+        # dep); split backwards add F->BI and BI->BW (BW consumes both the
+        # activations and the output gradient BI received).
         for i, stage in enumerate(plan.stages):
             for mb in range(m):
+                gk = grad_op(i, mb)
                 for r in range(stage.replicas):
                     g.add_dep(
-                        f"{prefix}F/s{i}/m{mb}/r{r}", f"{prefix}B/s{i}/m{mb}/r{r}"
+                        f"{prefix}F/s{i}/m{mb}/r{r}", f"{prefix}{gk}/s{i}/m{mb}/r{r}"
                     )
+                    if gk == "BI":
+                        g.add_dep(
+                            f"{prefix}BI/s{i}/m{mb}/r{r}",
+                            f"{prefix}BW/s{i}/m{mb}/r{r}",
+                        )
 
         # Cross-stage transfers.
         for i in range(plan.num_stages - 1):
@@ -309,14 +406,24 @@ class PipelineExecutor:
                 )
                 g.add(op)
                 for r in range(dst.replicas):
-                    g.add_dep(f"{prefix}B/s{i+1}/m{mb}/r{r}", f"{prefix}sendback/s{i}/m{mb}")
+                    g.add_dep(
+                        f"{prefix}{grad_op(i + 1, mb)}/s{i+1}/m{mb}/r{r}",
+                        f"{prefix}sendback/s{i}/m{mb}",
+                    )
                 for r in range(src.replicas):
-                    g.add_dep(f"{prefix}sendback/s{i}/m{mb}", f"{prefix}B/s{i}/m{mb}/r{r}")
+                    g.add_dep(
+                        f"{prefix}sendback/s{i}/m{mb}",
+                        f"{prefix}{grad_op(i, mb)}/s{i}/m{mb}/r{r}",
+                    )
 
-        # Gradient AllReduce per replicated stage, after all its backwards.
+        # Gradient AllReduce per replicated stage, after all its backwards
+        # (for split backwards: the weight gradient exists only once BW ran).
         for i, stage in enumerate(plan.stages):
+            last_rel = next(
+                t for t in reversed(self.schedule[i]) if t.kind in ("B", "BW")
+            )
             last_backwards = [
-                f"{prefix}B/s{i}/m{self.schedule[i][-1].micro_batch}/r{r}"
+                f"{prefix}{last_rel.kind}/s{i}/m{last_rel.micro_batch}/r{r}"
                 for r in range(stage.replicas)
             ]
             last_fwd_mb = max(t.micro_batch for t in self.schedule[i] if t.kind == "F")
@@ -338,7 +445,10 @@ class PipelineExecutor:
             g.add(op)
             for mb in range(m):
                 for r in range(stage.replicas):
-                    g.add_dep(f"{prefix}B/s{i}/m{mb}/r{r}", f"{prefix}allreduce/s{i}")
+                    g.add_dep(
+                        f"{prefix}{release_op(i, mb)}/s{i}/m{mb}/r{r}",
+                        f"{prefix}allreduce/s{i}",
+                    )
             final_ops[i] = [f"{prefix}allreduce/s{i}"]
         return IterationOps(
             first_ops=first_ops,
@@ -359,6 +469,7 @@ class PipelineExecutor:
             memory=res.memory,
             schedule=self.schedule,
             recompute=self.recompute,
+            pipe_schedule=self.pipe_schedule,
         )
 
 
@@ -366,7 +477,7 @@ def execute_plan(
     profile: ModelProfile,
     cluster: Cluster,
     plan: ParallelPlan,
-    schedule: str | StageSchedule = "dapple",
+    schedule: str | StageSchedule | PipeSchedule = "dapple",
     warmup_policy: str = "PA",
     recompute: bool = False,
     enforce_memory: bool = True,

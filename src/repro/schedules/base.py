@@ -1,0 +1,186 @@
+"""`PipeSchedule` — the abstract schedule IR the runtime consumes.
+
+A :class:`PipeSchedule` describes *one training iteration* of an
+``S``-stage pipeline over ``M`` micro-batches as ``S`` ordered streams of
+typed :class:`~repro.schedules.tasks.PipeTask` objects (generator-style,
+after neuronx-distributed's ``PipeSchedule`` ABC).  The runtime
+(:class:`~repro.runtime.executor.PipelineExecutor`) lowers the compute
+tasks of each stream into simulator ops and control-dependency chains;
+everything else — conformance checking, memory prediction, bubble
+accounting — queries the IR directly:
+
+* :meth:`steps` — generator of one stage's full stream, communication
+  markers included;
+* :meth:`stage_tasks` — the cached compute-task list per stage (what the
+  executor lowers);
+* :meth:`num_virtual_stages` — total stages the schedule addresses (for
+  interleaved schedules this counts virtual stages, i.e. chunks x devices);
+* :meth:`memory_high_water` — per-stage peak count of concurrently
+  resident micro-batches, *declared by the IR*; the conformance battery
+  cross-checks it against the simulated
+  :class:`~repro.sim.trace.MemoryTimeline` so IR and runtime cannot drift.
+
+Subclasses implement :meth:`stage_stream` (and optionally
+:meth:`stage_priorities` to impose a device-level order across virtual
+stages sharing a device).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+from repro.core.scheduler import MicroBatchTask, validate_schedule
+from repro.schedules.tasks import (
+    COMPUTE_KINDS,
+    PipeTask,
+    RecvAct,
+    RecvGrad,
+    SendAct,
+    SendGrad,
+)
+
+__all__ = ["PipeSchedule"]
+
+
+class PipeSchedule(ABC):
+    """Directs pipeline execution by generating per-stage task streams.
+
+    Parameters
+    ----------
+    num_stages:
+        Number of (virtual) pipeline stages the schedule addresses.
+    num_micro_batches:
+        Micro-batches ``M`` in one training iteration.
+    """
+
+    #: Registry name of the schedule family (set by subclasses).
+    name: str = "?"
+    #: Fraction of the combined backward spent in the grad-weight phase —
+    #: only consulted for schedules that emit split BI/BW tasks.
+    backward_weight_fraction: float = 0.5
+
+    def __init__(self, num_stages: int, num_micro_batches: int):
+        if num_stages < 1:
+            raise ValueError(f"need >=1 stage, got {num_stages}")
+        if num_micro_batches < 1:
+            raise ValueError(f"need >=1 micro-batch, got {num_micro_batches}")
+        self.num_stages = num_stages
+        self.num_micro_batches = num_micro_batches
+        self._streams: dict[int, list[PipeTask]] = {}
+
+    # ------------------------------------------------------------------ #
+    # The abstract core
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def stage_stream(self, stage: int) -> Iterator[PipeTask]:
+        """Yield the ordered compute tasks of ``stage`` (F/B/BI/BW only)."""
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def stage_tasks(self, stage: int) -> list[PipeTask]:
+        """The (cached) compute-task list of one stage's stream."""
+        if stage not in self._streams:
+            if not 0 <= stage < self.num_stages:
+                raise ValueError(
+                    f"stage {stage} out of range [0, {self.num_stages})"
+                )
+            self._streams[stage] = list(self.stage_stream(stage))
+        return self._streams[stage]
+
+    def steps(self, stage: int) -> Iterator[PipeTask]:
+        """Generate one stage's full stream, communication markers included.
+
+        Around every compute task the generator interpolates the transfer
+        markers that stage position implies: interior stages receive
+        activations before each F and send them on after, receive output
+        gradients before each backward(-input) and send input gradients
+        upstream after.  The runtime derives real transfer ops from data
+        dependencies instead; this view exists for analysis and rendering.
+        """
+        first, last = stage == 0, stage == self.num_stages - 1
+        for t in self.stage_tasks(stage):
+            if t.kind == "F":
+                if not first:
+                    yield RecvAct(t.micro_batch)
+                yield t
+                if not last:
+                    yield SendAct(t.micro_batch)
+            elif t.kind in ("B", "BI"):
+                if not last:
+                    yield RecvGrad(t.micro_batch)
+                yield t
+                if not first and t.kind == "B":
+                    yield SendGrad(t.micro_batch)
+            else:  # BW — local to the stage
+                yield t
+            if t.kind == "BI" and not first:
+                yield SendGrad(t.micro_batch)
+
+    def num_virtual_stages(self) -> int:
+        """Total (virtual) stages addressed — chunks x devices if interleaved."""
+        return self.num_stages
+
+    def memory_high_water(self) -> list[int]:
+        """Per-stage peak count of concurrently resident micro-batches.
+
+        A micro-batch is resident from its F until its releasing backward
+        (B, or BW for split backwards).  The conformance battery checks
+        the simulated memory timeline against the bound this declares.
+        """
+        from repro.core.scheduler import max_resident_micro_batches
+
+        return [
+            max_resident_micro_batches(self.stage_tasks(i))
+            for i in range(self.num_stages)
+        ]
+
+    def stage_priorities(self, stage: int) -> Sequence[float] | None:
+        """Optional dispatch priorities per task of one stage's stream.
+
+        ``None`` (the default) means "stream position" — correct whenever
+        each stage owns its devices.  Interleaved schedules override this
+        with device-level positions so virtual stages sharing a device
+        interleave in the intended global order.
+        """
+        return None
+
+    def to_stage_schedule(self) -> list[list[MicroBatchTask]]:
+        """Lower to the legacy ``StageSchedule`` shape the runtime builds from.
+
+        The lowering is lossless for scheduling purposes: each typed task
+        becomes a ``MicroBatchTask(kind, micro_batch)`` so the graph
+        builder, invariants, and legacy comparisons all operate on one
+        representation.  ``Dapple1F1BSchedule``'s output is bit-identical
+        to :func:`repro.core.scheduler.dapple_schedule` by construction
+        (enforced by the differential test battery).
+        """
+        out = []
+        for i in range(self.num_stages):
+            tasks = self.stage_tasks(i)
+            bad = [t for t in tasks if t.kind not in COMPUTE_KINDS]
+            if bad:
+                raise ValueError(
+                    f"stage {i} stream contains non-compute task {bad[0]!r}"
+                )
+            out.append([MicroBatchTask(t.kind, t.micro_batch) for t in tasks])
+        return out
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an illegal stream (see ``validate_schedule``)."""
+        validate_schedule(self.to_stage_schedule(), self.num_micro_batches)
+
+    def describe(self) -> str:
+        """One-line human description for CLI/help output."""
+        return (
+            f"{self.name}: S={self.num_stages} stages, "
+            f"M={self.num_micro_batches} micro-batches, "
+            f"high-water {self.memory_high_water()}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_stages={self.num_stages}, "
+            f"num_micro_batches={self.num_micro_batches})"
+        )

@@ -1,0 +1,243 @@
+"""Schedule registry: name/spec strings → :class:`PipeSchedule` instances.
+
+Every user-facing surface that names a schedule — ``--schedule`` on the
+CLI, the ``"schedule"`` key of the serve protocol, the fault/ensemble
+paths, ``repro check`` — resolves through this registry, so adding a
+schedule here makes it available everywhere at once (the same pattern as
+:func:`repro.cluster.configs.config_by_name` for hardware configs).
+
+Spec grammar::
+
+    name                      # e.g. "dapple", "gpipe", "zb2bp"
+    name:key=value[,key=...]  # e.g. "interleaved:v=2", "zb2bp:w=0.4"
+
+Values parse as int, then float, then bare string.  Unknown names raise
+:class:`UnknownScheduleError` (a ``ValueError``) listing the valid names;
+unknown parameter keys raise plain ``ValueError``.
+
+:func:`build_schedule` needs the execution context — the plan (for stage
+count and, for interleaved, the device/chunk geometry), ``M``, the warm-up
+policy, and the memory cap ``D`` — and returns a ready
+:class:`~repro.schedules.base.PipeSchedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.schedules.base import PipeSchedule
+from repro.schedules.library import (
+    Dapple1F1BSchedule,
+    GPipeSchedule,
+    Interleaved1F1BSchedule,
+    ZeroBubble2BPSchedule,
+)
+
+__all__ = [
+    "UnknownScheduleError",
+    "register_schedule",
+    "schedule_names",
+    "schedule_help",
+    "parse_schedule_spec",
+    "build_schedule",
+]
+
+
+class UnknownScheduleError(ValueError):
+    """A schedule spec names a schedule the registry does not know."""
+
+
+#: name -> (builder, allowed parameter keys, one-line help)
+_REGISTRY: dict[str, tuple[Callable[..., PipeSchedule], frozenset, str]] = {}
+#: alias -> canonical name
+_ALIASES: dict[str, str] = {}
+
+
+def register_schedule(
+    name: str,
+    builder: Callable[..., PipeSchedule],
+    params: tuple[str, ...] = (),
+    help: str = "",
+    aliases: tuple[str, ...] = (),
+) -> None:
+    """Register ``builder`` under ``name`` (and ``aliases``).
+
+    ``builder(params_dict, plan=..., num_micro_batches=...,
+    warmup_policy=..., max_in_memory=...)`` must return a
+    :class:`PipeSchedule`.
+    """
+    if name in _REGISTRY or name in _ALIASES:
+        raise ValueError(f"schedule {name!r} already registered")
+    _REGISTRY[name] = (builder, frozenset(params), help)
+    for alias in aliases:
+        if alias in _REGISTRY or alias in _ALIASES:
+            raise ValueError(f"schedule alias {alias!r} already registered")
+        _ALIASES[alias] = name
+
+
+def schedule_names() -> tuple[str, ...]:
+    """Canonical registered schedule names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def schedule_help() -> str:
+    """One line per registered schedule, for ``--help`` text."""
+    return "; ".join(
+        f"{name} — {help}" for name, (_b, _p, help) in _REGISTRY.items()
+    )
+
+
+def _parse_value(raw: str) -> Any:
+    for conv in (int, float):
+        try:
+            return conv(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def parse_schedule_spec(spec: str) -> tuple[str, dict[str, Any]]:
+    """Split ``"name:k=v,..."`` into the canonical name and a params dict."""
+    head, _sep, tail = spec.strip().partition(":")
+    name = head.strip().lower()
+    name = _ALIASES.get(name, name)
+    if name not in _REGISTRY:
+        valid = ", ".join(schedule_names())
+        raise UnknownScheduleError(
+            f"unknown schedule {head.strip()!r} (valid: {valid})"
+        )
+    params: dict[str, Any] = {}
+    if tail:
+        for item in tail.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ValueError(
+                    f"bad schedule parameter {item!r} in {spec!r} "
+                    "(want key=value)"
+                )
+            params[key] = _parse_value(value.strip())
+    allowed = _REGISTRY[name][1]
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise ValueError(
+            f"schedule {name!r} does not take parameter(s) {unknown} "
+            f"(valid: {sorted(allowed) or 'none'})"
+        )
+    return name, params
+
+
+def build_schedule(
+    spec: str,
+    *,
+    plan,
+    num_micro_batches: int | None = None,
+    warmup_policy: str = "PA",
+    max_in_memory: int | None = None,
+) -> PipeSchedule:
+    """Resolve ``spec`` against the registry and build the schedule.
+
+    ``plan`` supplies the stage count and (for interleaved) the
+    device/chunk geometry; ``max_in_memory`` is the memory cap ``D`` on
+    concurrently resident micro-batches warm-up depths are clamped to.
+    """
+    name, params = parse_schedule_spec(spec)
+    builder = _REGISTRY[name][0]
+    m = num_micro_batches if num_micro_batches is not None \
+        else plan.num_micro_batches
+    return builder(
+        params,
+        plan=plan,
+        num_micro_batches=m,
+        warmup_policy=warmup_policy,
+        max_in_memory=max_in_memory,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Built-in builders
+# --------------------------------------------------------------------- #
+def _build_dapple(params, *, plan, num_micro_batches, warmup_policy,
+                  max_in_memory) -> Dapple1F1BSchedule:
+    return Dapple1F1BSchedule(
+        plan.num_stages, num_micro_batches,
+        warmup_policy=params.get("policy", warmup_policy),
+        max_in_memory=max_in_memory,
+    )
+
+
+def _build_gpipe(params, *, plan, num_micro_batches, warmup_policy,
+                 max_in_memory) -> GPipeSchedule:
+    return GPipeSchedule(plan.num_stages, num_micro_batches)
+
+
+def _interleave_geometry(plan, chunks: int | None) -> tuple[int, int]:
+    """Derive ``(P devices, v chunks)`` from an interleaved plan."""
+    s = plan.num_stages
+    v = chunks
+    if v is None:
+        v = plan.meta.get("virtual_per_device") if plan.meta else None
+    if v is None:
+        raise ValueError(
+            "interleaved schedule needs the chunk count: pass "
+            "'interleaved:v=N' or use a plan built by "
+            "interleaved_straight_plan (which records it)"
+        )
+    if s % v != 0:
+        raise ValueError(
+            f"plan has {s} stages, not divisible by v={v} chunks per device"
+        )
+    p = s // v
+    # Stage s must live on the same device set as stage s % P — the
+    # round-robin chunk placement the schedule's geometry assumes.
+    for i in range(s):
+        a = tuple(d.global_id for d in plan.stages[i].devices)
+        b = tuple(d.global_id for d in plan.stages[i % p].devices)
+        if a != b:
+            raise ValueError(
+                f"interleaved schedule expects round-robin chunk placement "
+                f"(stage {i} on the devices of stage {i % p}); build the "
+                f"plan with interleaved_straight_plan"
+            )
+    return p, v
+
+
+def _build_interleaved(params, *, plan, num_micro_batches, warmup_policy,
+                       max_in_memory) -> Interleaved1F1BSchedule:
+    chunks = params.get("v")
+    p, v = _interleave_geometry(plan, chunks)
+    return Interleaved1F1BSchedule(p, num_micro_batches, chunks=v)
+
+
+def _build_zb2bp(params, *, plan, num_micro_batches, warmup_policy,
+                 max_in_memory) -> ZeroBubble2BPSchedule:
+    return ZeroBubble2BPSchedule(
+        plan.num_stages, num_micro_batches,
+        warmup_policy=params.get("policy", warmup_policy),
+        max_in_memory=max_in_memory,
+        weight_fraction=params.get("w", 0.5),
+    )
+
+
+register_schedule(
+    "dapple", _build_dapple, params=("policy",),
+    help="DAPPLE early-backward 1F1B (paper Fig. 3b); 'policy=PA|PB' "
+         "overrides the warm-up policy",
+    aliases=("1f1b",),
+)
+register_schedule(
+    "gpipe", _build_gpipe,
+    help="GPipe flush: all forwards then all backwards (paper Fig. 3a)",
+)
+register_schedule(
+    "interleaved", _build_interleaved, params=("v",),
+    help="Megatron-style interleaved 1F1B over v virtual stages per device "
+         "('v=N'; needs an interleaved plan and M divisible by the device "
+         "count)",
+)
+register_schedule(
+    "zb2bp", _build_zb2bp, params=("w", "policy"),
+    help="zero-bubble 2BP: backward split into grad-input (BI) and "
+         "grad-weight (BW) phases, BW filling the cooldown bubble "
+         "('w=FRAC' sets the BW share of backward time, default 0.5)",
+)

@@ -13,8 +13,13 @@ A request is plain JSON naming a planning problem:
       "gbs": 64,                     // omitted -> paper default for the model
       "planner": {"beam_width": 48}, // PlannerConfig overrides
       "explain": false,              // also produce the Tw/Ts/Te breakdown
-      "check": false                 // also run the conformance battery
+      "check": false,                // also run the conformance battery
+      "schedule": "dapple"           // schedule spec for the check arm
     }
+
+``schedule`` accepts any :mod:`repro.schedules` registry spec
+(``"dapple"``, ``"gpipe"``, ``"zb2bp:w=0.4"``, ...); it is validated at
+decode time against the registry and echoed in the response.
 
 :func:`decode_plan_request` validates the shape (unknown keys, exclusive
 ``model``/``graph`` and ``config``/``cluster`` pairs, type errors) and
@@ -46,7 +51,7 @@ SCHEMA = "plan-request-v1"
 #: Keys a request body may carry; anything else is rejected with a 400.
 _ALLOWED_KEYS = {
     "schema", "model", "graph", "config", "cluster", "devices", "gbs",
-    "planner", "explain", "check",
+    "planner", "explain", "check", "schedule",
 }
 
 
@@ -67,6 +72,8 @@ class PlanRequest:
     planner: dict[str, Any] = field(default_factory=dict)
     explain: bool = False
     check: bool = False
+    #: Schedule registry spec the check arm executes under.
+    schedule: str = "dapple"
 
     def to_dict(self) -> dict[str, Any]:
         """Round-trippable body: ``decode_plan_request(req.to_dict())`` == req."""
@@ -88,6 +95,8 @@ class PlanRequest:
             out["explain"] = True
         if self.check:
             out["check"] = True
+        if self.schedule != "dapple":
+            out["schedule"] = self.schedule
         return out
 
     def resolve(self):
@@ -166,11 +175,20 @@ def decode_plan_request(data: Any) -> PlanRequest:
     check = data.get("check", False)
     _require(isinstance(explain, bool), "'explain' must be a boolean")
     _require(isinstance(check, bool), "'check' must be a boolean")
+    schedule = data.get("schedule", "dapple")
+    _require(isinstance(schedule, str), "'schedule' must be a string")
+    if "schedule" in data:
+        from repro.schedules import parse_schedule_spec
+
+        try:
+            parse_schedule_spec(schedule)
+        except ValueError as e:
+            raise RequestError(str(e)) from e
 
     req = PlanRequest(
         model=model, graph=graph, config=config, cluster=cluster,
         devices=devices, gbs=gbs, planner=dict(planner),
-        explain=explain, check=check,
+        explain=explain, check=check, schedule=schedule,
     )
     # Resolve eagerly so submissions fail fast with a 400 (bad PlannerConfig
     # field, malformed inline graph/cluster) instead of queueing a job that

@@ -119,9 +119,11 @@ def _execute(
         from repro.runtime.memory import OutOfMemoryError
 
         try:
-            report = verify_execution(profile, cluster, plan)
+            report = verify_execution(profile, cluster, plan,
+                                      schedule=req.schedule)
             response["check"] = {
                 "ok": report.ok,
+                "schedule": req.schedule,
                 "invariants": list(report.checks),
                 "violations": [str(v) for v in report.violations],
                 "render": report.render(),

@@ -1,0 +1,68 @@
+"""``--schedule`` plumbed through every CLI surface via the registry."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.schedules import schedule_names
+
+SMALL = ["--model", "gnmt16", "--config", "B", "--devices", "4", "--gbs", "16"]
+
+
+class TestRunCommand:
+    @pytest.mark.parametrize("spec", ["dapple", "gpipe", "zb2bp", "1f1b"])
+    def test_run_accepts_registry_specs(self, capsys, spec):
+        assert main(["run", *SMALL, "--schedule", spec]) == 0
+        assert "iteration" in capsys.readouterr().out
+
+    def test_run_accepts_params(self, capsys):
+        assert main(["run", *SMALL, "--schedule", "zb2bp:w=0.4"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_schedule_exits_2(self, capsys):
+        assert main(["run", *SMALL, "--schedule", "zigzag"]) == 2
+        err = capsys.readouterr().err
+        assert "zigzag" in err
+        for name in schedule_names():
+            assert name in err
+
+    def test_bad_param_exits_2(self, capsys):
+        assert main(["run", *SMALL, "--schedule", "dapple:beam=3"]) == 2
+        capsys.readouterr()
+
+
+class TestHelpListsRegistry:
+    @pytest.mark.parametrize("cmd", ["run", "plan", "check", "faults"])
+    def test_help_names_every_schedule(self, cmd):
+        parser = build_parser()
+        # The subparser help text is rendered from the registry, so a
+        # newly registered schedule shows up without touching the CLI.
+        sub = next(
+            a for a in parser._actions
+            if getattr(a, "choices", None) and cmd in (a.choices or {})
+        )
+        help_text = sub.choices[cmd].format_help()
+        assert "--schedule" in help_text
+        for name in schedule_names():
+            assert name in help_text
+
+
+class TestPlanCommand:
+    def test_plan_simulates_under_schedule(self, capsys):
+        assert main(["plan", *SMALL, "--schedule", "zb2bp"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated:" in out and "zb2bp" in out
+
+    def test_plan_without_schedule_unchanged(self, capsys):
+        assert main(["plan", *SMALL]) == 0
+        assert "simulated:" not in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_check_single_schedule(self, capsys):
+        assert main(["check", *SMALL, "--schedule", "zb2bp"]) == 0
+        out = capsys.readouterr().out
+        assert "zb2bp" in out
+
+    def test_check_unknown_schedule_exits_2(self, capsys):
+        assert main(["check", *SMALL, "--schedule", "nope"]) == 2
+        capsys.readouterr()
